@@ -1,0 +1,27 @@
+"""A01 — Ablation of the repaired UDG tile parameterisation (DESIGN.md §2).
+
+Sweeps the representative-region radius and the tile side, re-running the
+Theorem-2.2 threshold procedure for each feasible combination, to show how the
+choice of geometry moves λ_s and to locate the best upper bound this family of
+constructions can give.
+"""
+
+from repro.analysis.ablations import ablation_udg_tile_parameters
+
+
+def test_a01_udg_spec_ablation(benchmark, emit_result):
+    result = benchmark.pedantic(
+        ablation_udg_tile_parameters,
+        kwargs={"trials": 120},
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(result)
+    feasible = [r for r in result.rows if r["feasible"]]
+    assert feasible, "at least one parameterisation must be feasible"
+    # Every feasible parameterisation crosses the threshold somewhere on the grid.
+    assert all(r["lambda_s"] is not None for r in feasible)
+    # The best threshold is reported and is no better than the continuum critical density
+    # can possibly allow (sanity floor) while far above the paper's unreproducible 1.568.
+    assert result.headline["best_lambda_s"] is not None
+    assert result.headline["best_lambda_s"] >= 2.0

@@ -1,0 +1,27 @@
+"""E01 — UDG tile-goodness threshold (Theorem 2.2: λ_c < 1.568).
+
+Regenerates the P(tile good) vs λ curve for the repaired UDG tile spec, finds
+the smallest probed λ exceeding the site-percolation threshold (our λ_s), and
+documents that the paper-parameter spec has goodness probability 0 (the
+degeneracy analysed in DESIGN.md §2).
+"""
+
+from repro.analysis.experiments import experiment_e01_udg_threshold
+from repro.percolation import SITE_PERCOLATION_THRESHOLD
+
+
+def test_e01_udg_threshold(benchmark, emit_result):
+    result = benchmark.pedantic(
+        experiment_e01_udg_threshold,
+        kwargs={"trials": 250, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(result)
+    # The repaired spec crosses the threshold at some finite λ_s ...
+    assert result.headline["lambda_s_measured"] is not None
+    # ... the crossing row really exceeds the target probability ...
+    crossing = [r for r in result.rows if r["lambda"] == result.headline["lambda_s_measured"]][0]
+    assert crossing["p_good"] > SITE_PERCOLATION_THRESHOLD
+    # ... and the stated-paper geometry cannot produce good tiles at all.
+    assert result.headline["paper_spec_p_good_at_lambda_10"] == 0.0

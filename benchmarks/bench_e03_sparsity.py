@@ -1,0 +1,27 @@
+"""E03 — Sparsity of the SENS overlays (Property P1, Figures 1–2).
+
+Regenerates the degree/edge comparison between UDG-SENS / NN-SENS and their
+base graphs: the overlays must have maximum degree 4 while the base graphs'
+degrees grow with the density, and only a small fraction of deployed nodes
+participates.
+"""
+
+from repro.analysis.experiments import experiment_e03_sparsity
+
+
+def test_e03_sparsity(benchmark, emit_result):
+    result = benchmark.pedantic(
+        experiment_e03_sparsity,
+        kwargs={"udg_intensity": 20.0, "udg_window_side": 20.0, "nn_k": 188, "nn_window_tiles": 4},
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(result)
+    assert result.headline["udg_sens_max_degree"] <= 4.0
+    assert result.headline["nn_sens_max_degree"] <= 4.0
+    sens_rows = [r for r in result.rows if "SENS" in r["graph"]]
+    base_rows = [r for r in result.rows if "SENS" not in r["graph"]]
+    # The overlays are drastically sparser than the base graphs.
+    for sens, base in zip(sens_rows, base_rows):
+        assert sens["edges"] < 0.05 * base["edges"]
+        assert sens["participation"] < 0.5

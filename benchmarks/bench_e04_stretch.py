@@ -1,0 +1,23 @@
+"""E04 — Distance stretch of UDG-SENS (Claims 2.1/2.3, Theorem 3.2, Figures 4/6/8).
+
+Regenerates the empirical stretch distribution between tile representatives
+and the tail probability P(stretch > α) per lattice-distance bin; the paper
+predicts a small constant stretch whose exceedance probability does not grow
+with distance.
+"""
+
+from repro.analysis.experiments import experiment_e04_stretch
+
+
+def test_e04_stretch(benchmark, emit_result):
+    result = benchmark.pedantic(
+        experiment_e04_stretch,
+        kwargs={"intensity": 20.0, "window_side": 26.0, "n_pairs": 250, "alpha": 3.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(result)
+    assert result.headline["max_stretch"] < 3.0
+    assert result.headline["mean_stretch"] >= 1.0
+    # Tail probability at alpha=3 is (near) zero — the constant-stretch claim.
+    assert result.headline["tail_probability_alpha"] <= 0.05

@@ -1,0 +1,33 @@
+"""E05 — Coverage of UDG-SENS (Theorem 3.3, Corollary 3.4).
+
+Regenerates the empty-box probability P(|B(ℓ) ∩ SENS| = 0) as a function of
+the box side ℓ for several deployment densities; the paper predicts an
+(at least) exponential decay that sharpens as λ grows.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import experiment_e05_coverage
+
+
+def test_e05_coverage(benchmark, emit_result):
+    result = benchmark.pedantic(
+        experiment_e05_coverage,
+        kwargs={
+            "intensities": (12.0, 20.0, 32.0),
+            "window_side": 26.0,
+            "box_sizes": [0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+            "n_boxes": 300,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(result)
+    # For every density the empty-box probability is non-increasing in the box size
+    # (up to small Monte-Carlo noise).
+    for lam in (12.0, 20.0, 32.0):
+        probs = [r["p_empty"] for r in result.rows if r["lambda"] == lam]
+        assert probs[-1] <= probs[0] + 0.05
+    # The largest box is essentially always covered at the highest density.
+    final = [r["p_empty"] for r in result.rows if r["lambda"] == 32.0][-1]
+    assert final <= 0.02

@@ -1,0 +1,23 @@
+"""E06 — Distributed construction (Figure 7, Property P4).
+
+Regenerates the cost table of the local-information construction algorithm:
+a constant number of synchronous rounds, messages growing linearly with the
+deployment, and exact agreement with the centralized overlay.
+"""
+
+from repro.analysis.experiments import experiment_e06_distributed_build
+
+
+def test_e06_distributed_build(benchmark, emit_result):
+    result = benchmark.pedantic(
+        experiment_e06_distributed_build,
+        kwargs={"intensity": 25.0, "window_sides": (8.0, 12.0, 16.0, 20.0)},
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(result)
+    assert result.headline["all_match_centralized"] is True
+    rounds = {row["rounds"] for row in result.rows}
+    assert len(rounds) == 1  # locality: rounds do not grow with the deployment
+    messages = [row["messages"] for row in result.rows]
+    assert messages == sorted(messages)  # messages grow with the deployment size

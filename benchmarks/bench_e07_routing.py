@@ -1,0 +1,36 @@
+"""E07 — Routing on the percolated mesh and the SENS overlay (Figure 9).
+
+Regenerates the probe-overhead and detour table of the Angel-et-al router as
+a function of the open-site density, plus the realised stretch of routes
+lifted onto a UDG-SENS overlay.  The paper's guarantee: expected probes stay
+within a constant factor of the shortest-path length above criticality.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import experiment_e07_routing
+
+
+def test_e07_routing(benchmark, emit_result):
+    result = benchmark.pedantic(
+        experiment_e07_routing,
+        kwargs={
+            "p_values": (0.65, 0.70, 0.80, 0.90),
+            "lattice_size": 60,
+            "n_pairs": 40,
+            "overlay_intensity": 20.0,
+            "overlay_window_side": 26.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(result)
+    mesh_rows = [r for r in result.rows if "graph" not in r]
+    # Supercritical routing inside the giant component always delivers.
+    assert all(r["success_rate"] == 1.0 for r in mesh_rows)
+    # Probe overhead per unit distance decreases as p grows (fewer detours needed).
+    probes = [r["mean_probes_per_l1"] for r in mesh_rows]
+    assert probes[-1] <= probes[0]
+    # Deep in the supercritical phase the overhead is a small constant (the Angel et al.
+    # constant depends on p; near p = 0.9 a handful of probes per unit distance suffices).
+    assert probes[-1] < 6.0

@@ -1,0 +1,29 @@
+"""E09 — Site-percolation substrate validation (Lemma 1.1, p_c ∈ (0.592, 0.593)).
+
+Regenerates the three facts the coupling argument leans on: a p_c estimate
+consistent with the literature bracket, a θ(p) that increases monotonically
+above the threshold, and a chemical-distance stretch that stays a small
+constant and decreases towards 1 as p → 1 (Antal–Pisztora).
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import experiment_e09_percolation
+
+
+def test_e09_percolation(benchmark, emit_result):
+    result = benchmark.pedantic(
+        experiment_e09_percolation,
+        kwargs={"box_size": 40, "trials": 25, "n_chemical_pairs": 60},
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(result)
+    assert abs(result.headline["p_c_estimate"] - 0.5927) < 0.05
+    theta_rows = [r for r in result.rows if r["measurement"] == "theta"]
+    thetas = [r["theta_estimate"] for r in theta_rows]
+    assert thetas == sorted(thetas)
+    chem_rows = [r for r in result.rows if r["measurement"] == "chemical_stretch"]
+    stretches = [r["mean_stretch"] for r in chem_rows]
+    assert all(s >= 1.0 for s in stretches if np.isfinite(s))
+    assert stretches[-1] <= stretches[0] + 0.05

@@ -1,0 +1,30 @@
+"""E10 — Tile and region geometry (Figures 1, 3, 5).
+
+Regenerates the region-area table for the paper-parameter UDG tile, the
+repaired UDG tile and the NN tile, including the degeneracy report for the
+stated UDG parameters and an analytic-vs-Monte-Carlo cross-check of the
+goodness probability.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import experiment_e10_tile_geometry
+
+
+def test_e10_tile_geometry(benchmark, emit_result):
+    result = benchmark.pedantic(
+        experiment_e10_tile_geometry,
+        kwargs={"udg_lambdas": (10.0, 20.0), "trials": 150},
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(result)
+    # The paper-parameter UDG spec is infeasible (empty relay regions).
+    assert result.headline["paper_udg_spec_feasible"] is False
+    # Analytic and Monte-Carlo goodness probabilities agree reasonably for the repaired spec.
+    comparison = [r for r in result.rows if "p_good_mc" in r]
+    for row in comparison:
+        assert abs(row["p_good_mc"] - row["p_good_analytic"]) < 0.15
+    # All NN regions have positive area.
+    nn_rows = [r for r in result.rows if r["spec"].startswith("NN")]
+    assert all(r["area"] > 0 for r in nn_rows)

@@ -1,0 +1,32 @@
+"""E11 — Continuum-percolation context (paper §1.2).
+
+Regenerates the largest-component fraction of the raw base graphs —
+UDG(2, λ) as a function of λ and NN(2, k) as a function of k — locating the
+giant-component emergence the paper's related-work bounds (Hall, Kong–Yeh,
+Häggström–Meester, Teng–Yao) are about, and putting the constructions'
+thresholds (E01/E02) in context.
+"""
+
+from repro.analysis.experiments import experiment_e11_continuum
+
+
+def test_e11_continuum(benchmark, emit_result):
+    result = benchmark.pedantic(
+        experiment_e11_continuum,
+        kwargs={
+            "lambdas": (0.4, 0.8, 1.2, 1.6, 2.4, 3.2),
+            "ks": (1, 2, 3, 4, 5, 6),
+            "window_side": 25.0,
+            "n_points_nn": 600,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(result)
+    udg = [r for r in result.rows if r["model"] == "UDG"]
+    nn = [r for r in result.rows if r["model"] == "NN"]
+    # Below the continuum threshold the giant component is small; well above it is dominant.
+    assert udg[0]["largest_component_fraction"] < 0.4
+    assert udg[-1]["largest_component_fraction"] > 0.9
+    assert nn[0]["largest_component_fraction"] < 0.7
+    assert nn[-1]["largest_component_fraction"] > 0.9

@@ -1,0 +1,25 @@
+"""E12 — Overlay components and switched-off nodes (paper §4.1).
+
+Regenerates the table of overlay nodes stranded outside the giant component
+(the nodes that should switch themselves off) and of deployed nodes not
+needed at all, as the density grows.
+"""
+
+from repro.analysis.experiments import experiment_e12_components
+
+
+def test_e12_components(benchmark, emit_result):
+    result = benchmark.pedantic(
+        experiment_e12_components,
+        kwargs={"intensities": (14.0, 18.0, 24.0, 32.0), "window_side": 22.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(result)
+    rows = result.rows
+    # Good-tile fraction grows with density, stranded-overlay fraction shrinks.
+    assert rows[-1]["fraction_good_tiles"] >= rows[0]["fraction_good_tiles"]
+    assert rows[-1]["outside_giant_fraction"] <= rows[0]["outside_giant_fraction"] + 0.02
+    # The share of deployed nodes that can switch off stays large (> 70%) — the paper's
+    # headline saving.
+    assert all(r["switched_off_fraction"] > 0.7 for r in rows)

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment from the DESIGN.md index (E01–E12),
+prints the resulting table and writes it to ``benchmarks/results/<id>.txt`` so
+the numbers that back EXPERIMENTS.md can be re-derived with a single
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.tables import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit_result():
+    """Return a callable that prints and persists an ExperimentResult."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(result: ExperimentResult) -> ExperimentResult:
+        lines = [
+            f"{result.experiment_id} — {result.title}",
+            f"paper reference: {result.paper_reference}",
+            "",
+            format_table(result.rows),
+            "",
+            "headline: " + ", ".join(f"{k}={v}" for k, v in result.headline.items()),
+        ]
+        if result.notes:
+            lines.append("")
+            lines.extend(f"note: {n}" for n in result.notes)
+        text = "\n".join(lines)
+        print("\n" + text)
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        return result
+
+    return _emit

@@ -1,0 +1,67 @@
+"""Data collection: convergecast energy on UDG-SENS vs the full UDG.
+
+The paper's motivation is energy-efficient multihop relaying.  This workload
+makes the comparison concrete: every node in the communication topology
+periodically reports to a sink; reports travel along minimum-power routes
+(Li–Wan–Wang d^beta metric) and every transmit/receive is charged to the
+forwarding node's battery.
+
+Two topologies are compared on the *same* deployment:
+
+* the full unit-disk graph (every node participates and reports), and
+* the UDG-SENS overlay (only representatives/relays participate; they serve
+  as the backbone for the sensing function while everyone else sleeps).
+
+Run with::
+
+    python examples/data_collection.py
+"""
+
+import numpy as np
+
+from repro import Rect, build_udg_sens
+from repro.analysis.tables import format_table
+from repro.simulation.datacollection import run_convergecast
+from repro.simulation.energy import EnergyModel
+
+SEED = 11
+WINDOW = Rect(0, 0, 14.0, 14.0)
+INTENSITY = 12.0
+ROUNDS = 5
+
+
+def main() -> None:
+    net = build_udg_sens(intensity=INTENSITY, window=WINDOW, seed=SEED)
+    model = EnergyModel(beta=2.0)
+
+    rows = []
+    for name, graph in (("UDG (all nodes report)", net.base_graph),
+                        ("UDG-SENS backbone", net.sens.graph)):
+        sink = int(np.argmin(np.linalg.norm(graph.points - graph.points.mean(axis=0), axis=1)))
+        result = run_convergecast(graph, sink=sink, rounds=ROUNDS, energy_model=model)
+        rows.append(
+            {
+                "topology": name,
+                "nodes": graph.n_nodes,
+                "edges": graph.n_edges,
+                "reports_delivered": result.delivered,
+                "mean_hops": round(result.mean_hops, 2),
+                "total_energy_mJ": round(result.total_energy * 1e3, 3),
+                "energy_per_report_uJ": round(result.energy_per_delivered * 1e6, 1),
+                "hotspot_energy_uJ": round(result.max_node_energy * 1e6, 1),
+                "est_rounds_to_first_death": round(result.rounds_to_first_death, 0),
+            }
+        )
+
+    print(format_table(rows, title="Convergecast over one deployment "
+                                   f"(lambda={INTENSITY:g}, {ROUNDS} rounds)"))
+    print(
+        "\nReading the table: the SENS backbone involves an order of magnitude fewer nodes\n"
+        "and links, delivers every report it is responsible for, and keeps per-report energy\n"
+        "within a small factor of the dense network — while the nodes outside the backbone\n"
+        "spend nothing at all, which is where the fleet-level energy saving comes from."
+    )
+
+
+if __name__ == "__main__":
+    main()

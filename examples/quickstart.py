@@ -1,0 +1,59 @@
+"""Quickstart: build UDG-SENS on a Poisson deployment and inspect its properties.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script reproduces, on one random deployment, the headline story of the
+paper: deploy densely, keep only a sparse degree-≤4 overlay of representative
+and relay nodes, and still get a connected, well-covering, low-stretch
+network while most nodes can switch themselves off.
+"""
+
+import numpy as np
+
+from repro import Rect, build_udg_sens, measure_coverage, measure_stretch
+from repro.analysis.tables import format_table
+
+SEED = 7
+WINDOW = Rect(0.0, 0.0, 26.0, 26.0)
+INTENSITY = 20.0  # nodes per unit area (λ)
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+
+    print(f"Deploying a Poisson({INTENSITY}) sensor field on a "
+          f"{WINDOW.width:g}x{WINDOW.height:g} region ...")
+    net = build_udg_sens(intensity=INTENSITY, window=WINDOW, seed=SEED)
+
+    summary = net.summary()
+    print(format_table([summary], title="\n== Network summary =="))
+
+    print("\nKey facts:")
+    print(f"  deployed nodes              : {net.n_deployed}")
+    print(f"  good tiles                  : {net.classification.n_good} / {net.tiling.n_tiles}"
+          f"  ({net.fraction_good_tiles:.1%})")
+    print(f"  nodes in UDG-SENS           : {net.n_sens_nodes}"
+          f"  ({net.participation_fraction:.1%} of deployed)")
+    print(f"  nodes that can switch off   : {net.unused_fraction:.1%}")
+    print(f"  max degree in UDG-SENS      : {net.sens.graph.degrees().max()} (paper bound: 4)")
+    print(f"  overlay edges in base UDG   : {bool(net.sens.verify_edges_in_base(net.base_graph).all())}")
+
+    stretch = measure_stretch(net, n_pairs=200, rng=rng)
+    print("\n== Distance stretch between tile representatives (P2) ==")
+    print(f"  mean stretch : {stretch.mean_stretch:.3f}")
+    print(f"  95th pct     : {stretch.quantile(0.95):.3f}")
+    print(f"  max stretch  : {stretch.max_stretch:.3f}")
+
+    coverage = measure_coverage(
+        net.sens.graph.points, WINDOW, box_sizes=[0.5, 1.0, 1.5, 2.0, 3.0], n_boxes=400, rng=rng
+    )
+    print("\n== Coverage: probability an l x l box misses the SENS network (P3) ==")
+    print(format_table(coverage.as_rows()))
+    if np.isfinite(coverage.decay_rate):
+        print(f"  fitted exponential decay rate: {coverage.decay_rate:.2f} per unit of box side")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Collaborative target tracking over NN-SENS (the paper's §1 motivation).
+
+A target moves across the field along a piecewise-linear path.  At every time
+step the sensors within sensing range detect it; detections are useful only
+if the detecting sensor can relay them over the connected overlay to the
+fusion sink, so the script reports both raw detection coverage (any deployed
+node) and *network* coverage (nodes of the NN-SENS overlay), plus the relay
+cost of shipping the detections to the sink over the overlay.
+
+Run with::
+
+    python examples/target_tracking.py
+"""
+
+import numpy as np
+
+from repro import Rect, build_nn_sens
+from repro.analysis.tables import format_table
+from repro.core.tiles_nn import NNTileSpec
+from repro.routing.baselines import shortest_path_route
+from repro.simulation.sensing import MovingTarget, SensingField
+
+SEED = 5
+K = 240  # comfortably above the k_s threshold so most tiles are good
+SENSING_RADIUS = 4.0
+
+
+def main() -> None:
+    spec = NNTileSpec.default()
+    side = spec.tile_side * 4
+    window = Rect(0, 0, side, side)
+    print(f"Building NN-SENS(2, {K}) with a = {spec.a} on a {side:.1f} x {side:.1f} field ...")
+    net = build_nn_sens(k=K, window=window, seed=SEED, spec=spec, build_base_graph=False)
+    overlay = net.sens
+    print(f"  deployed nodes: {net.n_deployed}, overlay nodes: {overlay.n_nodes}, "
+          f"good tiles: {net.classification.n_good}/{net.tiling.n_tiles}")
+
+    field = SensingField(window, sensing_radius=SENSING_RADIUS)
+    target = MovingTarget(
+        np.array(
+            [
+                [0.1 * side, 0.15 * side],
+                [0.8 * side, 0.3 * side],
+                [0.6 * side, 0.85 * side],
+                [0.15 * side, 0.7 * side],
+            ]
+        ),
+        speed=side / 40.0,
+    )
+
+    overlay_points = overlay.graph.points
+    sink = int(np.argmin(np.linalg.norm(overlay_points - overlay_points.mean(axis=0), axis=1)))
+
+    rows = []
+    detected_any, detected_overlay, relayed, total_hops = 0, 0, 0, 0
+    for step, position in enumerate(target.positions()):
+        any_detectors = field.detectors_of(net.points, position)
+        overlay_detectors = field.detectors_of(overlay_points, position)
+        detected_any += bool(len(any_detectors))
+        detected_overlay += bool(len(overlay_detectors))
+        if len(overlay_detectors):
+            # The nearest overlay detector relays the detection to the sink.
+            reporter = int(overlay_detectors[
+                int(np.argmin(np.linalg.norm(overlay_points[overlay_detectors] - position, axis=1)))
+            ])
+            route = shortest_path_route(overlay.graph, reporter, sink)
+            if route.success:
+                relayed += 1
+                total_hops += route.hops
+        if step % 8 == 0:
+            rows.append(
+                {
+                    "step": step,
+                    "target_x": round(float(position[0]), 1),
+                    "target_y": round(float(position[1]), 1),
+                    "deployed_detectors": len(any_detectors),
+                    "overlay_detectors": len(overlay_detectors),
+                }
+            )
+    steps = step + 1
+
+    print(format_table(rows, title="\nSampled tracking timeline"))
+    print("\n== Tracking summary ==")
+    print(f"  time steps                      : {steps}")
+    print(f"  detected by any deployed node   : {detected_any / steps:.1%}")
+    print(f"  detected by the NN-SENS overlay : {detected_overlay / steps:.1%}")
+    print(f"  detections relayed to the sink  : {relayed / max(detected_overlay, 1):.1%}")
+    if relayed:
+        print(f"  mean relay hops to the sink     : {total_hops / relayed:.1f}")
+    print(
+        "\nThe overlay has far fewer detectors per position than the full deployment (it keeps\n"
+        "only representatives and relays), yet it still sees the target for most of the path and\n"
+        "every detection it makes can actually be delivered over the connected backbone - the\n"
+        "paper's point: coverage by *connected* nodes is what matters for the sensing task."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works with the legacy editable-install path on
+environments whose setuptools predates PEP 660 editable wheels (no ``wheel``
+package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — reproduction of *Sparse power-efficient topologies for wireless ad
+hoc sensor networks* (Amitabha Bagchi, IPPS 2010).
+
+The library builds the paper's two overlay constructions — ``UDG-SENS(2, λ)``
+on unit-disk graphs and ``NN-SENS(2, k)`` on k-nearest-neighbour graphs — on
+top of from-scratch substrates for geometric random graphs, site percolation
+on Z², distributed (local-information) construction, percolated-mesh routing
+and a sensor-network usage simulator.
+
+Quick start::
+
+    import numpy as np
+    from repro import build_udg_sens, Rect
+
+    net = build_udg_sens(intensity=20.0, window=Rect(0, 0, 40, 40), seed=7)
+    print(net.summary())
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.geometry.primitives import Rect, Disc
+from repro.geometry.poisson import PoissonProcess, poisson_points
+from repro.graphs import build_udg, build_knn
+from repro.core import (
+    NNTileSpec,
+    SensNetwork,
+    UDGTileSpec,
+    build_nn_sens,
+    build_udg_sens,
+    find_nn_k_threshold,
+    find_udg_lambda_threshold,
+    measure_coverage,
+    measure_stretch,
+    power_stretch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Rect",
+    "Disc",
+    "PoissonProcess",
+    "poisson_points",
+    "build_udg",
+    "build_knn",
+    "UDGTileSpec",
+    "NNTileSpec",
+    "SensNetwork",
+    "build_udg_sens",
+    "build_nn_sens",
+    "find_udg_lambda_threshold",
+    "find_nn_k_threshold",
+    "measure_stretch",
+    "measure_coverage",
+    "power_stretch",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Experiment harness shared by the benchmarks, the examples and EXPERIMENTS.md.
+
+* :mod:`repro.analysis.statistics` — summary statistics and confidence
+  intervals for Monte-Carlo estimates.
+* :mod:`repro.analysis.tables` — plain-text / markdown table formatting for
+  the benchmark printers.
+* :mod:`repro.analysis.experiments` — one entry point per experiment in the
+  DESIGN.md index (E01–E12); each returns an :class:`ExperimentResult` whose
+  rows are what the corresponding benchmark prints.
+"""
+
+from repro.analysis.statistics import bootstrap_ci, mean_confidence_interval, summarize
+from repro.analysis.tables import format_table, to_markdown
+from repro.analysis.experiments import (
+    ExperimentResult,
+    experiment_e01_udg_threshold,
+    experiment_e02_nn_threshold,
+    experiment_e03_sparsity,
+    experiment_e04_stretch,
+    experiment_e05_coverage,
+    experiment_e06_distributed_build,
+    experiment_e07_routing,
+    experiment_e08_power,
+    experiment_e09_percolation,
+    experiment_e10_tile_geometry,
+    experiment_e11_continuum,
+    experiment_e12_components,
+)
+
+__all__ = [
+    "bootstrap_ci",
+    "mean_confidence_interval",
+    "summarize",
+    "format_table",
+    "to_markdown",
+    "ExperimentResult",
+    "experiment_e01_udg_threshold",
+    "experiment_e02_nn_threshold",
+    "experiment_e03_sparsity",
+    "experiment_e04_stretch",
+    "experiment_e05_coverage",
+    "experiment_e06_distributed_build",
+    "experiment_e07_routing",
+    "experiment_e08_power",
+    "experiment_e09_percolation",
+    "experiment_e10_tile_geometry",
+    "experiment_e11_continuum",
+    "experiment_e12_components",
+]

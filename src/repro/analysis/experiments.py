@@ -1,0 +1,770 @@
+"""One entry point per experiment of the DESIGN.md index (E01–E12).
+
+Every function returns an :class:`ExperimentResult` whose ``rows`` are the
+table the corresponding benchmark prints and whose ``headline`` carries the
+single numbers that EXPERIMENTS.md compares against the paper.  The default
+parameters are sized so each experiment runs in seconds on a laptop; the
+benchmark files expose knobs for larger runs.
+
+The functions are deliberately thin compositions of the library's public API
+— they are the "scripts" a reader of the paper would write, and double as
+end-to-end integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.statistics import summarize
+from repro.core.coverage import measure_coverage
+from repro.core.nn_sens import build_nn_sens
+from repro.core.power import power_stretch
+from repro.core.stretch import measure_stretch
+from repro.core.thresholds import (
+    estimate_goodness_probability,
+    find_nn_k_threshold,
+    find_udg_lambda_threshold,
+    goodness_curve_nn,
+    goodness_curve_udg,
+)
+from repro.core.tiles_nn import NNTileSpec
+from repro.core.tiles_udg import UDGTileSpec
+from repro.core.udg_sens import build_udg_sens
+from repro.distributed.construct import distributed_build
+from repro.geometry.poisson import poisson_points
+from repro.geometry.primitives import Rect
+from repro.graphs.knn import build_knn
+from repro.graphs.metrics import graph_summary, largest_component_fraction
+from repro.graphs.spanners import (
+    build_euclidean_mst,
+    build_gabriel_graph,
+    build_relative_neighbourhood_graph,
+    build_yao_graph,
+)
+from repro.graphs.udg import build_udg
+from repro.percolation import SITE_PERCOLATION_THRESHOLD
+from repro.percolation.chemical import chemical_stretch_samples
+from repro.percolation.clusters import cluster_statistics, label_clusters, theta_estimate
+from repro.percolation.critical import estimate_critical_probability
+from repro.percolation.lattice import sample_site_percolation
+from repro.routing.baselines import greedy_geographic_route
+from repro.routing.mesh import route_xy_mesh
+from repro.routing.overlay import route_on_overlay
+from repro.simulation.datacollection import run_convergecast
+from repro.simulation.energy import EnergyModel
+
+__all__ = [
+    "ExperimentResult",
+    "experiment_e01_udg_threshold",
+    "experiment_e02_nn_threshold",
+    "experiment_e03_sparsity",
+    "experiment_e04_stretch",
+    "experiment_e05_coverage",
+    "experiment_e06_distributed_build",
+    "experiment_e07_routing",
+    "experiment_e08_power",
+    "experiment_e09_percolation",
+    "experiment_e10_tile_geometry",
+    "experiment_e11_continuum",
+    "experiment_e12_components",
+    "ALL_EXPERIMENTS",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id: the DESIGN.md identifier ("E01" …).
+    title: short human-readable title.
+    paper_reference: the theorem / claim / figure being regenerated.
+    rows: the table rows (list of dicts) the benchmark prints.
+    headline: the scalar(s) EXPERIMENTS.md compares against the paper.
+    notes: free-form remarks (degeneracy warnings, deviations, …).
+    """
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    rows: List[Dict] = field(default_factory=list)
+    headline: Dict[str, float | str | None] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# E01 — UDG tile-goodness threshold (Theorem 2.2)
+# ---------------------------------------------------------------------------
+def experiment_e01_udg_threshold(
+    trials: int = 300,
+    intensities: Sequence[float] | None = None,
+    seed: int = 101,
+) -> ExperimentResult:
+    """P(UDG tile good) vs λ and the resulting λ_s for the repaired spec.
+
+    Also evaluates the paper-parameter spec, whose relay regions are empty, to
+    document that its goodness probability is identically zero (DESIGN.md §2).
+    """
+    rng = np.random.default_rng(seed)
+    spec = UDGTileSpec.default()
+    if intensities is None:
+        intensities = [2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 24, 28, 32]
+    lambda_s, curve = find_udg_lambda_threshold(
+        spec, intensities=intensities, trials=trials, rng=rng
+    )
+    rows = curve.as_rows()
+    for row in rows:
+        row["analytic_p_good"] = spec.analytic_good_probability(row["lambda"], resolution=250)
+
+    paper_spec = UDGTileSpec.paper()
+    paper_probe = estimate_goodness_probability(paper_spec, 10.0, trials=max(50, trials // 4), rng=rng)
+    result = ExperimentResult(
+        experiment_id="E01",
+        title="UDG-SENS tile-goodness threshold",
+        paper_reference="Theorem 2.2 (lambda_c < 1.568)",
+        rows=rows,
+        headline={
+            "lambda_s_measured": lambda_s,
+            "lambda_s_paper": 1.568,
+            "target_probability": SITE_PERCOLATION_THRESHOLD,
+            "paper_spec_p_good_at_lambda_10": paper_probe.probability,
+        },
+    )
+    result.notes.append(
+        "The paper-parameter tile (side 4/3, C0 radius 1/2) has empty relay regions, "
+        "so its goodness probability is 0 at every lambda; the repaired spec "
+        "(C0 radius 1/3) crosses the site-percolation threshold at the lambda_s above. "
+        "The paper's 1.568 is not reproducible from the stated construction (DESIGN.md §2)."
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E02 — NN tile-goodness threshold (Theorem 2.4)
+# ---------------------------------------------------------------------------
+def experiment_e02_nn_threshold(
+    trials: int = 200,
+    k_values: Sequence[int] | None = None,
+    seed: int = 102,
+) -> ExperimentResult:
+    """P(NN tile good) vs k with the paper's a = 0.893, and the resulting k_s."""
+    rng = np.random.default_rng(seed)
+    spec = NNTileSpec.paper()
+    if k_values is None:
+        k_values = list(range(120, 261, 20))
+    k_s, curve = find_nn_k_threshold(spec, k_values=k_values, trials=trials, rng=rng)
+    rows = curve.as_rows()
+    for row in rows:
+        row["analytic_p_good"] = spec.analytic_good_probability(int(row["k"]), resolution=150)
+    return ExperimentResult(
+        experiment_id="E02",
+        title="NN-SENS tile-goodness threshold",
+        paper_reference="Theorem 2.4 (k_c <= 188, a = 0.893)",
+        rows=rows,
+        headline={
+            "k_s_measured": k_s,
+            "k_s_paper": 188,
+            "a": spec.a,
+            "target_probability": SITE_PERCOLATION_THRESHOLD,
+        },
+        notes=[
+            "The paper pairs k = 188 with tile parameter a = 0.893; the measured k_s uses the "
+            "same geometry, so agreement here is the direct check of the Theorem 2.4 numerics."
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# E03 — Sparsity (Property P1)
+# ---------------------------------------------------------------------------
+def experiment_e03_sparsity(
+    udg_intensity: float = 20.0,
+    udg_window_side: float = 24.0,
+    nn_k: int = 188,
+    nn_window_tiles: int = 5,
+    seed: int = 103,
+) -> ExperimentResult:
+    """Degree and edge-count comparison of the SENS overlays against their base graphs."""
+    rows: List[Dict] = []
+
+    udg_net = build_udg_sens(
+        intensity=udg_intensity, window=Rect(0, 0, udg_window_side, udg_window_side), seed=seed
+    )
+    nn_spec = NNTileSpec.default()
+    side = nn_spec.tile_side * nn_window_tiles
+    nn_net = build_nn_sens(k=nn_k, window=Rect(0, 0, side, side), seed=seed + 1, spec=nn_spec)
+
+    for net in (udg_net, nn_net):
+        base = graph_summary(net.base_graph)
+        sens = graph_summary(net.sens.graph)
+        rows.append(
+            {
+                "model": net.model,
+                "graph": base.name,
+                "nodes": base.n_nodes,
+                "edges": base.n_edges,
+                "max_degree": base.max_degree,
+                "mean_degree": round(base.mean_degree, 3),
+                "participation": 1.0,
+            }
+        )
+        rows.append(
+            {
+                "model": net.model,
+                "graph": sens.name,
+                "nodes": sens.n_nodes,
+                "edges": sens.n_edges,
+                "max_degree": sens.max_degree,
+                "mean_degree": round(sens.mean_degree, 3),
+                "participation": round(net.participation_fraction, 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="E03",
+        title="Sparsity of the SENS overlays",
+        paper_reference="Property P1 (max degree 4), Figures 1-2",
+        rows=rows,
+        headline={
+            "udg_sens_max_degree": float(graph_summary(udg_net.sens.graph).max_degree),
+            "nn_sens_max_degree": float(graph_summary(nn_net.sens.graph).max_degree),
+            "paper_max_degree": 4.0,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# E04 — Distance stretch (Claims 2.1/2.3, Theorem 3.2)
+# ---------------------------------------------------------------------------
+def experiment_e04_stretch(
+    intensity: float = 20.0,
+    window_side: float = 30.0,
+    n_pairs: int = 300,
+    alpha: float = 3.0,
+    seed: int = 104,
+) -> ExperimentResult:
+    """Empirical distance stretch of UDG-SENS and the tail P(stretch > alpha) by distance."""
+    rng = np.random.default_rng(seed)
+    net = build_udg_sens(
+        intensity=intensity, window=Rect(0, 0, window_side, window_side), seed=seed,
+        build_base_graph=False,
+    )
+    report = measure_stretch(net, n_pairs=n_pairs, rng=rng)
+    bins = [1, 3, 6, 10, 15, 22, 32]
+    rows = report.tail_by_distance(alpha, bins)
+    return ExperimentResult(
+        experiment_id="E04",
+        title="Distance stretch of UDG-SENS",
+        paper_reference="Claim 2.1 (c_u <= 3), Theorem 3.2, Figures 4/8",
+        rows=rows,
+        headline={
+            "max_stretch": report.max_stretch,
+            "mean_stretch": report.mean_stretch,
+            "q95_stretch": report.quantile(0.95),
+            "tail_probability_alpha": report.tail_probability(alpha),
+            "alpha": alpha,
+            "paper_constant_cu": 3.0,
+        },
+        notes=[
+            "The paper's c_u <= 3 bounds the stretch between representatives of *adjacent* tiles; "
+            "longer routes inherit a constant stretch from the Antal-Pisztora bound. "
+            "The measured max stretch over sampled pairs should stay below a small constant and the "
+            "tail probability should not grow with distance."
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# E05 — Coverage (Theorem 3.3, Corollary 3.4)
+# ---------------------------------------------------------------------------
+def experiment_e05_coverage(
+    intensities: Sequence[float] = (12.0, 20.0, 32.0),
+    window_side: float = 30.0,
+    box_sizes: Sequence[float] | None = None,
+    n_boxes: int = 400,
+    seed: int = 105,
+) -> ExperimentResult:
+    """Empty-box probability of UDG-SENS vs box size, for several densities."""
+    rng = np.random.default_rng(seed)
+    if box_sizes is None:
+        box_sizes = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0]
+    rows: List[Dict] = []
+    decay_rates: Dict[str, float] = {}
+    for lam in intensities:
+        net = build_udg_sens(
+            intensity=float(lam), window=Rect(0, 0, window_side, window_side),
+            seed=seed + int(lam), build_base_graph=False,
+        )
+        sens_points = net.sens.graph.points
+        report = measure_coverage(
+            sens_points, net.tiling.window, box_sizes, n_boxes=n_boxes, rng=rng
+        )
+        decay_rates[f"decay_rate_lambda_{lam:g}"] = report.decay_rate
+        for row in report.as_rows():
+            row["lambda"] = float(lam)
+            rows.append(row)
+    return ExperimentResult(
+        experiment_id="E05",
+        title="Coverage of UDG-SENS (empty-box probability)",
+        paper_reference="Theorem 3.3, Corollary 3.4",
+        rows=rows,
+        headline=decay_rates,
+        notes=[
+            "P(empty box) should decay (roughly exponentially) with the box side and the decay "
+            "should be at least as sharp for larger lambda (the paper's monotonicity claim)."
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# E06 — Distributed construction (Figure 7, Property P4)
+# ---------------------------------------------------------------------------
+def experiment_e06_distributed_build(
+    intensity: float = 25.0,
+    window_sides: Sequence[float] = (8.0, 12.0, 16.0, 20.0),
+    seed: int = 106,
+) -> ExperimentResult:
+    """Message/round cost of the Figure-7 algorithm and agreement with the centralized builder."""
+    rows: List[Dict] = []
+    all_match = True
+    for side in window_sides:
+        window = Rect(0, 0, float(side), float(side))
+        net = build_udg_sens(intensity=intensity, window=window, seed=seed, build_base_graph=False)
+        result = distributed_build(net.points, net.spec, window)
+        match = result.matches_overlay(net.overlay) and result.matches_classification(
+            net.classification
+        )
+        all_match &= match
+        rows.append(
+            {
+                "window_side": float(side),
+                "n_nodes": len(net.points),
+                "n_tiles": net.tiling.n_tiles,
+                "rounds": result.stats.rounds,
+                "messages": result.stats.messages_sent,
+                "messages_per_node": round(result.stats.messages_sent / max(len(net.points), 1), 2),
+                "matches_centralized": match,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="E06",
+        title="Distributed construction of UDG-SENS",
+        paper_reference="Figure 7, Property P4",
+        rows=rows,
+        headline={"all_match_centralized": all_match, "rounds": rows[-1]["rounds"] if rows else None},
+        notes=[
+            "Rounds must stay constant as the deployment grows (locality), messages grow linearly "
+            "with the node count, and the produced overlay must equal the centralized one."
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# E07 — Routing on the percolated mesh and the overlay (Figure 9)
+# ---------------------------------------------------------------------------
+def experiment_e07_routing(
+    p_values: Sequence[float] = (0.65, 0.70, 0.80, 0.90),
+    lattice_size: int = 60,
+    n_pairs: int = 40,
+    overlay_intensity: float = 20.0,
+    overlay_window_side: float = 30.0,
+    seed: int = 107,
+) -> ExperimentResult:
+    """Probe and detour overhead of the Figure-9 router vs the open-site density."""
+    rng = np.random.default_rng(seed)
+    rows: List[Dict] = []
+    for p in p_values:
+        config = sample_site_percolation(lattice_size, lattice_size, float(p), rng)
+        labels = label_clusters(config)
+        sizes = np.bincount(labels[labels >= 0]) if (labels >= 0).any() else np.zeros(1, int)
+        giant = int(np.argmax(sizes))
+        coords = np.column_stack(np.nonzero(labels == giant))
+        if len(coords) < 2:
+            continue
+        probe_ratios, detours, successes = [], [], 0
+        for _ in range(n_pairs):
+            a, b = coords[rng.integers(0, len(coords), size=2)]
+            src, tgt = (int(a[0]), int(a[1])), (int(b[0]), int(b[1]))
+            if src == tgt:
+                continue
+            result = route_xy_mesh(config, src, tgt)
+            successes += result.success
+            if result.success and result.l1_distance > 0:
+                probe_ratios.append(result.probe_ratio)
+                detours.append(result.detour_ratio)
+        rows.append(
+            {
+                "p_open": float(p),
+                "pairs": n_pairs,
+                "success_rate": successes / n_pairs,
+                "mean_probes_per_l1": float(np.mean(probe_ratios)) if probe_ratios else float("nan"),
+                "mean_detour_ratio": float(np.mean(detours)) if detours else float("nan"),
+                "max_detour_ratio": float(np.max(detours)) if detours else float("nan"),
+            }
+        )
+
+    # Routing on an actual UDG-SENS overlay.
+    net = build_udg_sens(
+        intensity=overlay_intensity,
+        window=Rect(0, 0, overlay_window_side, overlay_window_side),
+        seed=seed,
+        build_base_graph=False,
+    )
+    good = [t for t in net.classification.good_tiles() if t in net.sens.tile_representatives]
+    overlay_stretches, overlay_success = [], 0
+    n_overlay_pairs = min(n_pairs, max(len(good) - 1, 0))
+    for _ in range(n_overlay_pairs):
+        ta, tb = (good[i] for i in rng.integers(0, len(good), size=2))
+        if ta == tb:
+            continue
+        try:
+            res = route_on_overlay(net, ta, tb)
+        except ValueError:
+            continue
+        overlay_success += res.success
+        if res.success and np.isfinite(res.stretch):
+            overlay_stretches.append(res.stretch)
+    rows.append(
+        {
+            "p_open": round(net.fraction_good_tiles, 3),
+            "pairs": n_overlay_pairs,
+            "success_rate": overlay_success / max(n_overlay_pairs, 1),
+            "mean_probes_per_l1": float("nan"),
+            "mean_detour_ratio": float(np.mean(overlay_stretches)) if overlay_stretches else float("nan"),
+            "max_detour_ratio": float(np.max(overlay_stretches)) if overlay_stretches else float("nan"),
+            "graph": "UDG-SENS overlay (stretch = route length / straight line)",
+        }
+    )
+    return ExperimentResult(
+        experiment_id="E07",
+        title="Routing on the percolated mesh and the SENS overlay",
+        paper_reference="Figure 9, Angel et al. routing",
+        rows=rows,
+        headline={
+            "mesh_probe_overhead_at_p0.7": next(
+                (r["mean_probes_per_l1"] for r in rows if r.get("p_open") == 0.70), None
+            ),
+        },
+        notes=[
+            "Probe overhead per unit of L1 distance should stay bounded by a constant as p grows "
+            "above the threshold; the overlay routes inherit the mesh behaviour through the coupling."
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# E08 — Power efficiency (Li–Wan–Wang; paper §1)
+# ---------------------------------------------------------------------------
+def experiment_e08_power(
+    intensity: float = 10.0,
+    window_side: float = 12.0,
+    beta_values: Sequence[float] = (2.0, 3.0, 4.0),
+    n_pairs: int = 60,
+    convergecast_rounds: int = 3,
+    seed: int = 108,
+) -> ExperimentResult:
+    """Power stretch of UDG-SENS and convergecast energy vs baseline topologies."""
+    rng = np.random.default_rng(seed)
+    net = build_udg_sens(intensity=intensity, window=Rect(0, 0, window_side, window_side), seed=seed)
+    rows: List[Dict] = []
+    for beta in beta_values:
+        report = power_stretch(net, beta=float(beta), n_pairs=n_pairs, rng=rng)
+        rows.append(
+            {
+                "measurement": "power_stretch",
+                "topology": "UDG-SENS vs UDG",
+                "beta": float(beta),
+                "max_ratio": report.max_ratio,
+                "mean_ratio": report.mean_ratio,
+                "delta_beta_bound": report.distance_stretch_bound,
+                "within_bound": report.within_bound(),
+            }
+        )
+
+    # Convergecast energy over the SENS overlay and over baseline spanners built
+    # on the same deployment (restricted to UDG links where applicable).
+    model = EnergyModel(beta=2.0)
+    sens_graph = net.sens.graph
+    sink_sens = int(np.argmin(np.linalg.norm(sens_graph.points - sens_graph.points.mean(axis=0), axis=1)))
+    topologies = {"UDG-SENS": sens_graph}
+    base_pts = net.points
+    udg_edges_arr = net.base_graph.edges
+    topologies["UDG (all nodes)"] = net.base_graph
+    topologies["Gabriel∩UDG"] = build_gabriel_graph(base_pts, base_edges=udg_edges_arr)
+    topologies["RNG∩UDG"] = build_relative_neighbourhood_graph(base_pts, base_edges=udg_edges_arr)
+    topologies["Yao(8)∩UDG"] = build_yao_graph(base_pts, cones=8, radius=1.0)
+    for name, graph in topologies.items():
+        if graph.n_nodes == 0:
+            continue
+        sink = sink_sens if name == "UDG-SENS" else int(
+            np.argmin(np.linalg.norm(graph.points - graph.points.mean(axis=0), axis=1))
+        )
+        result = run_convergecast(graph, sink=sink, rounds=convergecast_rounds, energy_model=model)
+        rows.append(
+            {
+                "measurement": "convergecast",
+                "topology": name,
+                "beta": model.beta,
+                "nodes": graph.n_nodes,
+                "edges": graph.n_edges,
+                "delivered": result.delivered,
+                "energy_per_delivered_uJ": result.energy_per_delivered * 1e6,
+                "max_node_energy_uJ": result.max_node_energy * 1e6,
+                "mean_hops": round(result.mean_hops, 2),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="E08",
+        title="Power stretch and convergecast energy",
+        paper_reference="Section 1 power-efficiency claim; Li-Wan-Wang lemma",
+        rows=rows,
+        headline={
+            "max_power_stretch_beta2": rows[0]["max_ratio"] if rows else None,
+            "bound_beta2": rows[0]["delta_beta_bound"] if rows else None,
+        },
+        notes=[
+            "delta^beta is the Li-Wan-Wang reference for *spanning* spanners; the SENS overlay "
+            "keeps only a subset of nodes, so its measured ratio can exceed that reference while "
+            "still being a small constant (see repro.core.power). The convergecast rows show the "
+            "operational trade-off: the SENS overlay uses a small fraction of the nodes while "
+            "keeping per-packet energy within a constant factor of the dense topologies."
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# E09 — Percolation substrate validation (Lemma 1.1, p_c bracket)
+# ---------------------------------------------------------------------------
+def experiment_e09_percolation(
+    box_size: int = 40,
+    trials: int = 20,
+    theta_ps: Sequence[float] = (0.55, 0.60, 0.65, 0.70, 0.80),
+    chemical_ps: Sequence[float] = (0.65, 0.75, 0.85),
+    n_chemical_pairs: int = 60,
+    seed: int = 109,
+) -> ExperimentResult:
+    """p_c estimate, θ(p) curve and chemical-distance stretch of the site-percolation substrate."""
+    rng = np.random.default_rng(seed)
+    p_c_hat = estimate_critical_probability(box_size=box_size, trials=trials, rng=rng)
+    rows: List[Dict] = []
+    for p in theta_ps:
+        config = sample_site_percolation(80, 80, float(p), rng)
+        stats = cluster_statistics(config)
+        rows.append(
+            {
+                "measurement": "theta",
+                "p": float(p),
+                "theta_estimate": round(theta_estimate(config), 4),
+                "largest_cluster_fraction": round(stats.largest_fraction, 4),
+                "spanning": stats.spanning,
+            }
+        )
+    for p in chemical_ps:
+        config = sample_site_percolation(80, 80, float(p), rng)
+        samples = chemical_stretch_samples(config, n_pairs=n_chemical_pairs, rng=rng, min_l1=5)
+        finite = [s.stretch for s in samples if np.isfinite(s.stretch)]
+        rows.append(
+            {
+                "measurement": "chemical_stretch",
+                "p": float(p),
+                "pairs": len(samples),
+                "mean_stretch": float(np.mean(finite)) if finite else float("nan"),
+                "max_stretch": float(np.max(finite)) if finite else float("nan"),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="E09",
+        title="Site-percolation substrate validation",
+        paper_reference="Lemma 1.1 (Antal-Pisztora), p_c in (0.592, 0.593)",
+        rows=rows,
+        headline={
+            "p_c_estimate": p_c_hat,
+            "p_c_literature": SITE_PERCOLATION_THRESHOLD,
+        },
+        notes=[
+            "theta(p) must increase monotonically in p above the threshold and the chemical "
+            "stretch must decrease towards 1 as p -> 1 (the behaviour Theorem 3.2 inherits)."
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# E10 — Tile and region geometry (Figures 1, 3, 5)
+# ---------------------------------------------------------------------------
+def experiment_e10_tile_geometry(
+    udg_lambdas: Sequence[float] = (10.0, 20.0),
+    trials: int = 150,
+    seed: int = 110,
+) -> ExperimentResult:
+    """Region areas, spec feasibility diagnostics and analytic-vs-MC goodness probabilities."""
+    rng = np.random.default_rng(seed)
+    rows: List[Dict] = []
+    specs = {
+        "UDG paper (degenerate)": UDGTileSpec.paper(),
+        "UDG repaired default": UDGTileSpec.default(),
+        "NN paper a=0.893": NNTileSpec.paper(),
+    }
+    for name, spec in specs.items():
+        diag = spec.validate(resolution=200)
+        for region, area in diag.region_areas.items():
+            rows.append(
+                {
+                    "spec": name,
+                    "region": region,
+                    "area": round(area, 4),
+                    "feasible_spec": diag.feasible,
+                    "empty": region in diag.empty_regions,
+                }
+            )
+    # Analytic vs Monte-Carlo goodness for the repaired UDG spec.
+    spec = UDGTileSpec.default()
+    comparison_rows = []
+    for lam in udg_lambdas:
+        mc = estimate_goodness_probability(spec, float(lam), trials=trials, rng=rng)
+        comparison_rows.append(
+            {
+                "spec": "UDG repaired default",
+                "region": f"(goodness @ lambda={lam:g})",
+                "area": float("nan"),
+                "feasible_spec": True,
+                "empty": False,
+                "p_good_mc": round(mc.probability, 4),
+                "p_good_analytic": round(spec.analytic_good_probability(float(lam)), 4),
+            }
+        )
+    rows.extend(comparison_rows)
+    paper_diag = UDGTileSpec.paper().validate(resolution=200)
+    return ExperimentResult(
+        experiment_id="E10",
+        title="Tile and region geometry",
+        paper_reference="Figures 1, 3, 5 and the Section 2 constructions",
+        rows=rows,
+        headline={
+            "paper_udg_spec_feasible": paper_diag.feasible,
+            "paper_udg_empty_regions": ", ".join(paper_diag.empty_regions) or "none",
+        },
+        notes=list(paper_diag.notes),
+    )
+
+
+# ---------------------------------------------------------------------------
+# E11 — Continuum percolation context (largest component of the base graphs)
+# ---------------------------------------------------------------------------
+def experiment_e11_continuum(
+    lambdas: Sequence[float] = (0.4, 0.8, 1.2, 1.6, 2.4, 3.2),
+    ks: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    window_side: float = 25.0,
+    n_points_nn: int = 600,
+    seed: int = 111,
+) -> ExperimentResult:
+    """Largest-component fraction of raw UDG(2, λ) vs λ and NN(2, k) vs k."""
+    rng = np.random.default_rng(seed)
+    window = Rect(0, 0, window_side, window_side)
+    rows: List[Dict] = []
+    for lam in lambdas:
+        pts = poisson_points(window, float(lam), rng)
+        if len(pts) < 2:
+            continue
+        graph = build_udg(pts, radius=1.0)
+        rows.append(
+            {
+                "model": "UDG",
+                "parameter": float(lam),
+                "n_nodes": len(pts),
+                "largest_component_fraction": round(largest_component_fraction(graph), 4),
+                "mean_degree": round(graph_summary(graph).mean_degree, 3),
+            }
+        )
+    for k in ks:
+        pts = window.sample_uniform(n_points_nn, rng)
+        graph = build_knn(pts, k=int(k))
+        rows.append(
+            {
+                "model": "NN",
+                "parameter": float(k),
+                "n_nodes": len(pts),
+                "largest_component_fraction": round(largest_component_fraction(graph), 4),
+                "mean_degree": round(graph_summary(graph).mean_degree, 3),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Continuum-percolation context for the base graphs",
+        paper_reference="Section 1.2 (Hall / Kong-Yeh / Haggstrom-Meester bounds)",
+        rows=rows,
+        headline={
+            "udg_giant_emerges_between": "lambda in [0.8, 1.6] (literature: lambda_c ~ 1.44)",
+            "nn_giant_emerges_between": "k in [2, 3] (literature: k_c(2) = 3 conjectured)",
+        },
+        notes=[
+            "The constructions' thresholds (E01/E02) sit far above the continuum-percolation "
+            "critical points shown here — the price paid for the constructive coupling, "
+            "exactly as the paper's conclusion discusses."
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# E12 — Small components / switched-off nodes (paper §4.1 remark)
+# ---------------------------------------------------------------------------
+def experiment_e12_components(
+    intensities: Sequence[float] = (14.0, 18.0, 24.0, 32.0),
+    window_side: float = 24.0,
+    seed: int = 112,
+) -> ExperimentResult:
+    """Fraction of overlay nodes outside the giant component as the density grows."""
+    rows: List[Dict] = []
+    for lam in intensities:
+        net = build_udg_sens(
+            intensity=float(lam), window=Rect(0, 0, window_side, window_side),
+            seed=seed + int(lam), build_base_graph=False,
+        )
+        overlay_nodes = net.overlay.n_nodes
+        sens_nodes = net.sens.n_nodes
+        rows.append(
+            {
+                "lambda": float(lam),
+                "fraction_good_tiles": round(net.fraction_good_tiles, 4),
+                "overlay_nodes": overlay_nodes,
+                "sens_nodes": sens_nodes,
+                "outside_giant_fraction": round(1.0 - sens_nodes / overlay_nodes, 4)
+                if overlay_nodes
+                else float("nan"),
+                "deployed_nodes": net.n_deployed,
+                "switched_off_fraction": round(net.unused_fraction, 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="E12",
+        title="Overlay components and switched-off nodes",
+        paper_reference="Section 4.1 (small components turn themselves off)",
+        rows=rows,
+        headline={
+            "outside_giant_fraction_at_max_lambda": rows[-1]["outside_giant_fraction"] if rows else None,
+        },
+        notes=[
+            "As lambda grows the good-tile fraction approaches 1 and the share of overlay nodes "
+            "stranded outside the giant component shrinks; the share of *deployed* nodes that can "
+            "switch off stays large — that is the paper's headline saving."
+        ],
+    )
+
+
+#: Registry used by the EXPERIMENTS.md generator and the meta-tests.
+ALL_EXPERIMENTS = {
+    "E01": experiment_e01_udg_threshold,
+    "E02": experiment_e02_nn_threshold,
+    "E03": experiment_e03_sparsity,
+    "E04": experiment_e04_stretch,
+    "E05": experiment_e05_coverage,
+    "E06": experiment_e06_distributed_build,
+    "E07": experiment_e07_routing,
+    "E08": experiment_e08_power,
+    "E09": experiment_e09_percolation,
+    "E10": experiment_e10_tile_geometry,
+    "E11": experiment_e11_continuum,
+    "E12": experiment_e12_components,
+}

@@ -1,0 +1,99 @@
+"""Summary statistics and confidence intervals for Monte-Carlo estimates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["SummaryStats", "summarize", "mean_confidence_interval", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n": float(self.n),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "q25": self.q25,
+            "median": self.median,
+            "q75": self.q75,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` for a non-empty sample."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return SummaryStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        q25=float(np.quantile(arr, 0.25)),
+        median=float(np.median(arr)),
+        q75=float(np.quantile(arr, 0.75)),
+        maximum=float(arr.max()),
+    )
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """``(mean, lower, upper)`` using the Student-t interval.
+
+    For a single observation the interval degenerates to the point estimate.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must lie in (0, 1)")
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot build an interval from an empty sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, mean, mean
+    sem = float(arr.std(ddof=1) / np.sqrt(arr.size))
+    half = float(stats.t.ppf(0.5 + confidence / 2.0, arr.size - 1)) * sem
+    return mean, mean - half, mean + half
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float, float]:
+    """``(estimate, lower, upper)`` via the percentile bootstrap."""
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must lie in (0, 1)")
+    if n_resamples < 10:
+        raise ValueError("n_resamples must be at least 10")
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = rng or np.random.default_rng()
+    estimate = float(statistic(arr))
+    resampled = np.empty(n_resamples)
+    for i in range(n_resamples):
+        sample = arr[rng.integers(0, arr.size, size=arr.size)]
+        resampled[i] = statistic(sample)
+    alpha = (1.0 - confidence) / 2.0
+    return estimate, float(np.quantile(resampled, alpha)), float(np.quantile(resampled, 1 - alpha))

@@ -1,0 +1,74 @@
+"""Plain-text and markdown table formatting for the benchmark printers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "to_markdown"]
+
+
+def _format_value(value, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return format(value, float_format)
+    return str(value)
+
+
+def _collect_columns(rows: Sequence[Mapping]) -> list[str]:
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(str(key))
+    return columns
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str] | None = None,
+    float_format: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render rows (list of dicts) as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else _collect_columns(rows)
+    rendered = [
+        [_format_value(row.get(col, ""), float_format) for col in cols] for row in rows
+    ]
+    widths = [
+        max(len(col), max(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
+    return "\n".join(lines)
+
+
+def to_markdown(
+    rows: Sequence[Mapping],
+    columns: Sequence[str] | None = None,
+    float_format: str = ".4g",
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else _collect_columns(rows)
+    lines = ["| " + " | ".join(cols) + " |", "| " + " | ".join("---" for _ in cols) + " |"]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_value(row.get(col, ""), float_format) for col in cols) + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""Tile classification: good / bad tiles and point selection.
+
+This module turns a point set plus a tile specification into the data the
+overlay builder needs:
+
+* which tiles are **good** (every required region occupied, occupancy cap
+  respected — paper §2.1/§2.2),
+* which point acts as the tile's **representative**, and
+* which point acts as the **relay** for each relay region.
+
+Point selection mirrors the paper's leader election deterministically: within
+a region the point closest to the region's nominal anchor wins, ties broken
+by point index.  (The distributed algorithm in :mod:`repro.distributed`
+elects leaders by exchanging messages and is cross-checked against this
+centralized rule.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.tiles_base import TileSpec
+from repro.core.tiling import TileIndex, Tiling
+from repro.geometry.primitives import as_points
+from repro.percolation.lattice import LatticeConfiguration
+
+__all__ = ["TileRecord", "TileClassification", "classify_tiles", "select_region_leader"]
+
+
+def select_region_leader(
+    points: np.ndarray, candidate_indices: np.ndarray, anchor: np.ndarray
+) -> int:
+    """Pick the region leader: closest to ``anchor``, ties broken by index.
+
+    Parameters
+    ----------
+    points:
+        Global ``(n, 2)`` coordinate array.
+    candidate_indices:
+        Global indices of the points lying in the region (non-empty).
+    anchor:
+        The region's nominal anchor in *global* coordinates.
+    """
+    cand = np.asarray(candidate_indices, dtype=np.int64)
+    if cand.size == 0:
+        raise ValueError("cannot elect a leader in an empty region")
+    coords = as_points(points)[cand]
+    d2 = np.sum((coords - np.asarray(anchor, dtype=np.float64)) ** 2, axis=1)
+    # lexsort: primary key distance, secondary key the global index.
+    order = np.lexsort((cand, d2))
+    return int(cand[order[0]])
+
+
+@dataclass(frozen=True)
+class TileRecord:
+    """Classification outcome for one tile.
+
+    Attributes
+    ----------
+    tile:
+        Tile index ``(col, row)``.
+    point_indices:
+        Global indices of the points inside the tile.
+    region_members:
+        Mapping region name → global indices of the points in that region.
+    good:
+        Whether the tile satisfies the goodness condition.
+    failure_reason:
+        Empty string for good tiles, otherwise ``"overcrowded"`` or
+        ``"missing:<region>"`` (first missing region in spec order).
+    representative:
+        Global index of the elected representative point (``None`` for bad tiles).
+    relays:
+        Mapping relay-region name → global index of the elected relay
+        (empty for bad tiles).
+    """
+
+    tile: TileIndex
+    point_indices: np.ndarray
+    region_members: Mapping[str, np.ndarray]
+    good: bool
+    failure_reason: str
+    representative: int | None
+    relays: Mapping[str, int]
+
+
+@dataclass
+class TileClassification:
+    """Classification of every tile of a deployment.
+
+    This object is the bridge between the continuum side (points, regions) and
+    the discrete side (site percolation): :meth:`to_lattice` yields the
+    coupled :class:`~repro.percolation.lattice.LatticeConfiguration` whose open
+    sites are exactly the good tiles.
+    """
+
+    tiling: Tiling
+    spec: TileSpec
+    k: int | None
+    records: Dict[TileIndex, TileRecord]
+
+    # -- aggregate views --------------------------------------------------------
+    @property
+    def good_mask(self) -> np.ndarray:
+        """Boolean ``(n_rows, n_cols)`` array of good tiles (row = y index)."""
+        mask = np.zeros(self.tiling.shape, dtype=bool)
+        for tile, record in self.records.items():
+            if record.good:
+                row, col = self.tiling.lattice_site(tile)
+                mask[row, col] = True
+        return mask
+
+    @property
+    def n_good(self) -> int:
+        return sum(1 for r in self.records.values() if r.good)
+
+    @property
+    def fraction_good(self) -> float:
+        """Fraction of in-grid tiles that are good — the empirical P(tile good)."""
+        total = self.tiling.n_tiles
+        return self.n_good / total if total else 0.0
+
+    def good_tiles(self) -> list[TileIndex]:
+        """Tile indices of all good tiles (row-major order)."""
+        return [t for t in self.tiling.tiles() if self.records[t].good]
+
+    def record(self, tile: TileIndex) -> TileRecord:
+        return self.records[tile]
+
+    def representative_of(self, tile: TileIndex) -> int | None:
+        """Global point index of the representative of ``tile`` (None for bad tiles)."""
+        return self.records[tile].representative
+
+    def failure_histogram(self) -> Dict[str, int]:
+        """Count of bad tiles by failure reason (useful in threshold diagnostics)."""
+        hist: Dict[str, int] = {}
+        for record in self.records.values():
+            if not record.good:
+                hist[record.failure_reason] = hist.get(record.failure_reason, 0) + 1
+        return hist
+
+    def to_lattice(self, wrap: bool = False) -> LatticeConfiguration:
+        """The coupled site-percolation configuration (open site ⇔ good tile)."""
+        return LatticeConfiguration(self.good_mask, wrap=wrap)
+
+
+def classify_tiles(
+    points: np.ndarray,
+    tiling: Tiling,
+    spec: TileSpec,
+    k: int | None = None,
+) -> TileClassification:
+    """Classify every tile of ``tiling`` for the given deployment.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` global point coordinates.
+    tiling:
+        The square tiling of the deployment window; its ``tile_side`` must
+        equal ``spec.tile_side`` (a mismatch is almost always a bug, so it is
+        rejected).
+    spec:
+        Tile geometry (:class:`~repro.core.tiles_udg.UDGTileSpec` or
+        :class:`~repro.core.tiles_nn.NNTileSpec`).
+    k:
+        The NN parameter k (required by NN specs for the occupancy cap,
+        ignored by UDG specs).
+    """
+    pts = as_points(points)
+    if abs(tiling.tile_side - spec.tile_side) > 1e-9:
+        raise ValueError(
+            f"tiling tile_side {tiling.tile_side} does not match spec tile_side {spec.tile_side}"
+        )
+    cap = spec.max_points_per_tile(k)
+    groups = tiling.group_points_by_tile(pts)
+    required = tuple(spec.required_regions)
+    relay_regions = tuple(name for name in spec.region_names if name != spec.representative_region)
+
+    records: Dict[TileIndex, TileRecord] = {}
+    for tile in tiling.tiles():
+        member_idx = groups.get(tile, np.zeros(0, dtype=np.int64))
+        center = tiling.tile_center(tile)
+        local = pts[member_idx] - center if member_idx.size else np.zeros((0, 2))
+        masks = spec.classify_points(local) if member_idx.size else {
+            name: np.zeros(0, dtype=bool) for name in spec.region_names
+        }
+        region_members = {name: member_idx[mask] for name, mask in masks.items()}
+
+        failure = ""
+        if cap is not None and member_idx.size > cap:
+            failure = "overcrowded"
+        else:
+            for name in required:
+                if region_members.get(name, np.zeros(0)).size == 0:
+                    failure = f"missing:{name}"
+                    break
+
+        if failure:
+            records[tile] = TileRecord(
+                tile=tile,
+                point_indices=member_idx,
+                region_members=region_members,
+                good=False,
+                failure_reason=failure,
+                representative=None,
+                relays={},
+            )
+            continue
+
+        rep = select_region_leader(
+            pts,
+            region_members[spec.representative_region],
+            center + spec.region_anchor(spec.representative_region),
+        )
+        relays = {
+            name: select_region_leader(pts, region_members[name], center + spec.region_anchor(name))
+            for name in relay_regions
+        }
+        records[tile] = TileRecord(
+            tile=tile,
+            point_indices=member_idx,
+            region_members=region_members,
+            good=True,
+            failure_reason="",
+            representative=rep,
+            relays=relays,
+        )
+    return TileClassification(tiling=tiling, spec=spec, k=k, records=records)

@@ -1,0 +1,104 @@
+"""High-level builder for ``NN-SENS(2, k)`` (paper §2.2).
+
+:func:`build_nn_sens` mirrors :func:`repro.core.udg_sens.build_udg_sens` for
+the k-nearest-neighbour model.  The NN model is scale-invariant in the point
+density, so the intensity defaults to 1 and the tile parameter ``a`` of the
+spec controls the geometry (the paper's Theorem 2.4 pairs k = 188 with
+a = 0.893).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.goodness import classify_tiles
+from repro.core.overlay import build_overlay
+from repro.core.result import SensNetwork
+from repro.core.tiles_nn import NNTileSpec
+from repro.core.tiling import Tiling
+from repro.geometry.poisson import poisson_points
+from repro.geometry.primitives import Rect, as_points
+from repro.graphs.knn import build_knn
+
+__all__ = ["build_nn_sens"]
+
+
+def build_nn_sens(
+    points: np.ndarray | None = None,
+    *,
+    k: int,
+    intensity: float = 1.0,
+    window: Rect | None = None,
+    spec: NNTileSpec | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    build_base_graph: bool = True,
+) -> SensNetwork:
+    """Build ``NN-SENS(2, k)``.
+
+    Parameters
+    ----------
+    points:
+        Explicit deployment coordinates; sampled from a Poisson process of the
+        given ``intensity`` on ``window`` when omitted.
+    k:
+        The nearest-neighbour parameter (the paper's threshold is k ≥ 188).
+    intensity:
+        Poisson intensity used when sampling (the NN graph itself is
+        scale-invariant; 1.0 matches the convention of the paper's numbers).
+    window:
+        Deployment window (required when sampling; inferred from the points
+        otherwise).
+    spec:
+        Tile geometry; defaults to the paper's a = 0.893.
+    rng, seed:
+        Randomness control for the sampling step.
+    build_base_graph:
+        Set to ``False`` to skip the (comparatively expensive) k-NN base graph.
+
+    Returns
+    -------
+    SensNetwork
+        The assembled network; ``result.sens`` is NN-SENS.
+    """
+    if k < 1:
+        raise ValueError("k must be a positive integer")
+    spec = spec or NNTileSpec.default()
+    if points is None:
+        if window is None:
+            raise ValueError("either points or a window to sample on must be provided")
+        rng = rng or np.random.default_rng(seed)
+        points = poisson_points(window, intensity, rng)
+    else:
+        points = as_points(points)
+        if window is None:
+            if len(points) == 0:
+                raise ValueError("cannot infer a window from an empty point set")
+            window = Rect(
+                float(points[:, 0].min()),
+                float(points[:, 1].min()),
+                float(points[:, 0].max()),
+                float(points[:, 1].max()),
+            )
+
+    tiling = Tiling(window=window, tile_side=spec.tile_side)
+    classification = classify_tiles(points, tiling, spec, k=k)
+    overlay = build_overlay(points, classification, name="NN-SENS")
+    sens = overlay.largest_component()
+
+    if build_base_graph:
+        base = build_knn(points, k=k, name=f"NN(k={k})")
+    else:
+        base = build_knn(np.zeros((0, 2)), k=k, name=f"NN(k={k}, skipped)")
+
+    return SensNetwork(
+        model="nn",
+        points=points,
+        base_graph=base,
+        tiling=tiling,
+        spec=spec,
+        k=k,
+        classification=classification,
+        overlay=overlay,
+        sens=sens,
+    )

@@ -1,0 +1,113 @@
+"""The :class:`SensNetwork` result object returned by the high-level builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.goodness import TileClassification
+from repro.core.overlay import OverlayGraph
+from repro.core.tiles_base import TileSpec
+from repro.core.tiling import Tiling
+from repro.graphs.base import GeometricGraph
+from repro.percolation.lattice import LatticeConfiguration
+
+__all__ = ["SensNetwork"]
+
+
+@dataclass
+class SensNetwork:
+    """Everything produced by one SENS construction run.
+
+    Attributes
+    ----------
+    model:
+        ``"udg"`` or ``"nn"``.
+    points:
+        The full deployment (``(n, 2)`` coordinates).
+    base_graph:
+        The base interconnection structure — ``UDG(2, λ)`` or ``NN(2, k)`` on
+        the deployment.
+    tiling, spec, k:
+        Tiling geometry, tile specification and (for NN) the parameter k.
+    classification:
+        Per-tile goodness and elected points.
+    overlay:
+        The full representative/relay overlay (possibly several components).
+    sens:
+        The largest connected component of the overlay — this is
+        ``UDG-SENS(2, λ)`` / ``NN-SENS(2, k)`` as the paper defines it.
+    """
+
+    model: str
+    points: np.ndarray
+    base_graph: GeometricGraph
+    tiling: Tiling
+    spec: TileSpec
+    k: int | None
+    classification: TileClassification
+    overlay: OverlayGraph
+    sens: OverlayGraph
+
+    # -- headline quantities --------------------------------------------------
+    @property
+    def n_deployed(self) -> int:
+        """Number of deployed sensor nodes."""
+        return len(self.points)
+
+    @property
+    def n_overlay_nodes(self) -> int:
+        """Nodes participating in the overlay (any component)."""
+        return self.overlay.n_nodes
+
+    @property
+    def n_sens_nodes(self) -> int:
+        """Nodes in the SENS network (largest overlay component)."""
+        return self.sens.n_nodes
+
+    @property
+    def fraction_good_tiles(self) -> float:
+        return self.classification.fraction_good
+
+    @property
+    def participation_fraction(self) -> float:
+        """Fraction of deployed nodes that ended up in the SENS network.
+
+        The paper's guiding insight is that this can be far below 1 while the
+        sensing function is still served; the sparsity experiments report it.
+        """
+        return self.n_sens_nodes / self.n_deployed if self.n_deployed else 0.0
+
+    @property
+    def unused_fraction(self) -> float:
+        """Fraction of deployed nodes that can switch off (not in SENS)."""
+        return 1.0 - self.participation_fraction
+
+    def lattice(self, wrap: bool = False) -> LatticeConfiguration:
+        """The coupled site-percolation configuration (open ⇔ good tile)."""
+        return self.classification.to_lattice(wrap=wrap)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary dictionary used by the experiment tables."""
+        from repro.graphs.metrics import degree_statistics, largest_component_fraction
+
+        base_deg = degree_statistics(self.base_graph)
+        sens_deg = degree_statistics(self.sens.graph)
+        return {
+            "model": self.model,
+            "n_deployed": float(self.n_deployed),
+            "n_tiles": float(self.tiling.n_tiles),
+            "fraction_good_tiles": self.fraction_good_tiles,
+            "n_overlay_nodes": float(self.n_overlay_nodes),
+            "n_sens_nodes": float(self.n_sens_nodes),
+            "participation_fraction": self.participation_fraction,
+            "base_mean_degree": base_deg["mean"],
+            "base_max_degree": base_deg["max"],
+            "sens_mean_degree": sens_deg["mean"],
+            "sens_max_degree": sens_deg["max"],
+            "base_largest_component_fraction": largest_component_fraction(self.base_graph),
+            "base_edges": float(self.base_graph.n_edges),
+            "sens_edges": float(self.sens.graph.n_edges),
+        }

@@ -1,0 +1,193 @@
+"""Distance-stretch measurement (property P2, Claims 2.1/2.3, Theorem 3.2).
+
+The paper's stretch statement compares the graph distance *inside the SENS
+overlay* with the Euclidean distance between two points (the Euclidean
+distance lower-bounds the base-graph distance for both UDG and NN, so a
+constant Euclidean stretch implies a constant stretch against the base
+graph).  Theorem 3.2 additionally says that the probability of exceeding a
+fixed stretch α decays exponentially in the lattice distance between the
+tiles — inherited from the Antal–Pisztora chemical-distance bound through the
+coupling.
+
+:func:`measure_stretch` samples pairs of tile representatives inside the SENS
+component and reports both the Euclidean-weighted and the hop-count stretch,
+plus the tail behaviour as a function of distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.result import SensNetwork
+from repro.graphs.metrics import shortest_path_euclidean, shortest_path_hops
+
+__all__ = ["StretchSamplePair", "StretchReport", "measure_stretch"]
+
+
+@dataclass(frozen=True)
+class StretchSamplePair:
+    """One sampled representative pair.
+
+    Attributes
+    ----------
+    source_tile, target_tile: tile indices of the two representatives.
+    euclidean: Euclidean distance between the two representative points.
+    overlay_distance: Euclidean-weighted shortest-path distance in SENS.
+    overlay_hops: hop count of the shortest path in SENS.
+    stretch: ``overlay_distance / euclidean``.
+    lattice_distance: L¹ distance between the two tiles (the D(x, y) of
+        Theorem 3.2).
+    """
+
+    source_tile: tuple[int, int]
+    target_tile: tuple[int, int]
+    euclidean: float
+    overlay_distance: float
+    overlay_hops: float
+    stretch: float
+    lattice_distance: int
+
+
+@dataclass
+class StretchReport:
+    """Aggregate view of the sampled stretch values."""
+
+    samples: list[StretchSamplePair]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("stretch report needs at least one sample")
+
+    @property
+    def stretches(self) -> np.ndarray:
+        return np.asarray([s.stretch for s in self.samples])
+
+    @property
+    def lattice_distances(self) -> np.ndarray:
+        return np.asarray([s.lattice_distance for s in self.samples])
+
+    @property
+    def max_stretch(self) -> float:
+        return float(self.stretches.max())
+
+    @property
+    def mean_stretch(self) -> float:
+        return float(self.stretches.mean())
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self.stretches, q))
+
+    def tail_probability(self, alpha: float) -> float:
+        """Empirical P(stretch > α) over all samples."""
+        return float(np.mean(self.stretches > alpha))
+
+    def tail_by_distance(self, alpha: float, bins: Sequence[float]) -> list[dict[str, float]]:
+        """P(stretch > α) per lattice-distance bin (the Theorem 3.2 decay check)."""
+        rows = []
+        dists = self.lattice_distances
+        stretches = self.stretches
+        edges = np.asarray(list(bins), dtype=float)
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            mask = (dists >= lo) & (dists < hi)
+            if not mask.any():
+                continue
+            rows.append(
+                {
+                    "distance_lo": float(lo),
+                    "distance_hi": float(hi),
+                    "n_pairs": int(mask.sum()),
+                    "tail_probability": float(np.mean(stretches[mask] > alpha)),
+                    "mean_stretch": float(stretches[mask].mean()),
+                    "max_stretch": float(stretches[mask].max()),
+                }
+            )
+        return rows
+
+
+def measure_stretch(
+    network: SensNetwork,
+    n_pairs: int = 200,
+    rng: np.random.Generator | None = None,
+    min_euclidean: float | None = None,
+) -> StretchReport:
+    """Sample representative pairs in the SENS component and measure stretch.
+
+    Parameters
+    ----------
+    network:
+        A built :class:`~repro.core.result.SensNetwork`.
+    n_pairs:
+        Number of representative pairs to sample (sources are reused across a
+        few targets so one Dijkstra sweep serves several pairs).
+    rng:
+        Random generator.
+    min_euclidean:
+        Discard pairs closer than this (defaults to one tile side — stretch at
+        sub-tile distances is dominated by the relay detour and is not what
+        Theorem 3.2 talks about).
+
+    Raises
+    ------
+    ValueError
+        If the SENS component contains fewer than two tile representatives.
+    """
+    if n_pairs < 1:
+        raise ValueError("n_pairs must be positive")
+    rng = rng or np.random.default_rng()
+    sens = network.sens
+    min_euclidean = network.tiling.tile_side if min_euclidean is None else min_euclidean
+
+    rep_items = sorted(sens.tile_representatives.items())
+    if len(rep_items) < 2:
+        raise ValueError("the SENS component has fewer than two tile representatives")
+    tiles = [t for t, _ in rep_items]
+    nodes = np.asarray([n for _, n in rep_items], dtype=np.int64)
+    positions = sens.graph.points
+
+    n_sources = max(1, min(len(rep_items), int(np.ceil(n_pairs / 4))))
+    source_choices = rng.choice(len(rep_items), size=n_sources, replace=False)
+    dist_matrix = shortest_path_euclidean(sens.graph, sources=nodes[source_choices])
+    hop_matrix = shortest_path_hops(sens.graph, sources=nodes[source_choices])
+
+    samples: list[StretchSamplePair] = []
+    budget = n_pairs
+    for row, src_idx in enumerate(source_choices):
+        if budget <= 0:
+            break
+        targets = rng.choice(len(rep_items), size=min(4, budget), replace=False)
+        for tgt_idx in targets:
+            if tgt_idx == src_idx:
+                continue
+            src_node, tgt_node = nodes[src_idx], nodes[tgt_idx]
+            euclid = float(np.linalg.norm(positions[src_node] - positions[tgt_node]))
+            if euclid < min_euclidean:
+                continue
+            overlay_dist = float(dist_matrix[row, tgt_node])
+            overlay_hops = float(hop_matrix[row, tgt_node])
+            if not np.isfinite(overlay_dist):
+                # Both endpoints are in the largest component by construction,
+                # so this should not happen; guard anyway.
+                continue
+            src_tile, tgt_tile = tiles[src_idx], tiles[tgt_idx]
+            lattice_dist = abs(src_tile[0] - tgt_tile[0]) + abs(src_tile[1] - tgt_tile[1])
+            samples.append(
+                StretchSamplePair(
+                    source_tile=src_tile,
+                    target_tile=tgt_tile,
+                    euclidean=euclid,
+                    overlay_distance=overlay_dist,
+                    overlay_hops=overlay_hops,
+                    stretch=overlay_dist / euclid,
+                    lattice_distance=int(lattice_dist),
+                )
+            )
+            budget -= 1
+    if not samples:
+        raise ValueError(
+            "no valid representative pairs were sampled; "
+            "increase n_pairs or lower min_euclidean"
+        )
+    return StretchReport(samples)

@@ -1,0 +1,100 @@
+"""High-level builder for ``UDG-SENS(2, λ)`` (paper §2.1).
+
+:func:`build_udg_sens` goes from a deployment (an explicit point set or a
+Poisson intensity to sample from) to a fully assembled
+:class:`~repro.core.result.SensNetwork`: base unit-disk graph, tile
+classification, relay overlay, and its largest connected component
+(UDG-SENS proper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.goodness import classify_tiles
+from repro.core.overlay import build_overlay
+from repro.core.result import SensNetwork
+from repro.core.tiles_udg import UDGTileSpec
+from repro.core.tiling import Tiling
+from repro.geometry.poisson import poisson_points
+from repro.geometry.primitives import Rect, as_points
+from repro.graphs.udg import build_udg
+
+__all__ = ["build_udg_sens"]
+
+
+def build_udg_sens(
+    points: np.ndarray | None = None,
+    *,
+    intensity: float | None = None,
+    window: Rect | None = None,
+    spec: UDGTileSpec | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    build_base_graph: bool = True,
+) -> SensNetwork:
+    """Build ``UDG-SENS(2, λ)``.
+
+    Parameters
+    ----------
+    points:
+        Explicit deployment coordinates.  When omitted, a Poisson process of
+        the given ``intensity`` is sampled on ``window``.
+    intensity:
+        Poisson intensity λ (required when ``points`` is omitted).
+    window:
+        Deployment window.  Required when sampling; when ``points`` are given
+        and no window is passed, the bounding box of the points is used.
+    spec:
+        Tile geometry; defaults to :meth:`UDGTileSpec.default` (the repaired
+        parameterisation — see DESIGN.md §2).
+    rng, seed:
+        Randomness control for the sampling step (``rng`` wins over ``seed``).
+    build_base_graph:
+        Set to ``False`` to skip building the full UDG base graph (the overlay
+        itself does not need it); useful in large threshold sweeps.
+
+    Returns
+    -------
+    SensNetwork
+        The assembled network; ``result.sens`` is UDG-SENS.
+    """
+    spec = spec or UDGTileSpec.default()
+    if points is None:
+        if intensity is None or window is None:
+            raise ValueError("either points, or both intensity and window, must be provided")
+        rng = rng or np.random.default_rng(seed)
+        points = poisson_points(window, intensity, rng)
+    else:
+        points = as_points(points)
+        if window is None:
+            if len(points) == 0:
+                raise ValueError("cannot infer a window from an empty point set")
+            window = Rect(
+                float(points[:, 0].min()),
+                float(points[:, 1].min()),
+                float(points[:, 0].max()),
+                float(points[:, 1].max()),
+            )
+
+    tiling = Tiling(window=window, tile_side=spec.tile_side)
+    classification = classify_tiles(points, tiling, spec, k=None)
+    overlay = build_overlay(points, classification, name="UDG-SENS")
+    sens = overlay.largest_component()
+
+    if build_base_graph:
+        base = build_udg(points, radius=spec.connection_radius, name="UDG")
+    else:
+        base = build_udg(np.zeros((0, 2)), radius=spec.connection_radius, name="UDG(skipped)")
+
+    return SensNetwork(
+        model="udg",
+        points=points,
+        base_graph=base,
+        tiling=tiling,
+        spec=spec,
+        k=None,
+        classification=classification,
+        overlay=overlay,
+        sens=sens,
+    )

@@ -1,0 +1,32 @@
+"""Distributed (local-information) construction substrate (paper §4.1, Figure 7).
+
+The paper's property P4 says each node can decide its role using only its own
+GPS position and messages to immediate neighbours.  This package simulates
+that algorithm faithfully as a synchronous message-passing computation:
+
+* :mod:`repro.distributed.messages` — message records.
+* :mod:`repro.distributed.network` — a synchronous-round message-passing
+  simulator with per-round delivery and message/round accounting.
+* :mod:`repro.distributed.leader_election` — leader election on the complete
+  graph formed by the nodes of one region (the paper cites Singh's
+  complete-network election; any deterministic rule works, we use
+  lowest-key-wins on (distance-to-anchor, node id)).
+* :mod:`repro.distributed.construct` — the four-step algorithm of Figure 7
+  (tile identification, region identification, leader election, handshake
+  connection), producing the same overlay as the centralized builder, which
+  the integration tests verify.
+"""
+
+from repro.distributed.messages import Message
+from repro.distributed.network import MessageNetwork, NetworkStats
+from repro.distributed.leader_election import elect_leader_distributed
+from repro.distributed.construct import DistributedBuildResult, distributed_build
+
+__all__ = [
+    "Message",
+    "MessageNetwork",
+    "NetworkStats",
+    "elect_leader_distributed",
+    "DistributedBuildResult",
+    "distributed_build",
+]

@@ -1,0 +1,79 @@
+"""Leader election within a tile region.
+
+All nodes that fall in the same region of the same tile can hear each other
+(the regions are constructed with diameter below the communication radius),
+so the election runs on a complete graph: every candidate broadcasts its key,
+and every candidate independently picks the minimum key it heard (including
+its own).  The key is ``(distance to the region's nominal anchor, node id)``,
+which makes the outcome identical to the centralized selection rule in
+:func:`repro.core.goodness.select_region_leader` — the cross-check the
+integration tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributed.messages import Message
+from repro.distributed.network import MessageNetwork
+
+__all__ = ["election_key", "elect_leader_distributed"]
+
+
+def election_key(points: np.ndarray, node: int, anchor: np.ndarray) -> Tuple[float, int]:
+    """The election key of a node: (distance to the region anchor, node id)."""
+    d = float(np.linalg.norm(np.asarray(points)[node] - np.asarray(anchor)))
+    return (d, int(node))
+
+
+def elect_leader_distributed(
+    network: MessageNetwork,
+    members: Sequence[int],
+    anchor: np.ndarray,
+    kind: str = "candidate",
+) -> int:
+    """Run a one-round complete-graph leader election among ``members``.
+
+    Every member broadcasts its key to every other member; after delivery each
+    member computes the minimum key.  The function returns the elected node id
+    and leaves the message/round accounting in ``network.stats``.
+
+    Raises
+    ------
+    ValueError
+        If ``members`` is empty.
+    """
+    member_list = [int(m) for m in members]
+    if not member_list:
+        raise ValueError("cannot elect a leader among zero members")
+    if len(member_list) == 1:
+        # A single candidate elects itself without sending anything.
+        return member_list[0]
+
+    keys: Dict[int, Tuple[float, int]] = {
+        m: election_key(network.points, m, anchor) for m in member_list
+    }
+    # Broadcast keys.
+    for m in member_list:
+        network.broadcast(
+            m,
+            member_list,
+            kind,
+            {"distance": keys[m][0], "node": keys[m][1]},
+        )
+    inboxes = network.deliver_round()
+
+    # Each member picks the minimum of the keys it heard plus its own; all
+    # members must agree, which we assert (it is a completeness check on the
+    # message plumbing, not a probabilistic property).
+    decisions: List[int] = []
+    for m in member_list:
+        heard = [(msg.payload["distance"], msg.payload["node"]) for msg in inboxes.get(m, [])]
+        heard.append(keys[m])
+        decisions.append(min(heard)[1])
+    winner = decisions[0]
+    if any(d != winner for d in decisions):
+        raise RuntimeError("leader election diverged — message delivery is broken")
+    return int(winner)

@@ -1,0 +1,38 @@
+"""Message records exchanged by the distributed construction algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message.
+
+    Attributes
+    ----------
+    sender:
+        Node id (global point index) of the sender.
+    recipient:
+        Node id of the recipient.
+    kind:
+        Message type tag, e.g. ``"candidate"``, ``"connect-request"``,
+        ``"connect-ack"``.
+    payload:
+        Arbitrary, immutable-by-convention content (tuples / scalars only in
+        this library).
+    """
+
+    sender: int
+    recipient: int
+    kind: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.sender < 0 or self.recipient < 0:
+            raise ValueError("node ids must be non-negative")
+        if not self.kind:
+            raise ValueError("message kind must be a non-empty string")

@@ -1,0 +1,143 @@
+"""Synchronous message-passing network simulator.
+
+The simulator models the standard synchronous-round abstraction used by the
+distributed-computing literature the paper cites: in each round every node
+reads the messages delivered to it in the previous round, updates its local
+state and emits new messages, which are delivered at the start of the next
+round.  Radio constraints are enforced at send time: a node may only message
+nodes within its communication radius (one-hop neighbours), which is exactly
+the paper's locality requirement P4.
+
+The simulator is deliberately simple — no losses, no collisions — because the
+paper's algorithm is analysed under the same assumptions; the energy model of
+:mod:`repro.simulation` handles the cost side separately.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.distributed.messages import Message
+from repro.geometry.primitives import as_points
+from repro.geometry.spatial import GridIndex
+
+__all__ = ["NetworkStats", "MessageNetwork"]
+
+
+@dataclass
+class NetworkStats:
+    """Accounting of a distributed execution.
+
+    Attributes
+    ----------
+    rounds: number of synchronous rounds executed.
+    messages_sent: total messages sent (a broadcast to m neighbours counts m).
+    messages_by_kind: per-kind message counts.
+    """
+
+    rounds: int = 0
+    messages_sent: int = 0
+    messages_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.messages_by_kind[message.kind] = self.messages_by_kind.get(message.kind, 0) + 1
+
+
+class MessageNetwork:
+    """A set of positioned nodes exchanging messages in synchronous rounds.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` node positions; node ids are the row indices.
+    radio_range:
+        Maximum distance over which a message can be sent.  ``None`` disables
+        the check (useful for unit tests of upper layers).
+    """
+
+    def __init__(self, points: np.ndarray, radio_range: float | None = None) -> None:
+        self.points = as_points(points)
+        self.radio_range = radio_range
+        self.stats = NetworkStats()
+        self._outbox: List[Message] = []
+        self._inboxes: Dict[int, List[Message]] = defaultdict(list)
+        self._index = (
+            GridIndex(self.points, cell_size=radio_range) if radio_range and len(self.points) else None
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.points)
+
+    # -- sending ---------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Queue a message for delivery at the next round.
+
+        Raises
+        ------
+        ValueError
+            If either endpoint does not exist or the recipient is out of radio
+            range (a locality violation — the construction algorithm must
+            never do this).
+        """
+        if message.sender >= self.n_nodes or message.recipient >= self.n_nodes:
+            raise ValueError("message endpoints must be existing node ids")
+        if self.radio_range is not None:
+            d = float(np.linalg.norm(self.points[message.sender] - self.points[message.recipient]))
+            if d > self.radio_range + 1e-9:
+                raise ValueError(
+                    f"locality violation: node {message.sender} tried to message node "
+                    f"{message.recipient} at distance {d:.3f} > radio range {self.radio_range:.3f}"
+                )
+        self._outbox.append(message)
+        self.stats.record(message)
+
+    def broadcast(self, sender: int, recipients: Iterable[int], kind: str, payload=None) -> None:
+        """Send the same message to several recipients (counts one message each)."""
+        for recipient in recipients:
+            if recipient == sender:
+                continue
+            self.send(Message(sender, int(recipient), kind, payload or {}))
+
+    def neighbours_of(self, node: int) -> np.ndarray:
+        """One-hop neighbours of ``node`` under the radio range (empty if unlimited)."""
+        if self._index is None or self.radio_range is None:
+            return np.zeros(0, dtype=np.int64)
+        return self._index.neighbours_of(int(node), self.radio_range)
+
+    # -- round execution ---------------------------------------------------------
+    def deliver_round(self) -> Dict[int, List[Message]]:
+        """Deliver all queued messages and advance the round counter.
+
+        Returns the per-recipient inboxes for the round that just started.
+        """
+        inboxes: Dict[int, List[Message]] = defaultdict(list)
+        for message in self._outbox:
+            inboxes[message.recipient].append(message)
+        self._outbox = []
+        self.stats.rounds += 1
+        self._inboxes = inboxes
+        return inboxes
+
+    def run_phase(
+        self,
+        step: Callable[[int, List[Message], "MessageNetwork"], None],
+        nodes: Sequence[int] | None = None,
+        rounds: int = 1,
+    ) -> None:
+        """Run ``rounds`` synchronous rounds of a phase.
+
+        ``step(node, inbox, network)`` is called once per node per round with
+        the messages delivered to that node at the start of the round; any
+        messages it sends are delivered at the next round.
+        """
+        node_ids = list(range(self.n_nodes)) if nodes is None else list(nodes)
+        for _ in range(rounds):
+            inboxes = self.deliver_round()
+            for node in node_ids:
+                step(int(node), inboxes.get(int(node), []), self)

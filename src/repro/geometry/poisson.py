@@ -1,0 +1,109 @@
+"""Homogeneous Poisson point processes on rectangular windows.
+
+The paper models sensor deployments as a homogeneous Poisson point process of
+intensity ``λ`` on R².  We work on finite rectangular windows; every
+quantity the paper measures (tile goodness, stretch, coverage) is local, so a
+window that is large relative to the tile size plus an analysis margin is an
+adequate stand-in for the infinite process (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.primitives import Rect
+
+__all__ = ["PoissonProcess", "poisson_points", "binomial_points"]
+
+
+def poisson_points(rect: Rect, intensity: float, rng: np.random.Generator) -> np.ndarray:
+    """Sample a homogeneous Poisson process of the given ``intensity`` on ``rect``.
+
+    The number of points is Poisson with mean ``intensity * rect.area`` and,
+    conditioned on the count, the points are i.i.d. uniform on the window —
+    the standard two-step construction.
+
+    Parameters
+    ----------
+    rect:
+        Sampling window.
+    intensity:
+        Expected number of points per unit area (``λ`` in the paper).
+    rng:
+        Numpy random generator; all randomness flows through it.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, 2)`` array of point coordinates (possibly ``n == 0``).
+    """
+    if intensity < 0:
+        raise ValueError("intensity must be non-negative")
+    mean = intensity * rect.area
+    n = int(rng.poisson(mean))
+    return rect.sample_uniform(n, rng)
+
+
+def binomial_points(rect: Rect, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample exactly ``n`` uniform points on ``rect`` (a binomial point process).
+
+    Useful for experiments that want to control the node count exactly, e.g.
+    finite-network connectivity sweeps in E11.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return rect.sample_uniform(n, rng)
+
+
+@dataclass
+class PoissonProcess:
+    """Reusable sampler for a homogeneous Poisson point process.
+
+    Attributes
+    ----------
+    intensity:
+        Points per unit area (``λ``).
+    window:
+        Rectangular sampling window.
+    seed:
+        Seed for the internal generator.  Two processes built with the same
+        seed generate identical realisations, which the experiment harness
+        relies on for paired comparisons (same deployment, different
+        topologies).
+    """
+
+    intensity: float
+    window: Rect
+    seed: int | None = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def expected_count(self) -> float:
+        """Mean number of points per realisation."""
+        return self.intensity * self.window.area
+
+    def sample(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw one realisation; uses the instance generator unless ``rng`` is given."""
+        return poisson_points(self.window, self.intensity, rng or self._rng)
+
+    def sample_many(self, count: int) -> list[np.ndarray]:
+        """Draw ``count`` independent realisations."""
+        return [self.sample() for _ in range(count)]
+
+    def thinned(self, keep_probability: float) -> "PoissonProcess":
+        """Return an *independent thinning* of this process.
+
+        Thinning a Poisson process with retention probability ``p`` yields a
+        Poisson process of intensity ``p·λ``; we exploit this in coverage
+        experiments that compare densities on a common footing.
+        """
+        if not 0.0 <= keep_probability <= 1.0:
+            raise ValueError("keep_probability must lie in [0, 1]")
+        return PoissonProcess(self.intensity * keep_probability, self.window, seed=self.seed)

@@ -1,0 +1,234 @@
+"""Vectorised planar primitives.
+
+All functions accept ``(n, 2)`` float arrays of points and avoid Python-level
+loops in hot paths; distance kernels are written so numpy broadcasts do the
+work (see the project guide on vectorising loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Disc",
+    "Rect",
+    "as_points",
+    "squared_distances",
+    "pairwise_distances",
+    "points_in_disc",
+    "points_in_rect",
+    "rect_union",
+    "distance_to_rect_boundary",
+]
+
+
+def as_points(points: Iterable | np.ndarray) -> np.ndarray:
+    """Coerce input into an ``(n, 2)`` float64 array.
+
+    Accepts lists of pairs, a single pair, or an existing array.  A single
+    point ``(x, y)`` is promoted to shape ``(1, 2)``.
+
+    Raises
+    ------
+    ValueError
+        If the input cannot be interpreted as planar points.
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim == 1:
+        if arr.size == 0:
+            return arr.reshape(0, 2)
+        if arr.shape[0] != 2:
+            raise ValueError(f"a single point must have 2 coordinates, got {arr.shape}")
+        arr = arr.reshape(1, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) array of planar points, got shape {arr.shape}")
+    return arr
+
+
+def squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between two point sets.
+
+    Parameters
+    ----------
+    a, b:
+        Arrays of shape ``(n, 2)`` and ``(m, 2)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n, m)`` matrix of squared distances.
+    """
+    a = as_points(a)
+    b = as_points(b)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Euclidean distance matrix between ``a`` and ``b`` (or ``a`` and itself)."""
+    if b is None:
+        b = a
+    return np.sqrt(squared_distances(a, b))
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle ``[xmin, xmax] × [ymin, ymax]``.
+
+    Used both as the deployment window for point processes and as the tile
+    footprint in the SENS constructions.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if not (self.xmax >= self.xmin and self.ymax >= self.ymin):
+            raise ValueError(f"degenerate Rect: {self}")
+
+    @classmethod
+    def centered(cls, center: Tuple[float, float], width: float, height: float | None = None) -> "Rect":
+        """Rectangle of the given ``width``/``height`` centred at ``center``."""
+        if height is None:
+            height = width
+        cx, cy = center
+        return cls(cx - width / 2.0, cy - height / 2.0, cx + width / 2.0, cy + height / 2.0)
+
+    @classmethod
+    def square(cls, side: float, origin: Tuple[float, float] = (0.0, 0.0)) -> "Rect":
+        """Axis-aligned square of the given ``side`` with lower-left corner at ``origin``."""
+        ox, oy = origin
+        return cls(ox, oy, ox + side, oy + side)
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def contains(self, points: np.ndarray, closed: bool = True) -> np.ndarray:
+        """Boolean mask of points falling inside the rectangle.
+
+        ``closed=True`` (default) includes the boundary.
+        """
+        pts = as_points(points)
+        if closed:
+            return (
+                (pts[:, 0] >= self.xmin)
+                & (pts[:, 0] <= self.xmax)
+                & (pts[:, 1] >= self.ymin)
+                & (pts[:, 1] <= self.ymax)
+            )
+        return (
+            (pts[:, 0] > self.xmin)
+            & (pts[:, 0] < self.xmax)
+            & (pts[:, 1] > self.ymin)
+            & (pts[:, 1] < self.ymax)
+        )
+
+    def shrink(self, margin: float) -> "Rect":
+        """Rectangle shrunk by ``margin`` on every side (used to discard boundary effects)."""
+        if 2 * margin > min(self.width, self.height):
+            raise ValueError("margin larger than half the rectangle extent")
+        return Rect(self.xmin + margin, self.ymin + margin, self.xmax - margin, self.ymax - margin)
+
+    def expand(self, margin: float) -> "Rect":
+        """Rectangle expanded by ``margin`` on every side."""
+        return Rect(self.xmin - margin, self.ymin - margin, self.xmax + margin, self.ymax + margin)
+
+    def translate(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.xmin + dx, self.ymin + dy, self.xmax + dx, self.ymax + dy)
+
+    def sample_uniform(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` points uniformly at random from the rectangle."""
+        xs = rng.uniform(self.xmin, self.xmax, size=n)
+        ys = rng.uniform(self.ymin, self.ymax, size=n)
+        return np.column_stack([xs, ys])
+
+    def grid(self, resolution: int) -> np.ndarray:
+        """Regular ``resolution × resolution`` grid of cell-centre sample points."""
+        xs = np.linspace(self.xmin, self.xmax, resolution, endpoint=False) + self.width / (2 * resolution)
+        ys = np.linspace(self.ymin, self.ymax, resolution, endpoint=False) + self.height / (2 * resolution)
+        gx, gy = np.meshgrid(xs, ys)
+        return np.column_stack([gx.ravel(), gy.ravel()])
+
+
+@dataclass(frozen=True)
+class Disc:
+    """Closed disc of radius ``radius`` centred at ``(cx, cy)``."""
+
+    cx: float
+    cy: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError("disc radius must be non-negative")
+
+    @property
+    def center(self) -> np.ndarray:
+        return np.array([self.cx, self.cy], dtype=np.float64)
+
+    @property
+    def area(self) -> float:
+        return float(np.pi * self.radius**2)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of points inside the closed disc."""
+        pts = as_points(points)
+        d2 = (pts[:, 0] - self.cx) ** 2 + (pts[:, 1] - self.cy) ** 2
+        return d2 <= self.radius**2 + 1e-12
+
+    def boundary_points(self, n: int) -> np.ndarray:
+        """``n`` points evenly spaced on the boundary circle."""
+        theta = np.linspace(0.0, 2 * np.pi, n, endpoint=False)
+        return np.column_stack(
+            [self.cx + self.radius * np.cos(theta), self.cy + self.radius * np.sin(theta)]
+        )
+
+    def translate(self, dx: float, dy: float) -> "Disc":
+        return Disc(self.cx + dx, self.cy + dy, self.radius)
+
+
+def points_in_disc(points: np.ndarray, center: Tuple[float, float], radius: float) -> np.ndarray:
+    """Convenience wrapper: mask of ``points`` within ``radius`` of ``center``."""
+    return Disc(center[0], center[1], radius).contains(points)
+
+
+def points_in_rect(points: np.ndarray, rect: Rect) -> np.ndarray:
+    """Convenience wrapper: mask of ``points`` inside ``rect``."""
+    return rect.contains(points)
+
+
+def rect_union(a: Rect, b: Rect) -> Rect:
+    """Bounding box of two rectangles (used for the pair of tiles t ∪ t_r)."""
+    return Rect(min(a.xmin, b.xmin), min(a.ymin, b.ymin), max(a.xmax, b.xmax), max(a.ymax, b.ymax))
+
+
+def distance_to_rect_boundary(points: np.ndarray, rect: Rect) -> np.ndarray:
+    """Distance from each (interior) point to the boundary of ``rect``.
+
+    For points outside the rectangle the returned value is negative (the
+    negated distance to the rectangle), which is convenient for "largest disc
+    centred at p that stays inside the rectangle" computations used by the
+    NN-SENS relay regions.
+    """
+    pts = as_points(points)
+    dx = np.minimum(pts[:, 0] - rect.xmin, rect.xmax - pts[:, 0])
+    dy = np.minimum(pts[:, 1] - rect.ymin, rect.ymax - pts[:, 1])
+    return np.minimum(dx, dy)

@@ -1,0 +1,70 @@
+"""k-nearest-neighbour graph construction — the paper's ``NN(2, k)`` model.
+
+Each point establishes undirected edges to the ``k`` points nearest to it
+(Häggström–Meester model): the edge {x, y} exists when y is among x's k
+nearest *or* x is among y's k nearest.  Neighbour queries use
+:class:`scipy.spatial.cKDTree`; ties (a measure-zero event for Poisson
+inputs) are broken by index order, matching the paper's remark that any
+tie-breaking rule is acceptable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.geometry.primitives import as_points
+from repro.graphs.base import GeometricGraph
+
+__all__ = ["knn_neighbour_indices", "knn_edges", "build_knn"]
+
+
+def knn_neighbour_indices(points: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k nearest neighbours of every point.
+
+    Returns an ``(n, k)`` integer array; row i lists the k nearest points to
+    point i (excluding i itself), nearest first.  When fewer than k other
+    points exist, the available neighbours are followed by ``-1`` padding.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    pts = as_points(points)
+    n = len(pts)
+    if n == 0 or k == 0:
+        return np.full((n, k), -1, dtype=np.int64)
+    k_eff = min(k, n - 1)
+    if k_eff == 0:
+        return np.full((n, k), -1, dtype=np.int64)
+    tree = cKDTree(pts)
+    # Query k_eff + 1 because the nearest hit is the point itself.
+    _, idx = tree.query(pts, k=k_eff + 1)
+    idx = np.atleast_2d(idx)
+    neighbours = np.full((n, k), -1, dtype=np.int64)
+    for i in range(n):
+        row = idx[i]
+        row = row[row != i][:k_eff]
+        neighbours[i, : len(row)] = row
+    return neighbours
+
+
+def knn_edges(points: np.ndarray, k: int) -> np.ndarray:
+    """Undirected edge list of ``NN(2, k)`` on the given point set."""
+    pts = as_points(points)
+    neighbours = knn_neighbour_indices(pts, k)
+    if neighbours.size == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    sources = np.repeat(np.arange(len(pts), dtype=np.int64), neighbours.shape[1])
+    targets = neighbours.ravel()
+    valid = targets >= 0
+    pairs = np.column_stack([sources[valid], targets[valid]])
+    if pairs.size == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    pairs = np.sort(pairs, axis=1)
+    return np.unique(pairs, axis=0)
+
+
+def build_knn(points: np.ndarray, k: int, name: str | None = None) -> GeometricGraph:
+    """Build the undirected k-nearest-neighbour graph ``NN(2, k)``."""
+    pts = as_points(points)
+    edges = knn_edges(pts, k)
+    return GeometricGraph(pts, edges, name=name or f"NN(k={k})")

@@ -1,0 +1,162 @@
+"""Chemical distance inside percolation clusters.
+
+The *chemical distance* D_p(x, y) is the graph distance between two open
+sites through open paths.  Antal & Pisztora proved (the paper's Lemma 1.1)
+that above criticality the chemical distance is, with exponentially high
+probability, at most a constant multiple ρ(p) of the L¹ lattice distance.
+The constant-stretch property of UDG-SENS / NN-SENS (Theorem 3.2) is inherited
+directly from this result through the tile↔site coupling, so experiment E04
+measures exactly this ratio.
+
+The implementation is a numpy-friendly breadth-first search over the open
+mask; multi-source BFS amortises the cost when many targets share a source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.percolation.clusters import label_clusters
+from repro.percolation.lattice import LatticeConfiguration
+
+__all__ = [
+    "chemical_distances_from",
+    "chemical_distance",
+    "chemical_stretch_samples",
+    "StretchSample",
+]
+
+
+def chemical_distances_from(
+    config: LatticeConfiguration, source: Tuple[int, int]
+) -> np.ndarray:
+    """BFS distances from ``source`` through open sites.
+
+    Returns an ``(H, W)`` integer array with ``-1`` for unreachable or closed
+    sites and the hop count for reachable open sites (0 at the source).
+
+    Raises
+    ------
+    ValueError
+        If the source site is closed or out of bounds.
+    """
+    if not config.in_bounds(source):
+        raise ValueError(f"source {source} outside the lattice")
+    if not config.is_open(source):
+        raise ValueError(f"source {source} is a closed site")
+    h, w = config.shape
+    dist = np.full((h, w), -1, dtype=np.int64)
+    dist[source] = 0
+    queue: deque[Tuple[int, int]] = deque([source])
+    mask = config.open_mask
+    wrap = config.wrap
+    while queue:
+        r, c = queue.popleft()
+        d = dist[r, c] + 1
+        for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nr, nc = r + dr, c + dc
+            if wrap:
+                nr %= h
+                nc %= w
+            elif not (0 <= nr < h and 0 <= nc < w):
+                continue
+            if mask[nr, nc] and dist[nr, nc] < 0:
+                dist[nr, nc] = d
+                queue.append((nr, nc))
+    return dist
+
+
+def chemical_distance(
+    config: LatticeConfiguration, a: Tuple[int, int], b: Tuple[int, int]
+) -> int:
+    """Chemical distance between two open sites (``-1`` if disconnected)."""
+    dist = chemical_distances_from(config, a)
+    if not config.in_bounds(b):
+        raise ValueError(f"target {b} outside the lattice")
+    return int(dist[b])
+
+
+@dataclass(frozen=True)
+class StretchSample:
+    """One (source, target) chemical-stretch observation.
+
+    Attributes
+    ----------
+    source, target: lattice coordinates.
+    l1_distance: Manhattan distance on the full lattice (D(x, y) in the paper).
+    chemical: chemical distance through open sites (D_p(x, y)).
+    stretch: ``chemical / l1_distance`` (``inf`` when disconnected,
+        1.0 when the two coincide).
+    """
+
+    source: Tuple[int, int]
+    target: Tuple[int, int]
+    l1_distance: int
+    chemical: int
+    stretch: float
+
+
+def chemical_stretch_samples(
+    config: LatticeConfiguration,
+    n_pairs: int,
+    rng: np.random.Generator | None = None,
+    restrict_to_largest: bool = True,
+    min_l1: int = 1,
+) -> list[StretchSample]:
+    """Sample random open-site pairs and measure their chemical stretch.
+
+    Parameters
+    ----------
+    config:
+        The percolation configuration.
+    n_pairs:
+        Number of (source, target) pairs to sample.
+    restrict_to_largest:
+        When ``True`` (default) both endpoints are drawn from the largest
+        cluster, mirroring the paper's setting where routing happens inside
+        the giant component.
+    min_l1:
+        Discard pairs closer than this L¹ distance (ratios at tiny distances
+        are noisy and uninformative).
+    """
+    if n_pairs < 1:
+        raise ValueError("n_pairs must be positive")
+    rng = rng or np.random.default_rng()
+    labels = label_clusters(config)
+    if restrict_to_largest:
+        sizes = np.bincount(labels[labels >= 0]) if (labels >= 0).any() else np.zeros(0, dtype=int)
+        if sizes.size == 0:
+            return []
+        target_label = int(np.argmax(sizes))
+        candidate_mask = labels == target_label
+    else:
+        candidate_mask = config.open_mask
+    coords = np.column_stack(np.nonzero(candidate_mask))
+    if len(coords) < 2:
+        return []
+
+    samples: list[StretchSample] = []
+    # Group pairs by source so that one BFS serves several targets.
+    sources_needed = max(1, int(np.ceil(n_pairs / 4)))
+    src_idx = rng.integers(0, len(coords), size=sources_needed)
+    pair_budget = n_pairs
+    for si in src_idx:
+        if pair_budget <= 0:
+            break
+        source = tuple(int(x) for x in coords[si])
+        dist = chemical_distances_from(config, source)
+        targets = coords[rng.integers(0, len(coords), size=min(4, pair_budget))]
+        for target_arr in targets:
+            target = tuple(int(x) for x in target_arr)
+            l1 = abs(target[0] - source[0]) + abs(target[1] - source[1])
+            if l1 < min_l1:
+                continue
+            chem = int(dist[target])
+            stretch = float("inf") if chem < 0 else chem / l1
+            samples.append(StretchSample(source, target, l1, chem, stretch))
+            pair_budget -= 1
+    return samples

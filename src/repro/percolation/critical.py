@@ -1,0 +1,104 @@
+"""Finite-size estimation of the site-percolation threshold.
+
+The paper takes p_c ∈ (0.592, 0.593) from the literature and asks for the
+smallest λ (resp. k) whose tile-goodness probability exceeds that bracket.
+Experiment E09 validates the substrate by re-estimating p_c from spanning
+probabilities on finite boxes: for each p the probability that an L×L box has
+a left–right spanning open cluster is estimated by Monte Carlo, and the
+crossing point of that sigmoid with 1/2 converges to p_c as L grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.percolation.clusters import has_spanning_cluster, label_clusters
+from repro.percolation.lattice import sample_site_percolation
+
+__all__ = ["SpanningCurve", "spanning_probability_curve", "estimate_critical_probability"]
+
+
+@dataclass(frozen=True)
+class SpanningCurve:
+    """Spanning probability as a function of p for a fixed box size.
+
+    Attributes
+    ----------
+    p_values: probed occupation probabilities (sorted ascending).
+    spanning_probability: Monte-Carlo estimate of P(left–right spanning).
+    box_size: lattice side L.
+    trials: Monte-Carlo trials per p value.
+    """
+
+    p_values: np.ndarray
+    spanning_probability: np.ndarray
+    box_size: int
+    trials: int
+
+    def crossing_point(self, level: float = 0.5) -> float:
+        """p at which the spanning probability first crosses ``level``.
+
+        Linear interpolation between the bracketing probe points; returns the
+        first or last probe when the curve never crosses.
+        """
+        probs = self.spanning_probability
+        ps = self.p_values
+        above = probs >= level
+        if above.all():
+            return float(ps[0])
+        if not above.any():
+            return float(ps[-1])
+        i = int(np.argmax(above))
+        if i == 0:
+            return float(ps[0])
+        p0, p1 = ps[i - 1], ps[i]
+        y0, y1 = probs[i - 1], probs[i]
+        if y1 == y0:
+            return float(p1)
+        return float(p0 + (level - y0) * (p1 - p0) / (y1 - y0))
+
+
+def spanning_probability_curve(
+    p_values: Sequence[float],
+    box_size: int,
+    trials: int,
+    rng: np.random.Generator | None = None,
+) -> SpanningCurve:
+    """Estimate the spanning probability for each ``p`` on an ``box_size²`` lattice."""
+    if box_size < 2:
+        raise ValueError("box_size must be at least 2")
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    rng = rng or np.random.default_rng()
+    ps = np.sort(np.asarray(list(p_values), dtype=np.float64))
+    probs = np.empty_like(ps)
+    for i, p in enumerate(ps):
+        hits = 0
+        for _ in range(trials):
+            config = sample_site_percolation(box_size, box_size, float(p), rng)
+            labels = label_clusters(config)
+            hits += has_spanning_cluster(config, labels)
+        probs[i] = hits / trials
+    return SpanningCurve(ps, probs, box_size, trials)
+
+
+def estimate_critical_probability(
+    box_size: int = 48,
+    trials: int = 40,
+    p_grid: Sequence[float] | None = None,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Point estimate of p_c via the 50% spanning crossing on one box size.
+
+    This is intentionally a light-weight estimator (the library is validating
+    a coupling, not competing with dedicated percolation codes); the defaults
+    land within about ±0.01 of the accepted 0.5927, which is enough to check
+    that the coupling uses a sensible threshold.
+    """
+    if p_grid is None:
+        p_grid = np.linspace(0.50, 0.70, 21)
+    curve = spanning_probability_curve(p_grid, box_size, trials, rng)
+    return curve.crossing_point(0.5)

@@ -1,0 +1,27 @@
+"""Routing substrate (paper §4.2, Figure 9).
+
+* :mod:`repro.routing.mesh` — the Angel-et-al routing algorithm on the
+  percolated mesh: follow the canonical x–y path; when the next site is
+  closed, run a (distributed) BFS over open sites to find the next open site
+  on the remaining x–y path.  Probe counts are tracked so that the constant
+  expected-overhead claim can be measured (experiment E07).
+* :mod:`repro.routing.overlay` — lift mesh routes onto the SENS overlay
+  (representatives act as lattice sites, relays realise the edges) and
+  account for hops, Euclidean length and transmit power.
+* :mod:`repro.routing.baselines` — greedy geographic forwarding and the
+  shortest-path reference used for comparison.
+"""
+
+from repro.routing.mesh import MeshRouteResult, route_xy_mesh
+from repro.routing.overlay import OverlayRouteResult, route_on_overlay
+from repro.routing.baselines import greedy_geographic_route, shortest_path_route, GreedyRouteResult
+
+__all__ = [
+    "MeshRouteResult",
+    "route_xy_mesh",
+    "OverlayRouteResult",
+    "route_on_overlay",
+    "greedy_geographic_route",
+    "shortest_path_route",
+    "GreedyRouteResult",
+]

@@ -1,0 +1,154 @@
+"""Routing on the SENS overlay.
+
+The paper's §4.2 observation: the representatives of good tiles behave like
+open sites of the percolated mesh, relays realise its edges, so any mesh
+routing algorithm can be "plugged in".  :func:`route_on_overlay` does exactly
+that — it runs the Figure-9 mesh router on the coupled lattice of a
+:class:`~repro.core.result.SensNetwork`, expands the resulting site path into
+the concrete representative/relay node path, and accounts for hops, Euclidean
+length and transmit power of the overlay route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.result import SensNetwork
+from repro.core.tiling import TileIndex
+from repro.routing.mesh import MeshRouteResult, route_xy_mesh
+
+__all__ = ["OverlayRouteResult", "route_on_overlay", "expand_site_path"]
+
+
+@dataclass
+class OverlayRouteResult:
+    """Outcome of routing one packet across the SENS overlay.
+
+    Attributes
+    ----------
+    success: whether a route from source to target representative was found.
+    mesh_result: the underlying mesh routing outcome (probes, lattice hops).
+    node_path: overlay node indices (into ``network.overlay.graph``) visited,
+        starting at the source representative.
+    hops: number of overlay edges traversed.
+    euclidean_length: total Euclidean length of the overlay route.
+    power: transmit power of the route at the given path-loss exponent.
+    straight_line: Euclidean distance between source and target representatives.
+    """
+
+    success: bool
+    mesh_result: MeshRouteResult
+    node_path: List[int]
+    hops: int
+    euclidean_length: float
+    power: float
+    straight_line: float
+
+    @property
+    def stretch(self) -> float:
+        """Route length divided by the straight-line distance."""
+        if not self.success or self.straight_line == 0:
+            return float("inf")
+        return self.euclidean_length / self.straight_line
+
+
+def expand_site_path(network: SensNetwork, site_path: List[Tuple[int, int]]) -> List[int]:
+    """Expand a lattice-site path into the overlay node path that realises it.
+
+    Consecutive sites are adjacent good tiles; each lattice hop becomes the
+    relay chain ``rep – relays… – rep`` of the corresponding direction.
+    Repeated nodes from shared roles are collapsed.
+    """
+    overlay = network.overlay
+    classification = network.classification
+    tiling = network.tiling
+    spec = network.spec
+
+    def rep_node(tile: TileIndex) -> int:
+        return overlay.tile_representatives[tile]
+
+    if not site_path:
+        return []
+    tiles = [tiling.tile_of_site(site) for site in site_path]
+    node_path: List[int] = [rep_node(tiles[0])]
+    for a, b in zip(tiles[:-1], tiles[1:]):
+        # Determine the direction of the hop a → b.
+        dc, dr = b[0] - a[0], b[1] - a[1]
+        direction = {(1, 0): "right", (-1, 0): "left", (0, 1): "top", (0, -1): "bottom"}[(dc, dr)]
+        facing = spec.facing_direction(direction)
+        record_a = classification.records[a]
+        record_b = classification.records[b]
+        chain: List[int] = []
+        chain.extend(record_a.relays[region] for region in spec.relay_chain(direction))
+        chain.extend(record_b.relays[region] for region in reversed(spec.relay_chain(facing)))
+        chain.append(record_b.representative)
+        for original in chain:
+            node = overlay.node_for_original(int(original))
+            if node != node_path[-1]:
+                node_path.append(node)
+    return node_path
+
+
+def route_on_overlay(
+    network: SensNetwork,
+    source_tile: TileIndex,
+    target_tile: TileIndex,
+    beta: float = 2.0,
+    max_hops: int | None = None,
+) -> OverlayRouteResult:
+    """Route between the representatives of two good tiles over the SENS overlay.
+
+    Parameters
+    ----------
+    network:
+        A built SENS network.
+    source_tile, target_tile:
+        Good tiles whose representatives are the packet's endpoints.
+    beta:
+        Path-loss exponent for the power accounting.
+    max_hops:
+        Passed through to the mesh router.
+
+    Raises
+    ------
+    ValueError
+        If either tile is not good.
+    """
+    classification = network.classification
+    for name, tile in (("source", source_tile), ("target", target_tile)):
+        if tile not in classification.records or not classification.records[tile].good:
+            raise ValueError(f"{name} tile {tile} is not a good tile")
+
+    lattice = network.lattice()
+    mesh_result = route_xy_mesh(
+        lattice,
+        network.tiling.lattice_site(source_tile),
+        network.tiling.lattice_site(target_tile),
+        max_hops=max_hops,
+    )
+    overlay = network.overlay
+    positions = overlay.graph.points
+    src_rep = overlay.tile_representatives[source_tile]
+    tgt_rep = overlay.tile_representatives[target_tile]
+    straight = float(np.linalg.norm(positions[src_rep] - positions[tgt_rep]))
+
+    if not mesh_result.success:
+        return OverlayRouteResult(
+            False, mesh_result, [src_rep], 0, 0.0, 0.0, straight
+        )
+
+    node_path = expand_site_path(network, mesh_result.path)
+    pts = positions[np.asarray(node_path, dtype=np.int64)]
+    seg = np.sqrt(np.einsum("ij,ij->i", np.diff(pts, axis=0), np.diff(pts, axis=0)))
+    return OverlayRouteResult(
+        success=True,
+        mesh_result=mesh_result,
+        node_path=node_path,
+        hops=len(node_path) - 1,
+        euclidean_length=float(seg.sum()),
+        power=float(np.sum(seg**beta)),
+        straight_line=straight,
+    )

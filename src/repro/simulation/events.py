@@ -1,0 +1,94 @@
+"""A minimal discrete-event engine.
+
+The workloads in this package are round/event driven; the engine is a plain
+priority queue of timestamped events with deterministic tie-breaking (FIFO
+within equal timestamps), which is all they need.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["SimulationEvent", "EventQueue"]
+
+
+@dataclass(order=True, frozen=True)
+class SimulationEvent:
+    """One scheduled event.
+
+    Ordering is by ``(time, sequence)`` so that events scheduled earlier at
+    the same timestamp fire first.
+    """
+
+    time: float
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Priority queue of :class:`SimulationEvent` with a simulation clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[SimulationEvent] = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+        self.processed: int = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: float, kind: str, payload: Any = None) -> SimulationEvent:
+        """Schedule an event ``delay`` time units from the current clock."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        event = SimulationEvent(self.now + delay, next(self._counter), kind, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, kind: str, payload: Any = None) -> SimulationEvent:
+        """Schedule an event at an absolute time (not before the current clock)."""
+        if time < self.now:
+            raise ValueError("cannot schedule into the past")
+        event = SimulationEvent(time, next(self._counter), kind, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> SimulationEvent:
+        """Remove and return the next event, advancing the clock."""
+        if not self._heap:
+            raise IndexError("event queue is empty")
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        self.processed += 1
+        return event
+
+    def run(
+        self,
+        handler: Callable[[SimulationEvent, "EventQueue"], None],
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> int:
+        """Drain the queue through ``handler``; returns the number of events processed.
+
+        ``until`` stops the run once the clock passes that time; ``max_events``
+        caps the number of processed events (safety valve for tests).
+        """
+        processed = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            event = self.pop()
+            handler(event, self)
+            processed += 1
+        return processed
+
+    def drain(self) -> Iterator[SimulationEvent]:
+        """Iterate over remaining events in time order (advances the clock)."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,32 @@
+"""Tests for the design-choice ablation harness."""
+
+from repro.analysis.ablations import ablation_udg_tile_parameters
+
+
+class TestUdgSpecAblation:
+    def test_infeasible_parameterisations_reported_not_swept(self):
+        result = ablation_udg_tile_parameters(
+            rep_radii=(0.3, 0.5), sides=(4.0 / 3.0,), intensities=[10, 20], trials=30, seed=1
+        )
+        by_radius = {r["rep_radius"]: r for r in result.rows}
+        assert by_radius[0.5]["feasible"] is False
+        assert by_radius[0.5]["lambda_s"] is None
+        assert by_radius[0.3]["feasible"] is True
+
+    def test_headline_best_comes_from_feasible_rows(self):
+        result = ablation_udg_tile_parameters(
+            rep_radii=(0.3, 1.0 / 3.0), sides=(1.2,), intensities=[6, 10, 16, 24], trials=60, seed=2
+        )
+        feasible = [r for r in result.rows if r["feasible"] and r["lambda_s"] is not None]
+        assert feasible
+        best = min(r["lambda_s"] for r in feasible)
+        assert result.headline["best_lambda_s"] == best
+
+    def test_rejected_combination_keeps_note(self):
+        # rep_radius too large for the tile side: constructor refuses, row explains why.
+        result = ablation_udg_tile_parameters(
+            rep_radii=(0.45,), sides=(0.8,), intensities=[10], trials=10, seed=3
+        )
+        row = result.rows[0]
+        assert row["feasible"] is False
+        assert row["note"]

@@ -1,0 +1,93 @@
+"""Smoke tests of the experiment harness (small parameters, structure checks).
+
+These are integration tests: each experiment entry point is run with reduced
+parameters and its output structure (rows, headline, notes) is validated
+against what the corresponding benchmark and EXPERIMENTS.md expect.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    experiment_e01_udg_threshold,
+    experiment_e03_sparsity,
+    experiment_e05_coverage,
+    experiment_e06_distributed_build,
+    experiment_e07_routing,
+    experiment_e10_tile_geometry,
+    experiment_e11_continuum,
+    experiment_e12_components,
+)
+
+
+class TestRegistry:
+    def test_all_twelve_registered(self):
+        assert set(ALL_EXPERIMENTS) == {f"E{i:02d}" for i in range(1, 13)}
+
+    def test_ids_match_keys(self):
+        # Sample a cheap one to verify the id convention.
+        result = experiment_e10_tile_geometry(trials=20)
+        assert result.experiment_id == "E10"
+
+
+class TestCheapExperiments:
+    def test_e01_structure(self):
+        result = experiment_e01_udg_threshold(trials=40, intensities=[5, 20, 30])
+        assert isinstance(result, ExperimentResult)
+        assert result.rows
+        assert "lambda_s_measured" in result.headline
+        assert result.headline["lambda_s_paper"] == 1.568
+        # The degenerate paper spec never produces good tiles.
+        assert result.headline["paper_spec_p_good_at_lambda_10"] == 0.0
+
+    def test_e03_sparsity_headline(self):
+        result = experiment_e03_sparsity(
+            udg_intensity=18.0, udg_window_side=12.0, nn_k=188, nn_window_tiles=3, seed=9
+        )
+        assert result.headline["udg_sens_max_degree"] <= 4.0
+        assert result.headline["nn_sens_max_degree"] <= 4.0
+        assert len(result.rows) == 4
+
+    def test_e05_coverage_rows(self):
+        result = experiment_e05_coverage(
+            intensities=(14.0, 28.0), window_side=16.0, box_sizes=[1.0, 2.0, 3.0], n_boxes=100
+        )
+        assert len(result.rows) == 6
+        for row in result.rows:
+            assert 0.0 <= row["p_empty"] <= 1.0
+
+    def test_e06_distributed_agreement(self):
+        result = experiment_e06_distributed_build(intensity=22.0, window_sides=(6.0, 9.0))
+        assert result.headline["all_match_centralized"] is True
+        rounds = {row["rounds"] for row in result.rows}
+        assert len(rounds) == 1  # constant number of rounds
+
+    def test_e07_routing_success(self):
+        result = experiment_e07_routing(
+            p_values=(0.75,), lattice_size=30, n_pairs=10,
+            overlay_intensity=20.0, overlay_window_side=12.0,
+        )
+        mesh_rows = [r for r in result.rows if r.get("p_open") == 0.75]
+        assert mesh_rows and mesh_rows[0]["success_rate"] == 1.0
+
+    def test_e10_reports_paper_degeneracy(self):
+        result = experiment_e10_tile_geometry(trials=20)
+        assert result.headline["paper_udg_spec_feasible"] is False
+        assert "E_right" in result.headline["paper_udg_empty_regions"]
+
+    def test_e11_continuum_shape(self):
+        result = experiment_e11_continuum(
+            lambdas=(0.4, 2.4), ks=(1, 5), window_side=15.0, n_points_nn=250
+        )
+        udg_rows = [r for r in result.rows if r["model"] == "UDG"]
+        nn_rows = [r for r in result.rows if r["model"] == "NN"]
+        # The giant-component fraction increases across the percolation transition.
+        assert udg_rows[-1]["largest_component_fraction"] > udg_rows[0]["largest_component_fraction"]
+        assert nn_rows[-1]["largest_component_fraction"] > nn_rows[0]["largest_component_fraction"]
+
+    def test_e12_components_monotone_trend(self):
+        result = experiment_e12_components(intensities=(14.0, 30.0), window_side=14.0)
+        rows = result.rows
+        assert rows[0]["fraction_good_tiles"] <= rows[-1]["fraction_good_tiles"] + 1e-9

@@ -1,0 +1,78 @@
+"""Tests for summary statistics and confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import bootstrap_ci, mean_confidence_interval, summarize
+
+
+class TestSummarize:
+    def test_known_values(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.n == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.median == pytest.approx(2.5)
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.std == 0.0
+        assert stats.mean == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {"n", "mean", "std", "min", "q25", "median", "q75", "max"}
+
+
+class TestMeanConfidenceInterval:
+    def test_interval_contains_mean(self):
+        mean, lo, hi = mean_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert lo <= mean <= hi
+        assert mean == pytest.approx(3.0)
+
+    def test_wider_confidence_wider_interval(self):
+        data = list(np.random.default_rng(0).normal(size=30))
+        _, lo95, hi95 = mean_confidence_interval(data, 0.95)
+        _, lo99, hi99 = mean_confidence_interval(data, 0.99)
+        assert (hi99 - lo99) > (hi95 - lo95)
+
+    def test_single_observation_degenerate(self):
+        mean, lo, hi = mean_confidence_interval([2.0])
+        assert mean == lo == hi == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([], 0.95)
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0], 1.5)
+
+    def test_coverage_on_synthetic_data(self):
+        """The 95% interval should contain the true mean most of the time."""
+        rng = np.random.default_rng(1)
+        hits = 0
+        for _ in range(100):
+            sample = rng.normal(loc=2.0, size=25)
+            _, lo, hi = mean_confidence_interval(sample, 0.95)
+            hits += lo <= 2.0 <= hi
+        assert hits >= 85
+
+
+class TestBootstrap:
+    def test_estimate_matches_statistic(self, rng):
+        data = [1.0, 2.0, 3.0, 4.0]
+        est, lo, hi = bootstrap_ci(data, statistic=np.median, n_resamples=200, rng=rng)
+        assert est == pytest.approx(np.median(data))
+        assert lo <= est <= hi
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], rng=rng)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], n_resamples=5, rng=rng)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=0.0, rng=rng)

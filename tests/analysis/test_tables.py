@@ -1,0 +1,48 @@
+"""Tests for the table formatters."""
+
+from repro.analysis.tables import format_table, to_markdown
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 20, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "20" in lines[3]
+
+    def test_missing_keys_filled_blank(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_float_formatting_and_specials(self):
+        rows = [{"x": 0.123456789, "y": float("nan"), "z": float("inf"), "ok": True}]
+        text = format_table(rows, float_format=".3g")
+        assert "0.123" in text
+        assert "nan" in text
+        assert "inf" in text
+        assert "yes" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+        assert "title" in format_table([], title="title")
+
+    def test_title_and_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"], title="only b")
+        assert text.splitlines()[0] == "only b"
+        assert "a" not in text.splitlines()[1]
+
+
+class TestMarkdown:
+    def test_markdown_structure(self):
+        rows = [{"col": 1}, {"col": 2}]
+        md = to_markdown(rows)
+        lines = md.splitlines()
+        assert lines[0] == "| col |"
+        assert lines[1] == "| --- |"
+        assert len(lines) == 4
+
+    def test_empty(self):
+        assert to_markdown([]) == "(no rows)"

@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+Expensive artefacts (built SENS networks) are session-scoped so the many
+tests that inspect them do not rebuild them; every fixture is seeded so the
+whole suite is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Rect, build_nn_sens, build_udg_sens
+from repro.core.tiles_nn import NNTileSpec
+from repro.core.tiles_udg import UDGTileSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def udg_spec() -> UDGTileSpec:
+    return UDGTileSpec.default()
+
+
+@pytest.fixture(scope="session")
+def nn_spec() -> NNTileSpec:
+    return NNTileSpec.default()
+
+
+@pytest.fixture(scope="session")
+def udg_network():
+    """A moderately sized UDG-SENS network used by many tests (λ=25, 15×15 tiles)."""
+    return build_udg_sens(intensity=25.0, window=Rect(0, 0, 20, 20), seed=42)
+
+
+@pytest.fixture(scope="session")
+def sparse_udg_network():
+    """A lower-density UDG-SENS network with some bad tiles (λ=12)."""
+    return build_udg_sens(intensity=12.0, window=Rect(0, 0, 20, 20), seed=43)
+
+
+@pytest.fixture(scope="session")
+def nn_network():
+    """A small NN-SENS network with the paper's parameters (k=188, a=0.893)."""
+    spec = NNTileSpec.default()
+    side = spec.tile_side * 4
+    return build_nn_sens(k=188, window=Rect(0, 0, side, side), seed=44, spec=spec)

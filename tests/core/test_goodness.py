@@ -1,0 +1,153 @@
+"""Tests for tile classification (goodness and point selection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.goodness import classify_tiles, select_region_leader
+from repro.core.tiles_udg import UDGTileSpec
+from repro.core.tiling import Tiling
+from repro.geometry.poisson import poisson_points
+from repro.geometry.primitives import Rect
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return UDGTileSpec.default()
+
+
+def make_good_tile_points(spec, tile_center):
+    """Hand-place one point in C0 and one in each relay region of a tile."""
+    offsets = [spec.region_anchor(name) for name in spec.region_names]
+    return np.asarray(tile_center) + np.asarray(offsets)
+
+
+class TestSelectLeader:
+    def test_closest_wins(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.2, 0.0]])
+        winner = select_region_leader(pts, np.array([0, 1, 2]), anchor=np.array([0.25, 0.0]))
+        assert winner == 2
+
+    def test_tie_broken_by_index(self):
+        pts = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        winner = select_region_leader(pts, np.array([0, 1]), anchor=np.array([0.0, 0.0]))
+        assert winner == 0
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            select_region_leader(np.zeros((2, 2)), np.array([], dtype=int), np.zeros(2))
+
+
+class TestClassification:
+    def test_hand_built_good_tile(self, spec):
+        window = Rect(0, 0, spec.tile_side, spec.tile_side)
+        tiling = Tiling(window=window, tile_side=spec.tile_side)
+        pts = make_good_tile_points(spec, tiling.tile_center((0, 0)))
+        classification = classify_tiles(pts, tiling, spec)
+        record = classification.records[(0, 0)]
+        assert record.good
+        assert record.failure_reason == ""
+        assert record.representative == 0  # the C0 point
+        assert set(record.relays.keys()) == {"E_right", "E_left", "E_top", "E_bottom"}
+
+    def test_missing_region_marks_bad(self, spec):
+        window = Rect(0, 0, spec.tile_side, spec.tile_side)
+        tiling = Tiling(window=window, tile_side=spec.tile_side)
+        pts = make_good_tile_points(spec, tiling.tile_center((0, 0)))[:-1]  # drop E_bottom
+        classification = classify_tiles(pts, tiling, spec)
+        record = classification.records[(0, 0)]
+        assert not record.good
+        assert record.failure_reason == "missing:E_bottom"
+        assert record.representative is None
+
+    def test_empty_tile_is_bad(self, spec):
+        window = Rect(0, 0, spec.tile_side * 2, spec.tile_side)
+        tiling = Tiling(window=window, tile_side=spec.tile_side)
+        pts = make_good_tile_points(spec, tiling.tile_center((0, 0)))
+        classification = classify_tiles(pts, tiling, spec)
+        assert not classification.records[(1, 0)].good
+        assert classification.records[(1, 0)].failure_reason.startswith("missing:")
+
+    def test_good_mask_and_lattice_coupling(self, spec):
+        window = Rect(0, 0, spec.tile_side * 2, spec.tile_side)
+        tiling = Tiling(window=window, tile_side=spec.tile_side)
+        pts = make_good_tile_points(spec, tiling.tile_center((0, 0)))
+        classification = classify_tiles(pts, tiling, spec)
+        mask = classification.good_mask
+        assert mask.shape == (1, 2)
+        assert mask[0, 0] and not mask[0, 1]
+        lattice = classification.to_lattice()
+        assert lattice.is_open((0, 0))
+        assert not lattice.is_open((0, 1))
+        assert classification.fraction_good == pytest.approx(0.5)
+
+    def test_failure_histogram(self, spec):
+        window = Rect(0, 0, spec.tile_side * 2, spec.tile_side)
+        tiling = Tiling(window=window, tile_side=spec.tile_side)
+        pts = make_good_tile_points(spec, tiling.tile_center((0, 0)))
+        classification = classify_tiles(pts, tiling, spec)
+        hist = classification.failure_histogram()
+        assert sum(hist.values()) == 1
+
+    def test_tile_side_mismatch_rejected(self, spec):
+        tiling = Tiling(window=Rect(0, 0, 10, 10), tile_side=2.0)
+        with pytest.raises(ValueError):
+            classify_tiles(np.zeros((1, 2)), tiling, spec)
+
+    def test_all_points_assigned_to_some_record(self, spec, rng):
+        window = Rect(0, 0, spec.tile_side * 4, spec.tile_side * 4)
+        tiling = Tiling(window=window, tile_side=spec.tile_side)
+        pts = poisson_points(window, 15.0, rng)
+        classification = classify_tiles(pts, tiling, spec)
+        counted = sum(len(r.point_indices) for r in classification.records.values())
+        # Points on the outer boundary can fall into (excluded) partial tiles.
+        assert counted <= len(pts)
+        assert counted >= 0.9 * len(pts)
+
+    def test_representatives_are_in_c0(self, spec, rng):
+        window = Rect(0, 0, spec.tile_side * 4, spec.tile_side * 4)
+        tiling = Tiling(window=window, tile_side=spec.tile_side)
+        pts = poisson_points(window, 25.0, rng)
+        classification = classify_tiles(pts, tiling, spec)
+        c0 = spec.region_predicates()["C0"]
+        for tile in classification.good_tiles():
+            rep = classification.representative_of(tile)
+            local = pts[rep] - tiling.tile_center(tile)
+            assert c0.contains(local[None, :])[0]
+
+    def test_relays_are_in_their_regions(self, spec, rng):
+        window = Rect(0, 0, spec.tile_side * 3, spec.tile_side * 3)
+        tiling = Tiling(window=window, tile_side=spec.tile_side)
+        pts = poisson_points(window, 25.0, rng)
+        classification = classify_tiles(pts, tiling, spec)
+        preds = spec.region_predicates()
+        for tile in classification.good_tiles():
+            record = classification.records[tile]
+            center = tiling.tile_center(tile)
+            for region, idx in record.relays.items():
+                local = pts[idx] - center
+                assert preds[region].contains(local[None, :])[0]
+
+    def test_deterministic_given_points(self, spec, rng):
+        window = Rect(0, 0, spec.tile_side * 3, spec.tile_side * 3)
+        tiling = Tiling(window=window, tile_side=spec.tile_side)
+        pts = poisson_points(window, 20.0, rng)
+        a = classify_tiles(pts, tiling, spec)
+        b = classify_tiles(pts, tiling, spec)
+        assert a.good_mask.tolist() == b.good_mask.tolist()
+        for tile in a.good_tiles():
+            assert a.records[tile].representative == b.records[tile].representative
+
+
+class TestNNOccupancyCap:
+    def test_overcrowded_tile_is_bad(self):
+        from repro.core.tiles_nn import NNTileSpec
+
+        spec = NNTileSpec(a=0.5)
+        window = Rect(0, 0, spec.tile_side, spec.tile_side)
+        tiling = Tiling(window=window, tile_side=spec.tile_side)
+        rng = np.random.default_rng(0)
+        pts = window.sample_uniform(400, rng)
+        classification = classify_tiles(pts, tiling, spec, k=10)  # cap = 5 << 400
+        record = classification.records[(0, 0)]
+        assert not record.good
+        assert record.failure_reason == "overcrowded"

@@ -1,0 +1,79 @@
+"""Tests for the power model and the power-stretch measurement."""
+
+import numpy as np
+import pytest
+
+from repro.core.power import min_power_distances, path_power, power_stretch
+from repro.graphs.base import GeometricGraph
+
+
+class TestPathPower:
+    def test_single_hop(self):
+        pts = np.array([[0, 0], [2, 0]], dtype=float)
+        assert path_power(pts, [0, 1], beta=2.0) == pytest.approx(4.0)
+        assert path_power(pts, [0, 1], beta=3.0) == pytest.approx(8.0)
+
+    def test_multi_hop_cheaper_than_direct_for_beta_ge_2(self):
+        """The defining property of the power metric: relaying through a midpoint helps."""
+        pts = np.array([[0, 0], [1, 0], [2, 0]], dtype=float)
+        direct = path_power(pts, [0, 2], beta=2.0)
+        relayed = path_power(pts, [0, 1, 2], beta=2.0)
+        assert relayed < direct
+
+    def test_empty_or_single_node_path(self):
+        pts = np.array([[0, 0], [1, 1]], dtype=float)
+        assert path_power(pts, [], beta=2.0) == 0.0
+        assert path_power(pts, [0], beta=2.0) == 0.0
+
+    def test_beta_validation(self):
+        pts = np.array([[0, 0], [1, 0]], dtype=float)
+        with pytest.raises(ValueError):
+            path_power(pts, [0, 1], beta=1.0)
+        with pytest.raises(ValueError):
+            path_power(pts, [0, 1], beta=6.0)
+
+
+class TestMinPowerDistances:
+    def test_prefers_relayed_path(self):
+        pts = np.array([[0, 0], [1, 0], [2, 0]], dtype=float)
+        g = GeometricGraph(pts, np.array([[0, 1], [1, 2], [0, 2]]))
+        d = min_power_distances(g, sources=[0], beta=2.0)
+        assert d[0, 2] == pytest.approx(2.0)  # via the midpoint, not the direct d²=4 edge
+
+    def test_unreachable_is_inf(self):
+        pts = np.array([[0, 0], [1, 0], [10, 10]], dtype=float)
+        g = GeometricGraph(pts, np.array([[0, 1]]))
+        d = min_power_distances(g, sources=[0], beta=2.0)
+        assert np.isinf(d[0, 2])
+
+
+class TestPowerStretch:
+    def test_report_fields(self, udg_network, rng):
+        report = power_stretch(udg_network, beta=2.0, n_pairs=40, rng=rng)
+        assert report.beta == 2.0
+        assert report.max_ratio >= report.mean_ratio >= 1.0 - 1e-9
+        # The overlay keeps hop lengths <= 1, so the power ratio against the dense
+        # base graph stays a small constant even though the spanning-subgraph
+        # delta^beta bound does not formally apply (see repro.core.power docstring).
+        assert report.max_ratio < 10.0
+        assert report.distance_stretch_bound >= 1.0
+
+    def test_higher_beta_allows_larger_bound(self, udg_network, rng):
+        r2 = power_stretch(udg_network, beta=2.0, n_pairs=30, rng=rng)
+        r4 = power_stretch(udg_network, beta=4.0, n_pairs=30, rng=rng)
+        assert r4.distance_stretch_bound >= r2.distance_stretch_bound
+
+    def test_requires_base_graph(self, rng):
+        from repro import Rect, build_udg_sens
+
+        net = build_udg_sens(
+            intensity=20.0, window=Rect(0, 0, 8, 8), seed=1, build_base_graph=False
+        )
+        with pytest.raises(ValueError):
+            power_stretch(net, n_pairs=10, rng=rng)
+
+    def test_invalid_arguments(self, udg_network, rng):
+        with pytest.raises(ValueError):
+            power_stretch(udg_network, beta=1.5, n_pairs=10, rng=rng)
+        with pytest.raises(ValueError):
+            power_stretch(udg_network, beta=2.0, n_pairs=0, rng=rng)

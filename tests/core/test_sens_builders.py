@@ -1,0 +1,105 @@
+"""Tests for the high-level UDG-SENS / NN-SENS builders and the SensNetwork result."""
+
+import numpy as np
+import pytest
+
+from repro import Rect, build_nn_sens, build_udg_sens
+from repro.core.tiles_nn import NNTileSpec
+from repro.core.tiles_udg import UDGTileSpec
+
+
+class TestBuildUdgSens:
+    def test_summary_keys(self, udg_network):
+        summary = udg_network.summary()
+        for key in (
+            "fraction_good_tiles",
+            "participation_fraction",
+            "sens_max_degree",
+            "base_mean_degree",
+        ):
+            assert key in summary
+
+    def test_high_density_all_tiles_good(self, udg_network):
+        assert udg_network.fraction_good_tiles > 0.9
+
+    def test_participation_is_small(self, udg_network):
+        """The headline of the paper: only a small fraction of nodes is needed."""
+        assert udg_network.participation_fraction < 0.35
+        assert udg_network.unused_fraction == pytest.approx(1 - udg_network.participation_fraction)
+
+    def test_lattice_matches_good_mask(self, udg_network):
+        lattice = udg_network.lattice()
+        assert lattice.open_mask.tolist() == udg_network.classification.good_mask.tolist()
+
+    def test_explicit_points_and_window_inference(self, rng):
+        pts = rng.uniform(0, 8, size=(800, 2))
+        net = build_udg_sens(points=pts)
+        assert net.n_deployed == 800
+        assert net.tiling.window.xmax >= 7.9
+
+    def test_requires_intensity_or_points(self):
+        with pytest.raises(ValueError):
+            build_udg_sens()
+        with pytest.raises(ValueError):
+            build_udg_sens(intensity=5.0)  # missing window
+
+    def test_empty_points_rejected_without_window(self):
+        with pytest.raises(ValueError):
+            build_udg_sens(points=np.zeros((0, 2)))
+
+    def test_seed_reproducibility(self):
+        a = build_udg_sens(intensity=15.0, window=Rect(0, 0, 8, 8), seed=5, build_base_graph=False)
+        b = build_udg_sens(intensity=15.0, window=Rect(0, 0, 8, 8), seed=5, build_base_graph=False)
+        assert a.n_deployed == b.n_deployed
+        assert a.fraction_good_tiles == b.fraction_good_tiles
+        assert np.array_equal(a.sens.graph.edges, b.sens.graph.edges)
+
+    def test_skip_base_graph(self):
+        net = build_udg_sens(
+            intensity=15.0, window=Rect(0, 0, 8, 8), seed=5, build_base_graph=False
+        )
+        assert net.base_graph.n_nodes == 0
+        assert net.sens.n_nodes > 0
+
+    def test_custom_spec_is_used(self):
+        spec = UDGTileSpec(side=1.2, rep_radius=0.3)
+        net = build_udg_sens(intensity=20.0, window=Rect(0, 0, 9.6, 9.6), seed=2, spec=spec,
+                             build_base_graph=False)
+        assert net.tiling.tile_side == pytest.approx(1.2)
+        assert net.spec is spec
+
+    def test_low_density_some_bad_tiles(self, sparse_udg_network):
+        assert 0.0 < sparse_udg_network.fraction_good_tiles < 1.0
+        assert sparse_udg_network.n_sens_nodes < sparse_udg_network.n_overlay_nodes
+
+
+class TestBuildNnSens:
+    def test_basic_structure(self, nn_network):
+        assert nn_network.model == "nn"
+        assert nn_network.k == 188
+        assert nn_network.fraction_good_tiles > 0.0
+        assert nn_network.sens.graph.degrees().max() <= 4 if nn_network.sens.n_nodes else True
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            build_nn_sens(k=0, window=Rect(0, 0, 10, 10))
+
+    def test_requires_window_or_points(self):
+        with pytest.raises(ValueError):
+            build_nn_sens(k=10)
+
+    def test_small_k_rarely_good(self):
+        """With a tiny k the occupancy cap makes most tiles bad."""
+        spec = NNTileSpec.default()
+        side = spec.tile_side * 3
+        net = build_nn_sens(k=10, window=Rect(0, 0, side, side), seed=1, spec=spec,
+                            build_base_graph=False)
+        assert net.fraction_good_tiles <= 0.2
+
+    def test_overcrowding_failure_reported(self):
+        spec = NNTileSpec.default()
+        side = spec.tile_side * 3
+        net = build_nn_sens(k=10, window=Rect(0, 0, side, side), seed=1, spec=spec,
+                            build_base_graph=False)
+        hist = net.classification.failure_histogram()
+        assert "overcrowded" in hist

@@ -1,0 +1,56 @@
+"""Tests for the distance-stretch measurement (P2, Theorem 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stretch import StretchReport, StretchSamplePair, measure_stretch
+
+
+class TestMeasureStretch:
+    def test_report_basics(self, udg_network, rng):
+        report = measure_stretch(udg_network, n_pairs=80, rng=rng)
+        assert len(report.samples) > 10
+        assert report.max_stretch >= report.mean_stretch >= 1.0
+
+    def test_stretch_at_least_one(self, udg_network, rng):
+        """Graph distance can never undercut the Euclidean distance."""
+        report = measure_stretch(udg_network, n_pairs=60, rng=rng)
+        assert (report.stretches >= 1.0 - 1e-9).all()
+
+    def test_stretch_bounded_by_small_constant(self, udg_network, rng):
+        """The constant-stretch property: no sampled pair exceeds a small constant."""
+        report = measure_stretch(udg_network, n_pairs=120, rng=rng)
+        assert report.max_stretch < 3.0
+
+    def test_tail_probability_and_quantiles(self, udg_network, rng):
+        report = measure_stretch(udg_network, n_pairs=60, rng=rng)
+        assert report.tail_probability(1.0) >= report.tail_probability(2.0)
+        assert report.quantile(0.5) <= report.quantile(0.95)
+
+    def test_tail_by_distance_rows(self, udg_network, rng):
+        report = measure_stretch(udg_network, n_pairs=100, rng=rng)
+        rows = report.tail_by_distance(2.0, bins=[1, 5, 10, 20])
+        assert rows
+        for row in rows:
+            assert 0.0 <= row["tail_probability"] <= 1.0
+            assert row["n_pairs"] >= 1
+
+    def test_samples_record_tiles_and_distances(self, udg_network, rng):
+        report = measure_stretch(udg_network, n_pairs=40, rng=rng)
+        for s in report.samples:
+            assert isinstance(s, StretchSamplePair)
+            assert s.lattice_distance >= 1
+            assert s.overlay_hops >= 1
+            assert s.euclidean > 0
+
+    def test_invalid_pairs_rejected(self, udg_network, rng):
+        with pytest.raises(ValueError):
+            measure_stretch(udg_network, n_pairs=0, rng=rng)
+
+    def test_min_euclidean_filter(self, udg_network, rng):
+        report = measure_stretch(udg_network, n_pairs=60, rng=rng, min_euclidean=5.0)
+        assert all(s.euclidean >= 5.0 for s in report.samples)
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ValueError):
+            StretchReport([])

@@ -1,0 +1,157 @@
+"""Tests for the NN-SENS tile geometry (paper §2.2, Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiles_nn import NNTileSpec
+from repro.geometry.primitives import pairwise_distances
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return NNTileSpec.paper()
+
+
+class TestSpecConstruction:
+    def test_paper_parameters(self, spec):
+        assert spec.a == pytest.approx(0.893)
+        assert spec.tile_side == pytest.approx(8.93)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NNTileSpec(a=0.0)
+        with pytest.raises(ValueError):
+            NNTileSpec(anchor_samples=4)
+        with pytest.raises(ValueError):
+            NNTileSpec(occupancy_fraction=0.0)
+
+    def test_nine_regions(self, spec):
+        assert len(spec.region_names) == 9
+        assert spec.region_names[0] == "C0"
+        assert tuple(spec.required_regions) == tuple(spec.region_names)
+
+    def test_occupancy_cap(self, spec):
+        assert spec.max_points_per_tile(188) == 94
+        assert spec.max_points_per_tile(3) == 1
+        with pytest.raises(ValueError):
+            spec.max_points_per_tile(None)
+
+    def test_relay_chain_two_hops(self, spec):
+        assert spec.relay_chain("right") == ("E_right", "C_right")
+        assert spec.relay_chain("bottom") == ("E_bottom", "C_bottom")
+
+
+class TestDiscRegions:
+    def test_c_disc_positions(self, spec):
+        assert np.allclose(spec.c_disc("C0").center, [0, 0])
+        assert np.allclose(spec.c_disc("C_right").center, [4 * spec.a, 0])
+        assert np.allclose(spec.c_disc("C_top").center, [0, 4 * spec.a])
+        assert spec.c_disc("C_left").radius == pytest.approx(spec.a)
+
+    def test_c_discs_disjoint(self, spec):
+        """The five C-discs are pairwise disjoint (centres 4a apart, radius a)."""
+        preds = spec.region_predicates()
+        grid = spec.tile_rect().grid(150)
+        names = ["C0", "C_right", "C_left", "C_top", "C_bottom"]
+        masks = {n: preds[n].contains(grid) for n in names}
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                assert not (masks[a] & masks[b]).any()
+
+    def test_anchor_positions(self, spec):
+        assert np.allclose(spec.region_anchor("C_right"), [4 * spec.a, 0])
+        assert np.allclose(spec.region_anchor("E_right"), [2 * spec.a, 0])
+        with pytest.raises(KeyError):
+            spec.region_anchor("E_nowhere")
+
+
+class TestERegions:
+    def test_e_right_nonempty_and_between_discs(self, spec):
+        pred = spec.e_region("right")
+        # The mid-point between C0 and C_right must belong to E_right.
+        assert pred.contains([(2 * spec.a, 0.0)])[0]
+        # Far corners of the tile must not.
+        assert not pred.contains([(-4.5 * spec.a, 4.5 * spec.a)])[0]
+
+    def test_e_regions_inside_tile(self, spec):
+        tile = spec.tile_rect()
+        for direction in ("right", "left", "top", "bottom"):
+            pred = spec.e_region(direction)
+            pts = pred.bounds.grid(60)
+            inside = pts[pred.contains(pts)]
+            assert len(inside) > 0
+            assert tile.contains(inside).all()
+
+    def test_e_region_symmetry(self, spec):
+        """E_left is the mirror image of E_right."""
+        er = spec.e_region("right")
+        el = spec.e_region("left")
+        probes = np.array([[2 * spec.a, 0.3], [1.5 * spec.a, -0.7], [3.0 * spec.a, 0.0]])
+        mirrored = probes * np.array([-1.0, 1.0])
+        assert np.array_equal(er.contains(probes), el.contains(mirrored))
+
+    def test_two_tile_rect(self, spec):
+        pair = spec.two_tile_rect("right")
+        assert pair.width == pytest.approx(2 * spec.tile_side)
+        assert pair.height == pytest.approx(spec.tile_side)
+        pair_top = spec.two_tile_rect("top")
+        assert pair_top.height == pytest.approx(2 * spec.tile_side)
+
+
+class TestConnectivityGuarantees:
+    """Numerical verification of the Claim 2.3 disc-containment guarantees."""
+
+    def test_validation_feasible(self, spec):
+        diag = spec.validate(resolution=150)
+        assert diag.feasible
+        assert not diag.empty_regions
+        assert all(m >= -1e-9 for m in diag.guarantee_margins.values())
+
+    def test_e_region_within_all_anchored_discs(self, spec):
+        """Every E_right sample is within R(c) of every anchor c — by construction of the
+        predicate, but checked here against an independent dense anchor sample."""
+        pred = spec.e_region("right")
+        grid = spec.tile_rect().grid(80)
+        e_pts = grid[pred.contains(grid)]
+        pair = spec.two_tile_rect("right")
+        rng = np.random.default_rng(0)
+        for disc_name in ("C0", "C_right"):
+            disc = spec.c_disc(disc_name)
+            # Random anchors inside the disc (not just the sampled boundary).
+            angles = rng.uniform(0, 2 * np.pi, 200)
+            radii = disc.radius * np.sqrt(rng.uniform(0, 1, 200))
+            anchors = np.column_stack(
+                [disc.cx + radii * np.cos(angles), disc.cy + radii * np.sin(angles)]
+            )
+            boundary_dist = np.minimum.reduce(
+                [
+                    anchors[:, 0] - pair.xmin,
+                    pair.xmax - anchors[:, 0],
+                    anchors[:, 1] - pair.ymin,
+                    pair.ymax - anchors[:, 1],
+                ]
+            )
+            d = pairwise_distances(anchors, e_pts)
+            # Allow a tiny tolerance: the predicate uses a finite anchor sample.
+            assert (d <= boundary_dist[:, None] + 0.05).all()
+
+    def test_c_to_neighbour_c_containment(self, spec):
+        """Discs centred in C_right reaching the neighbour's C_left stay in the two tiles."""
+        diag = spec.validate(resolution=120)
+        assert diag.guarantee_margins["c_to_neighbour_c"] >= 0
+
+
+class TestGoodProbability:
+    def test_analytic_probability_in_range_and_monotone_in_k(self, spec):
+        p_small = spec.analytic_good_probability(100, resolution=100)
+        p_large = spec.analytic_good_probability(250, resolution=100)
+        assert 0 <= p_small <= p_large <= 1
+
+    def test_paper_operating_point_is_near_threshold(self, spec):
+        """At (k=188, a=0.893) the analytic goodness probability is in the vicinity of p_c."""
+        p = spec.analytic_good_probability(188, resolution=150)
+        assert 0.35 <= p <= 0.85
+
+    def test_invalid_k_rejected(self, spec):
+        with pytest.raises(ValueError):
+            spec.analytic_good_probability(0)

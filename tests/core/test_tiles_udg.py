@@ -1,0 +1,161 @@
+"""Tests for the UDG-SENS tile geometry, including the connectivity guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tiles_udg import UDGTileSpec
+from repro.geometry.integration import estimate_area_grid
+from repro.geometry.primitives import pairwise_distances
+
+
+class TestSpecConstruction:
+    def test_default_is_feasible(self):
+        diag = UDGTileSpec.default().validate(resolution=200)
+        assert diag.feasible
+        assert not diag.empty_regions
+        assert all(m >= -1e-9 for m in diag.guarantee_margins.values())
+
+    def test_paper_spec_is_degenerate(self):
+        diag = UDGTileSpec.paper().validate(resolution=200)
+        assert not diag.feasible
+        assert set(diag.empty_regions) == {"E_right", "E_left", "E_top", "E_bottom"}
+        assert diag.guarantee_margins["annulus_width"] <= 0
+        assert diag.notes  # the degeneracy is explained
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            UDGTileSpec(side=-1.0)
+        with pytest.raises(ValueError):
+            UDGTileSpec(rep_radius=0.0)
+        with pytest.raises(ValueError):
+            UDGTileSpec(rep_radius=1.5, connection_radius=1.0)
+        with pytest.raises(ValueError):
+            UDGTileSpec(side=0.5, rep_radius=0.4)  # C0 does not fit
+
+    def test_region_names_and_required(self):
+        spec = UDGTileSpec.default()
+        assert spec.region_names[0] == "C0"
+        assert len(spec.region_names) == 5
+        assert tuple(spec.required_regions) == tuple(spec.region_names)
+
+    def test_no_occupancy_cap(self):
+        assert UDGTileSpec.default().max_points_per_tile(None) is None
+        assert UDGTileSpec.default().max_points_per_tile(100) is None
+
+    def test_relay_chain_single_hop(self):
+        spec = UDGTileSpec.default()
+        assert spec.relay_chain("right") == ("E_right",)
+        assert spec.facing_direction("right") == "left"
+
+
+class TestRegionGeometry:
+    def test_c0_is_centered_disc(self):
+        spec = UDGTileSpec.default()
+        c0 = spec.region_predicates()["C0"]
+        assert c0.contains([(0.0, 0.0)])[0]
+        assert c0.contains([(spec.rep_radius - 1e-6, 0.0)])[0]
+        assert not c0.contains([(spec.rep_radius + 1e-3, 0.0)])[0]
+
+    def test_relay_regions_inside_tile(self):
+        spec = UDGTileSpec.default()
+        tile = spec.tile_rect()
+        for direction in ("right", "left", "top", "bottom"):
+            pred = spec.relay_region(direction)
+            pts = pred.bounds.grid(80)
+            inside = pts[pred.contains(pts)]
+            assert len(inside) > 0
+            assert tile.contains(inside).all()
+
+    def test_relay_disjoint_from_c0(self):
+        spec = UDGTileSpec.default()
+        preds = spec.region_predicates()
+        grid = spec.tile_rect().grid(150)
+        c0 = preds["C0"].contains(grid)
+        for direction in ("right", "left", "top", "bottom"):
+            relay = preds[f"E_{direction}"].contains(grid)
+            assert not (c0 & relay).any()
+
+    def test_region_symmetry(self):
+        """The four relay regions are rotations of one another (equal areas)."""
+        spec = UDGTileSpec.default()
+        areas = [
+            estimate_area_grid(spec.relay_region(d), resolution=250).area
+            for d in ("right", "left", "top", "bottom")
+        ]
+        assert max(areas) - min(areas) < 0.01
+
+    def test_region_anchor_positions(self):
+        spec = UDGTileSpec.default()
+        assert np.allclose(spec.region_anchor("C0"), [0, 0])
+        anchor = spec.region_anchor("E_right")
+        assert anchor[0] > 0 and anchor[1] == 0
+        with pytest.raises(KeyError):
+            spec.region_anchor("E_diagonal")
+
+    def test_edge_midpoints(self):
+        spec = UDGTileSpec.default()
+        assert np.allclose(spec.edge_midpoint("top"), [0, spec.side / 2])
+
+
+class TestConnectivityGuarantees:
+    """Numerical verification of the Claim 2.1 hop-length guarantees."""
+
+    def test_rep_to_relay_within_connection_radius(self):
+        spec = UDGTileSpec.default()
+        grid = spec.tile_rect().grid(120)
+        preds = spec.region_predicates()
+        c0_pts = grid[preds["C0"].contains(grid)]
+        er_pts = grid[preds["E_right"].contains(grid)]
+        assert pairwise_distances(c0_pts, er_pts).max() <= spec.connection_radius + 1e-9
+
+    def test_relay_to_facing_relay_within_connection_radius(self):
+        spec = UDGTileSpec.default()
+        grid = spec.tile_rect().grid(120)
+        er = grid[spec.relay_region("right").contains(grid)]
+        # The facing relay region of the right-hand neighbour, in this tile's frame.
+        el_neighbour = grid[spec.relay_region("left").contains(grid)] + np.array([spec.side, 0.0])
+        assert pairwise_distances(er, el_neighbour).max() <= spec.connection_radius + 1e-9
+
+    def test_three_hop_path_bound_cu(self):
+        """Worst-case rep-to-neighbour-rep path length is at most c_u * distance (c_u <= 3)."""
+        spec = UDGTileSpec.default()
+        # Worst case: 3 hops each of length <= 1, while the Euclidean distance between
+        # representatives is at least side - 2*rep_radius.
+        worst_path = 3.0 * spec.connection_radius
+        min_rep_distance = spec.side - 2 * spec.rep_radius
+        assert worst_path / min_rep_distance <= 4.6  # a constant, as Claim 2.1 requires
+
+    @given(st.floats(0.05, 0.49), st.floats(1.0, 2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_guarantees_hold_whenever_spec_feasible(self, rep_radius, side):
+        """Property: for any feasible parameterisation the validator's margins are consistent."""
+        try:
+            spec = UDGTileSpec(side=side, rep_radius=rep_radius)
+        except ValueError:
+            return
+        diag = spec.validate(resolution=100)
+        if diag.feasible:
+            # Feasible specs must have non-degenerate relay regions and positive margins.
+            assert all(a > 0 for name, a in diag.region_areas.items())
+            assert diag.guarantee_margins["rep_to_relay"] >= -1e-6
+            assert diag.guarantee_margins["relay_to_relay"] >= -1e-9
+
+
+class TestGoodProbability:
+    def test_analytic_probability_monotone_in_lambda(self):
+        spec = UDGTileSpec.default()
+        probs = [spec.analytic_good_probability(lam, resolution=150) for lam in (2.0, 8.0, 20.0)]
+        assert probs == sorted(probs)
+        assert 0 <= probs[0] <= probs[-1] <= 1
+
+    def test_analytic_probability_zero_at_zero_intensity(self):
+        assert UDGTileSpec.default().analytic_good_probability(0.0, resolution=100) == 0.0
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            UDGTileSpec.default().analytic_good_probability(-1.0)
+
+    def test_paper_spec_probability_is_zero(self):
+        assert UDGTileSpec.paper().analytic_good_probability(50.0, resolution=150) == pytest.approx(0.0)

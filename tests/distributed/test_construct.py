@@ -1,0 +1,94 @@
+"""Tests for the Figure-7 distributed construction algorithm."""
+
+import numpy as np
+import pytest
+
+from repro import Rect, build_udg_sens
+from repro.core.tiles_nn import NNTileSpec
+from repro.core.tiles_udg import UDGTileSpec
+from repro.distributed.construct import distributed_build
+
+
+@pytest.fixture(scope="module")
+def small_build():
+    window = Rect(0, 0, 10, 10)
+    net = build_udg_sens(intensity=25.0, window=window, seed=77, build_base_graph=False)
+    result = distributed_build(net.points, net.spec, window)
+    return net, result
+
+
+class TestAgreementWithCentralized:
+    def test_good_tiles_and_leaders_match(self, small_build):
+        net, result = small_build
+        assert result.matches_classification(net.classification)
+
+    def test_edges_match_overlay(self, small_build):
+        net, result = small_build
+        assert result.matches_overlay(net.overlay)
+
+    def test_agreement_at_lower_density(self):
+        """Agreement must also hold when many tiles are bad."""
+        window = Rect(0, 0, 12, 12)
+        net = build_udg_sens(intensity=12.0, window=window, seed=3, build_base_graph=False)
+        result = distributed_build(net.points, net.spec, window)
+        assert result.matches_classification(net.classification)
+        assert result.matches_overlay(net.overlay)
+
+    def test_agreement_for_nn_spec(self):
+        from repro import build_nn_sens
+
+        spec = NNTileSpec.default()
+        window = Rect(0, 0, spec.tile_side * 3, spec.tile_side * 3)
+        net = build_nn_sens(k=188, window=window, seed=5, spec=spec, build_base_graph=False)
+        result = distributed_build(net.points, spec, window, k=188)
+        assert result.matches_classification(net.classification)
+        assert result.matches_overlay(net.overlay)
+
+
+class TestLocalityAndCost:
+    def test_rounds_independent_of_size(self):
+        rounds = []
+        for side, seed in ((8.0, 1), (16.0, 2)):
+            window = Rect(0, 0, side, side)
+            net = build_udg_sens(intensity=20.0, window=window, seed=seed, build_base_graph=False)
+            result = distributed_build(net.points, net.spec, window)
+            rounds.append(result.stats.rounds)
+        assert rounds[0] == rounds[1]
+
+    def test_messages_grow_with_network(self):
+        msgs = []
+        for side, seed in ((8.0, 1), (16.0, 2)):
+            window = Rect(0, 0, side, side)
+            net = build_udg_sens(intensity=20.0, window=window, seed=seed, build_base_graph=False)
+            result = distributed_build(net.points, net.spec, window)
+            msgs.append(result.stats.messages_sent)
+        assert msgs[1] > msgs[0]
+
+    def test_udg_messages_respect_radio_range(self, small_build):
+        """The default radio range for UDG specs is the connection radius; the run
+        completing without a locality violation is the assertion."""
+        net, result = small_build
+        assert result.stats.messages_sent > 0
+
+    def test_message_kinds_present(self, small_build):
+        _, result = small_build
+        kinds = set(result.stats.messages_by_kind)
+        assert {"candidate", "connect-request", "connect-ack", "tile-good"} <= kinds
+
+
+class TestEdgeCases:
+    def test_empty_deployment(self):
+        spec = UDGTileSpec.default()
+        window = Rect(0, 0, 4, 4)
+        result = distributed_build(np.zeros((0, 2)), spec, window)
+        assert result.edges.shape == (0, 2)
+        assert result.good_tiles == []
+
+    def test_single_good_tile_has_no_cross_edges(self):
+        spec = UDGTileSpec.default()
+        window = Rect(0, 0, spec.tile_side, spec.tile_side)
+        center = np.array(window.center)
+        pts = center + np.array([spec.region_anchor(n) for n in spec.region_names])
+        result = distributed_build(pts, spec, window)
+        assert result.good_tiles == [(0, 0)]
+        assert len(result.edges) == 0

@@ -1,0 +1,89 @@
+"""Tests for the synchronous message-passing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.messages import Message
+from repro.distributed.network import MessageNetwork
+
+
+class TestMessage:
+    def test_valid_message(self):
+        m = Message(0, 1, "hello", {"x": 1})
+        assert m.kind == "hello"
+
+    def test_invalid_message(self):
+        with pytest.raises(ValueError):
+            Message(-1, 0, "x")
+        with pytest.raises(ValueError):
+            Message(0, 1, "")
+
+
+class TestMessageNetwork:
+    def test_send_and_deliver(self):
+        net = MessageNetwork(np.array([[0, 0], [0.5, 0]], dtype=float), radio_range=1.0)
+        net.send(Message(0, 1, "ping"))
+        inboxes = net.deliver_round()
+        assert len(inboxes[1]) == 1
+        assert inboxes[1][0].kind == "ping"
+        assert net.stats.messages_sent == 1
+        assert net.stats.rounds == 1
+
+    def test_locality_violation_rejected(self):
+        net = MessageNetwork(np.array([[0, 0], [5, 0]], dtype=float), radio_range=1.0)
+        with pytest.raises(ValueError, match="locality violation"):
+            net.send(Message(0, 1, "ping"))
+
+    def test_unknown_endpoint_rejected(self):
+        net = MessageNetwork(np.array([[0, 0]], dtype=float))
+        with pytest.raises(ValueError):
+            net.send(Message(0, 5, "ping"))
+
+    def test_unlimited_range_when_none(self):
+        net = MessageNetwork(np.array([[0, 0], [100, 0]], dtype=float), radio_range=None)
+        net.send(Message(0, 1, "far"))
+        assert net.deliver_round()[1]
+
+    def test_broadcast_counts_and_skips_self(self):
+        net = MessageNetwork(np.array([[0, 0], [0.1, 0], [0.2, 0]], dtype=float), radio_range=1.0)
+        net.broadcast(0, [0, 1, 2], "announce")
+        assert net.stats.messages_sent == 2
+        inboxes = net.deliver_round()
+        assert 0 not in inboxes
+
+    def test_messages_by_kind_accounting(self):
+        net = MessageNetwork(np.array([[0, 0], [0.1, 0]], dtype=float))
+        net.send(Message(0, 1, "a"))
+        net.send(Message(1, 0, "a"))
+        net.send(Message(0, 1, "b"))
+        assert net.stats.messages_by_kind == {"a": 2, "b": 1}
+
+    def test_messages_delivered_only_next_round(self):
+        net = MessageNetwork(np.array([[0, 0], [0.1, 0]], dtype=float))
+        net.send(Message(0, 1, "first"))
+        first = net.deliver_round()
+        net.send(Message(1, 0, "second"))
+        second = net.deliver_round()
+        assert [m.kind for m in first.get(1, [])] == ["first"]
+        assert [m.kind for m in second.get(0, [])] == ["second"]
+        assert second.get(1, []) == []
+
+    def test_neighbours_of(self):
+        pts = np.array([[0, 0], [0.5, 0], [3, 0]], dtype=float)
+        net = MessageNetwork(pts, radio_range=1.0)
+        assert set(net.neighbours_of(0).tolist()) == {1}
+
+    def test_run_phase_executes_steps(self):
+        pts = np.array([[0, 0], [0.5, 0]], dtype=float)
+        net = MessageNetwork(pts, radio_range=1.0)
+        seen = []
+
+        def step(node, inbox, network):
+            seen.append((network.stats.rounds, node, len(inbox)))
+            if network.stats.rounds == 1 and node == 0:
+                network.send(Message(0, 1, "ping"))
+
+        net.run_phase(step, rounds=2)
+        assert (1, 0, 0) in seen
+        # In round 2 node 1 received the ping sent in round 1.
+        assert (2, 1, 1) in seen

@@ -1,0 +1,69 @@
+"""Tests for the numeric area estimators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.integration import estimate_area_grid, estimate_area_monte_carlo
+from repro.geometry.predicates import (
+    AnnulusPredicate,
+    DiscPredicate,
+    DifferencePredicate,
+    EmptyPredicate,
+    RectPredicate,
+)
+from repro.geometry.primitives import Disc, Rect
+
+
+class TestGridEstimator:
+    def test_rectangle_exact(self):
+        est = estimate_area_grid(RectPredicate(Rect(0, 0, 2, 3)), resolution=64)
+        assert est.area == pytest.approx(6.0, rel=1e-6)
+
+    def test_disc_area_converges(self):
+        est = estimate_area_grid(DiscPredicate(Disc(0, 0, 1)), resolution=512)
+        assert est.area == pytest.approx(np.pi, rel=5e-3)
+
+    def test_annulus_area(self):
+        est = estimate_area_grid(AnnulusPredicate(0, 0, 0.5, 1.0), resolution=512)
+        assert est.area == pytest.approx(np.pi * (1.0 - 0.25), rel=1e-2)
+
+    def test_difference_area(self):
+        region = DifferencePredicate(DiscPredicate(Disc(0, 0, 1)), DiscPredicate(Disc(0, 0, 0.5)))
+        est = estimate_area_grid(region, resolution=512)
+        assert est.area == pytest.approx(np.pi * 0.75, rel=1e-2)
+
+    def test_empty_region_zero(self):
+        est = estimate_area_grid(EmptyPredicate())
+        assert est.area == 0.0
+        assert est.samples == 0
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            estimate_area_grid(DiscPredicate(Disc(0, 0, 1)), resolution=1)
+
+    def test_finer_resolution_reduces_error(self):
+        region = DiscPredicate(Disc(0, 0, 1))
+        coarse = abs(estimate_area_grid(region, resolution=32).area - np.pi)
+        fine = abs(estimate_area_grid(region, resolution=512).area - np.pi)
+        assert fine < coarse
+
+
+class TestMonteCarloEstimator:
+    def test_disc_area_within_error(self, rng):
+        est = estimate_area_monte_carlo(DiscPredicate(Disc(0, 0, 1)), samples=40_000, rng=rng)
+        assert est.area == pytest.approx(np.pi, abs=5 * est.standard_error + 0.02)
+        assert est.standard_error > 0
+
+    def test_empty_region(self, rng):
+        est = estimate_area_monte_carlo(EmptyPredicate(), samples=100, rng=rng)
+        assert est.area == 0.0
+
+    def test_sample_validation(self, rng):
+        with pytest.raises(ValueError):
+            estimate_area_monte_carlo(DiscPredicate(Disc(0, 0, 1)), samples=0, rng=rng)
+
+    def test_deterministic_given_rng(self):
+        region = DiscPredicate(Disc(0, 0, 1))
+        a = estimate_area_monte_carlo(region, samples=1000, rng=np.random.default_rng(5)).area
+        b = estimate_area_monte_carlo(region, samples=1000, rng=np.random.default_rng(5)).area
+        assert a == b

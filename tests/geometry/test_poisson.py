@@ -1,0 +1,79 @@
+"""Tests for the Poisson point process sampler."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.poisson import PoissonProcess, binomial_points, poisson_points
+from repro.geometry.primitives import Rect
+
+
+class TestPoissonPoints:
+    def test_points_inside_window(self, rng):
+        window = Rect(2, 3, 7, 9)
+        pts = poisson_points(window, 5.0, rng)
+        assert window.contains(pts).all()
+
+    def test_mean_count_matches_intensity(self):
+        rng = np.random.default_rng(7)
+        window = Rect(0, 0, 10, 10)
+        counts = [len(poisson_points(window, 2.0, rng)) for _ in range(200)]
+        # Mean should be 200 ± a few standard errors (std = sqrt(200) ≈ 14).
+        assert abs(np.mean(counts) - 200.0) < 5.0
+
+    def test_zero_intensity_gives_no_points(self, rng):
+        assert len(poisson_points(Rect(0, 0, 5, 5), 0.0, rng)) == 0
+
+    def test_negative_intensity_rejected(self, rng):
+        with pytest.raises(ValueError):
+            poisson_points(Rect(0, 0, 1, 1), -1.0, rng)
+
+    def test_count_variability(self):
+        """Counts must actually be random (Poisson), not deterministic."""
+        rng = np.random.default_rng(3)
+        window = Rect(0, 0, 5, 5)
+        counts = {len(poisson_points(window, 4.0, rng)) for _ in range(30)}
+        assert len(counts) > 1
+
+
+class TestBinomialPoints:
+    def test_exact_count(self, rng):
+        pts = binomial_points(Rect(0, 0, 3, 3), 123, rng)
+        assert pts.shape == (123, 2)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            binomial_points(Rect(0, 0, 1, 1), -1, rng)
+
+
+class TestPoissonProcess:
+    def test_expected_count(self):
+        proc = PoissonProcess(intensity=3.0, window=Rect(0, 0, 4, 5), seed=0)
+        assert proc.expected_count == pytest.approx(60.0)
+
+    def test_same_seed_same_realisation(self):
+        a = PoissonProcess(2.0, Rect(0, 0, 6, 6), seed=9).sample()
+        b = PoissonProcess(2.0, Rect(0, 0, 6, 6), seed=9).sample()
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = PoissonProcess(2.0, Rect(0, 0, 6, 6), seed=1).sample()
+        b = PoissonProcess(2.0, Rect(0, 0, 6, 6), seed=2).sample()
+        assert len(a) != len(b) or not np.array_equal(a, b)
+
+    def test_sample_many_length(self):
+        proc = PoissonProcess(1.0, Rect(0, 0, 3, 3), seed=5)
+        assert len(proc.sample_many(4)) == 4
+
+    def test_thinning_reduces_intensity(self):
+        proc = PoissonProcess(10.0, Rect(0, 0, 2, 2), seed=5)
+        thinned = proc.thinned(0.25)
+        assert thinned.intensity == pytest.approx(2.5)
+
+    def test_thinning_rejects_bad_probability(self):
+        proc = PoissonProcess(10.0, Rect(0, 0, 2, 2), seed=5)
+        with pytest.raises(ValueError):
+            proc.thinned(1.5)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(-1.0, Rect(0, 0, 1, 1))

@@ -1,0 +1,169 @@
+"""Tests for region predicates and their composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.predicates import (
+    AnnulusPredicate,
+    DiscIntersectionPredicate,
+    DiscPredicate,
+    DifferencePredicate,
+    EmptyPredicate,
+    HalfPlanePredicate,
+    IntersectionPredicate,
+    RectPredicate,
+    UnionPredicate,
+)
+from repro.geometry.primitives import Disc, Rect
+
+unit_coord = st.floats(-2.0, 2.0, allow_nan=False, allow_infinity=False)
+
+
+class TestDiscPredicate:
+    def test_contains_center_and_boundary(self):
+        p = DiscPredicate(Disc(0, 0, 1))
+        assert p.contains([(0, 0)])[0]
+        assert p.contains([(1, 0)])[0]
+        assert not p.contains([(1.1, 0)])[0]
+
+    def test_bounds_enclose_disc(self):
+        p = DiscPredicate(Disc(2, -1, 0.5))
+        assert (p.bounds.xmin, p.bounds.xmax) == (1.5, 2.5)
+
+    def test_is_empty_false(self):
+        assert not DiscPredicate(Disc(0, 0, 1)).is_empty()
+
+
+class TestAnnulusPredicate:
+    def test_inner_open_outer_closed(self):
+        p = AnnulusPredicate(0, 0, 0.5, 1.0)
+        assert not p.contains([(0.5, 0)])[0]  # inner boundary excluded
+        assert p.contains([(0.75, 0)])[0]
+        assert p.contains([(1.0, 0)])[0]  # outer boundary included
+        assert not p.contains([(1.01, 0)])[0]
+
+    def test_bad_radii_rejected(self):
+        with pytest.raises(ValueError):
+            AnnulusPredicate(0, 0, 1.0, 0.5)
+
+    def test_degenerate_annulus_is_empty(self):
+        # inner == outer leaves only the boundary circle; the grid check calls it empty.
+        assert AnnulusPredicate(0, 0, 1.0, 1.0).is_empty()
+
+
+class TestComposition:
+    def test_intersection(self):
+        left = DiscPredicate(Disc(0, 0, 1))
+        right = DiscPredicate(Disc(1, 0, 1))
+        inter = IntersectionPredicate([left, right])
+        assert inter.contains([(0.5, 0)])[0]
+        assert not inter.contains([(-0.9, 0)])[0]
+
+    def test_union(self):
+        left = DiscPredicate(Disc(0, 0, 0.4))
+        right = DiscPredicate(Disc(2, 0, 0.4))
+        union = UnionPredicate([left, right])
+        assert union.contains([(0, 0)])[0]
+        assert union.contains([(2, 0)])[0]
+        assert not union.contains([(1, 0)])[0]
+
+    def test_difference(self):
+        base = DiscPredicate(Disc(0, 0, 1))
+        hole = DiscPredicate(Disc(0, 0, 0.5))
+        diff = DifferencePredicate(base, hole)
+        assert diff.contains([(0.75, 0)])[0]
+        assert not diff.contains([(0.25, 0)])[0]
+
+    def test_empty_intersection_bounds_collapse(self):
+        a = DiscPredicate(Disc(0, 0, 0.4))
+        b = DiscPredicate(Disc(5, 5, 0.4))
+        inter = IntersectionPredicate([a, b])
+        assert inter.bounds.area == 0.0
+        assert inter.is_empty()
+
+    def test_composition_helpers(self):
+        a = DiscPredicate(Disc(0, 0, 1))
+        b = DiscPredicate(Disc(0.5, 0, 1))
+        assert a.intersect(b).contains([(0.25, 0)])[0]
+        assert a.union(b).contains([(1.4, 0)])[0]
+        assert not a.minus(b).contains([(0.25, 0)])[0]
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            IntersectionPredicate([])
+        with pytest.raises(ValueError):
+            UnionPredicate([])
+
+    @given(st.lists(st.tuples(unit_coord, unit_coord), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_demorgan_style_consistency(self, coords):
+        """Intersection mask == AND of member masks; union mask == OR."""
+        pts = np.array(coords)
+        a = DiscPredicate(Disc(0, 0, 1.0))
+        b = RectPredicate(Rect(-0.5, -0.5, 1.5, 1.5))
+        inter = IntersectionPredicate([a, b]).contains(pts)
+        union = UnionPredicate([a, b]).contains(pts)
+        assert np.array_equal(inter, a.contains(pts) & b.contains(pts))
+        assert np.array_equal(union, a.contains(pts) | b.contains(pts))
+
+
+class TestHalfPlaneAndRect:
+    def test_halfplane_membership(self):
+        clip = Rect(-1, -1, 1, 1)
+        p = HalfPlanePredicate(1.0, 0.0, 0.0, clip)  # x <= 0
+        assert p.contains([(-0.5, 0.3)])[0]
+        assert not p.contains([(0.5, 0.3)])[0]
+
+    def test_halfplane_zero_normal_rejected(self):
+        with pytest.raises(ValueError):
+            HalfPlanePredicate(0.0, 0.0, 1.0, Rect(0, 0, 1, 1))
+
+    def test_rect_predicate_open(self):
+        p = RectPredicate(Rect(0, 0, 1, 1), closed=False)
+        assert not p.contains([(0.0, 0.5)])[0]
+        assert p.contains([(0.5, 0.5)])[0]
+
+
+class TestEmptyPredicate:
+    def test_always_false(self):
+        p = EmptyPredicate()
+        assert not p.contains([(0, 0), (1, 1)]).any()
+        assert p.is_empty()
+
+
+class TestDiscIntersectionPredicate:
+    def test_constant_radius_matches_analytic(self):
+        """Within distance 1 of every point of a radius-0.3 disc == disc of radius 0.7."""
+        anchor_disc = Disc(0, 0, 0.3)
+        anchors = np.vstack([anchor_disc.boundary_points(128), [[0.0, 0.0]]])
+        bounds = Rect(-1, -1, 1, 1)
+        pred = DiscIntersectionPredicate(anchors, 1.0, bounds)
+        assert pred.contains([(0.69, 0.0)])[0]
+        assert not pred.contains([(0.72, 0.0)])[0]
+        assert pred.contains([(0.0, 0.69)])[0]
+
+    def test_per_anchor_radii(self):
+        anchors = np.array([[0.0, 0.0], [2.0, 0.0]])
+        radii = np.array([1.0, 0.5])
+        pred = DiscIntersectionPredicate(anchors, radii, Rect(-1, -1, 3, 1))
+        # Must be within 1 of (0,0) AND within 0.5 of (2,0): impossible.
+        grid = Rect(-1, -1, 3, 1).grid(64)
+        assert not pred.contains(grid).any()
+
+    def test_empty_anchor_set_rejected(self):
+        with pytest.raises(ValueError):
+            DiscIntersectionPredicate(np.zeros((0, 2)), 1.0, Rect(0, 0, 1, 1))
+
+    def test_mismatched_radii_rejected(self):
+        with pytest.raises(ValueError):
+            DiscIntersectionPredicate(np.zeros((3, 2)), np.array([1.0, 2.0]), Rect(0, 0, 1, 1))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            DiscIntersectionPredicate(np.zeros((1, 2)), -1.0, Rect(0, 0, 1, 1))
+
+    def test_empty_query(self):
+        pred = DiscIntersectionPredicate(np.zeros((1, 2)), 1.0, Rect(-1, -1, 1, 1))
+        assert pred.contains(np.zeros((0, 2))).shape == (0,)

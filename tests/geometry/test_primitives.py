@@ -1,0 +1,185 @@
+"""Unit and property tests for repro.geometry.primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import (
+    Disc,
+    Rect,
+    as_points,
+    distance_to_rect_boundary,
+    pairwise_distances,
+    points_in_disc,
+    points_in_rect,
+    rect_union,
+    squared_distances,
+)
+
+finite_coord = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+
+
+class TestAsPoints:
+    def test_single_point_promoted(self):
+        pts = as_points((1.0, 2.0))
+        assert pts.shape == (1, 2)
+
+    def test_list_of_pairs(self):
+        pts = as_points([(0, 0), (1, 1), (2, 0.5)])
+        assert pts.shape == (3, 2)
+        assert pts.dtype == np.float64
+
+    def test_empty_input(self):
+        assert as_points([]).shape == (0, 2)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            as_points([[1, 2, 3]])
+
+    def test_rejects_three_coordinates_single(self):
+        with pytest.raises(ValueError):
+            as_points((1.0, 2.0, 3.0))
+
+
+class TestDistances:
+    def test_squared_distances_known_values(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 3.0]])
+        d2 = squared_distances(a, b)
+        assert d2.shape == (2, 1)
+        assert d2[0, 0] == pytest.approx(9.0)
+        assert d2[1, 0] == pytest.approx(10.0)
+
+    def test_pairwise_self_has_zero_diagonal(self):
+        pts = np.array([[0, 0], [1, 2], [3, -1]], dtype=float)
+        d = pairwise_distances(pts)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_pairwise_symmetry(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(10, 2))
+        d = pairwise_distances(pts)
+        assert np.allclose(d, d.T)
+
+    @given(
+        st.lists(st.tuples(finite_coord, finite_coord), min_size=1, max_size=20),
+        st.lists(st.tuples(finite_coord, finite_coord), min_size=1, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distances_nonnegative_property(self, a, b):
+        d = pairwise_distances(np.array(a), np.array(b))
+        assert np.all(d >= 0)
+
+    @given(
+        st.lists(st.tuples(finite_coord, finite_coord), min_size=2, max_size=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality_property(self, coords):
+        pts = np.array(coords)
+        d = pairwise_distances(pts)
+        n = len(pts)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-6
+
+
+class TestRect:
+    def test_basic_geometry(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.width == 4
+        assert r.height == 2
+        assert r.area == 8
+        assert r.center == (2.0, 1.0)
+
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+
+    def test_centered_constructor(self):
+        r = Rect.centered((1.0, 1.0), 2.0)
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (0.0, 0.0, 2.0, 2.0)
+
+    def test_square_constructor(self):
+        r = Rect.square(3.0, origin=(1.0, 2.0))
+        assert (r.xmax, r.ymax) == (4.0, 5.0)
+
+    def test_contains_closed_boundary(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains([(0.0, 0.0)])[0]
+        assert r.contains([(1.0, 1.0)])[0]
+        assert not r.contains([(1.0, 1.0)], closed=False)[0]
+        assert not r.contains([(1.5, 0.5)])[0]
+
+    def test_shrink_and_expand(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.shrink(1).area == pytest.approx(64)
+        assert r.expand(1).area == pytest.approx(144)
+
+    def test_shrink_too_much_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 2, 2).shrink(1.5)
+
+    def test_sample_uniform_inside(self, rng):
+        r = Rect(-2, 3, 5, 8)
+        pts = r.sample_uniform(500, rng)
+        assert pts.shape == (500, 2)
+        assert r.contains(pts).all()
+
+    def test_grid_points_inside_and_count(self):
+        r = Rect(0, 0, 2, 2)
+        g = r.grid(8)
+        assert g.shape == (64, 2)
+        assert r.contains(g).all()
+
+    def test_translate(self):
+        r = Rect(0, 0, 1, 1).translate(2, 3)
+        assert (r.xmin, r.ymin) == (2, 3)
+
+
+class TestDisc:
+    def test_area(self):
+        assert Disc(0, 0, 2).area == pytest.approx(4 * np.pi)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Disc(0, 0, -1)
+
+    def test_contains(self):
+        d = Disc(1, 1, 1)
+        assert d.contains([(1, 1)])[0]
+        assert d.contains([(2, 1)])[0]
+        assert not d.contains([(2.5, 1)])[0]
+
+    def test_boundary_points_on_circle(self):
+        d = Disc(2, -1, 3)
+        b = d.boundary_points(32)
+        radii = np.linalg.norm(b - d.center, axis=1)
+        assert np.allclose(radii, 3.0)
+
+    def test_translate(self):
+        d = Disc(0, 0, 1).translate(5, -2)
+        assert (d.cx, d.cy) == (5, -2)
+
+
+class TestHelpers:
+    def test_points_in_disc_and_rect(self):
+        pts = np.array([[0.5, 0.5], [3.0, 3.0]])
+        assert points_in_disc(pts, (0, 0), 1.0).tolist() == [True, False]
+        assert points_in_rect(pts, Rect(0, 0, 1, 1)).tolist() == [True, False]
+
+    def test_rect_union(self):
+        u = rect_union(Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5))
+        assert (u.xmin, u.ymin, u.xmax, u.ymax) == (0, -1, 3, 1)
+
+    def test_distance_to_rect_boundary_interior(self):
+        r = Rect(0, 0, 10, 4)
+        d = distance_to_rect_boundary([(5.0, 2.0), (1.0, 2.0)], r)
+        assert d[0] == pytest.approx(2.0)
+        assert d[1] == pytest.approx(1.0)
+
+    def test_distance_to_rect_boundary_exterior_negative(self):
+        r = Rect(0, 0, 1, 1)
+        d = distance_to_rect_boundary([(-1.0, 0.5)], r)
+        assert d[0] < 0

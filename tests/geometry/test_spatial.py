@@ -1,0 +1,74 @@
+"""Tests for the uniform grid spatial index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import pairwise_distances
+from repro.geometry.spatial import GridIndex
+
+coord = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+
+
+class TestGridIndex:
+    def test_cell_of(self):
+        idx = GridIndex(np.array([[0.5, 0.5]]), cell_size=1.0)
+        assert idx.cell_of((0.5, 0.5)) == (0, 0)
+        assert idx.cell_of((-0.5, 1.5)) == (-1, 1)
+
+    def test_points_in_cell(self):
+        pts = np.array([[0.1, 0.1], [0.9, 0.9], [1.5, 0.5]])
+        idx = GridIndex(pts, cell_size=1.0)
+        assert set(idx.points_in_cell((0, 0)).tolist()) == {0, 1}
+        assert set(idx.points_in_cell((1, 0)).tolist()) == {2}
+        assert idx.points_in_cell((5, 5)).size == 0
+
+    def test_query_radius_matches_bruteforce(self, rng):
+        pts = rng.uniform(0, 10, size=(300, 2))
+        idx = GridIndex(pts, cell_size=1.0)
+        center = (5.0, 5.0)
+        expected = set(np.nonzero(np.linalg.norm(pts - center, axis=1) <= 1.7)[0].tolist())
+        got = set(idx.query_radius(center, 1.7).tolist())
+        assert got == expected
+
+    def test_neighbours_excludes_self(self, rng):
+        pts = rng.uniform(0, 5, size=(50, 2))
+        idx = GridIndex(pts, cell_size=1.0)
+        nbrs = idx.neighbours_of(0, radius=2.0)
+        assert 0 not in nbrs
+        nbrs_with_self = idx.neighbours_of(0, radius=2.0, include_self=True)
+        assert 0 in nbrs_with_self
+
+    def test_empty_point_set(self):
+        idx = GridIndex(np.zeros((0, 2)), cell_size=1.0)
+        assert len(idx) == 0
+        assert idx.query_radius((0, 0), 5.0).size == 0
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.zeros((1, 2)), cell_size=0.0)
+
+    def test_negative_radius_rejected(self):
+        idx = GridIndex(np.zeros((1, 2)), cell_size=1.0)
+        with pytest.raises(ValueError):
+            idx.query_radius((0, 0), -1.0)
+
+    def test_occupied_cells(self):
+        pts = np.array([[0.5, 0.5], [3.5, 3.5]])
+        idx = GridIndex(pts, cell_size=1.0)
+        assert set(idx.occupied_cells()) == {(0, 0), (3, 3)}
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=60),
+        st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_query_radius_property(self, coords, radius):
+        """Grid query must agree with brute force for arbitrary inputs."""
+        pts = np.array(coords)
+        idx = GridIndex(pts, cell_size=2.0)
+        center = tuple(pts[0])
+        expected = set(np.nonzero(pairwise_distances(pts, np.array([center]))[:, 0] <= radius)[0].tolist())
+        got = set(idx.query_radius(center, radius).tolist())
+        assert got == expected

@@ -1,0 +1,85 @@
+"""Tests for the shared graph metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.base import GeometricGraph
+from repro.graphs.metrics import (
+    component_sizes,
+    degree_statistics,
+    euclidean_path_length,
+    graph_summary,
+    largest_component_fraction,
+    largest_component_nodes,
+    shortest_path_euclidean,
+    shortest_path_hops,
+)
+
+
+@pytest.fixture
+def two_components():
+    pts = np.array([[0, 0], [1, 0], [2, 0], [10, 10], [11, 10]], dtype=float)
+    edges = np.array([[0, 1], [1, 2], [3, 4]])
+    return GeometricGraph(pts, edges, name="two-comp")
+
+
+class TestDegrees:
+    def test_degree_statistics(self, two_components):
+        stats = degree_statistics(two_components)
+        assert stats["max"] == 2
+        assert stats["min"] == 1
+        assert stats["isolated_fraction"] == 0.0
+
+    def test_isolated_fraction(self):
+        g = GeometricGraph(np.zeros((3, 2)), np.array([[0, 1]]))
+        assert degree_statistics(g)["isolated_fraction"] == pytest.approx(1 / 3)
+
+    def test_empty_graph(self):
+        g = GeometricGraph(np.zeros((0, 2)), np.zeros((0, 2), dtype=int))
+        assert degree_statistics(g)["mean"] == 0.0
+
+
+class TestComponents:
+    def test_component_sizes_sorted(self, two_components):
+        assert component_sizes(two_components).tolist() == [3, 2]
+
+    def test_largest_component_fraction(self, two_components):
+        assert largest_component_fraction(two_components) == pytest.approx(0.6)
+
+    def test_largest_component_nodes(self, two_components):
+        assert largest_component_nodes(two_components).tolist() == [0, 1, 2]
+
+    def test_empty_graph_fraction(self):
+        g = GeometricGraph(np.zeros((0, 2)), np.zeros((0, 2), dtype=int))
+        assert largest_component_fraction(g) == 0.0
+
+
+class TestShortestPaths:
+    def test_hop_distances(self, two_components):
+        d = shortest_path_hops(two_components, sources=[0])
+        assert d[0, 2] == 2
+        assert np.isinf(d[0, 3])
+
+    def test_euclidean_distances(self, two_components):
+        d = shortest_path_euclidean(two_components, sources=[0])
+        assert d[0, 2] == pytest.approx(2.0)
+
+    def test_all_pairs_shape(self, two_components):
+        d = shortest_path_hops(two_components)
+        assert d.shape == (5, 5)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_euclidean_path_length_helper(self, two_components):
+        assert euclidean_path_length(two_components, [0, 1, 2]) == pytest.approx(2.0)
+        assert euclidean_path_length(two_components, [0]) == 0.0
+
+
+class TestSummary:
+    def test_graph_summary_fields(self, two_components):
+        s = graph_summary(two_components)
+        assert s.name == "two-comp"
+        assert s.n_nodes == 5
+        assert s.n_edges == 3
+        assert s.max_degree == 2
+        assert s.largest_component_fraction == pytest.approx(0.6)
+        assert s.total_edge_length == pytest.approx(3.0)

@@ -1,0 +1,108 @@
+"""Tests for the baseline spanner constructions."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.metrics import largest_component_fraction
+from repro.graphs.spanners import (
+    build_euclidean_mst,
+    build_gabriel_graph,
+    build_relative_neighbourhood_graph,
+    build_yao_graph,
+)
+from repro.graphs.udg import build_udg
+
+
+@pytest.fixture
+def cloud(rng):
+    return rng.uniform(0, 6, size=(60, 2))
+
+
+class TestGabriel:
+    def test_obtuse_triangle_gabriel(self):
+        # The long edge's diameter disc strictly contains the third point, so it is pruned.
+        pts = np.array([[0, 0], [1, 0], [0.5, 0.1]], dtype=float)
+        g = build_gabriel_graph(pts)
+        edges = {tuple(int(x) for x in e) for e in g.edges}
+        assert (0, 2) in edges and (1, 2) in edges
+        assert (0, 1) not in edges
+
+    def test_subset_of_base_graph(self, cloud):
+        base = build_udg(cloud, radius=1.5)
+        gabriel = build_gabriel_graph(cloud, base_edges=base.edges)
+        base_set = {tuple(e) for e in base.edges}
+        assert all(tuple(e) in base_set for e in gabriel.edges)
+
+    def test_contains_mst(self, cloud):
+        """The Gabriel graph contains the Euclidean MST (classical inclusion)."""
+        gabriel = {tuple(e) for e in build_gabriel_graph(cloud).edges}
+        mst = {tuple(e) for e in build_euclidean_mst(cloud).edges}
+        assert mst <= gabriel
+
+    def test_empty_input(self):
+        g = build_gabriel_graph(np.zeros((0, 2)))
+        assert g.n_nodes == 0 and g.n_edges == 0
+
+
+class TestRNG:
+    def test_rng_subset_of_gabriel(self, cloud):
+        """RNG ⊆ Gabriel (classical inclusion chain)."""
+        rng_edges = {tuple(e) for e in build_relative_neighbourhood_graph(cloud).edges}
+        gabriel_edges = {tuple(e) for e in build_gabriel_graph(cloud).edges}
+        assert rng_edges <= gabriel_edges
+
+    def test_rng_contains_mst(self, cloud):
+        rng_edges = {tuple(e) for e in build_relative_neighbourhood_graph(cloud).edges}
+        mst = {tuple(e) for e in build_euclidean_mst(cloud).edges}
+        assert mst <= rng_edges
+
+    def test_equilateral_pair_kept(self):
+        pts = np.array([[0, 0], [1, 0]], dtype=float)
+        g = build_relative_neighbourhood_graph(pts)
+        assert g.n_edges == 1
+
+
+class TestYao:
+    def test_connected_for_enough_cones(self, cloud):
+        g = build_yao_graph(cloud, cones=8)
+        assert largest_component_fraction(g) == pytest.approx(1.0)
+
+    def test_degree_bounded_without_radius(self, cloud):
+        g = build_yao_graph(cloud, cones=6)
+        # Out-degree per node <= cones; undirected degree can be larger but the
+        # edge count is at most n * cones.
+        assert g.n_edges <= len(cloud) * 6
+
+    def test_radius_restriction(self, cloud):
+        g = build_yao_graph(cloud, cones=8, radius=1.0)
+        assert (g.edge_lengths() <= 1.0 + 1e-9).all()
+
+    def test_invalid_cones(self):
+        with pytest.raises(ValueError):
+            build_yao_graph(np.zeros((3, 2)), cones=0)
+
+    def test_single_point(self):
+        g = build_yao_graph(np.array([[1.0, 1.0]]), cones=8)
+        assert g.n_edges == 0
+
+
+class TestMST:
+    def test_tree_edge_count(self, cloud):
+        g = build_euclidean_mst(cloud)
+        assert g.n_edges == len(cloud) - 1
+        assert largest_component_fraction(g) == pytest.approx(1.0)
+
+    def test_known_mst(self):
+        pts = np.array([[0, 0], [1, 0], [10, 0]], dtype=float)
+        g = build_euclidean_mst(pts)
+        edges = {tuple(e) for e in g.edges}
+        assert edges == {(0, 1), (1, 2)}
+
+    def test_small_inputs(self):
+        assert build_euclidean_mst(np.zeros((1, 2))).n_edges == 0
+        assert build_euclidean_mst(np.zeros((0, 2))).n_edges == 0
+
+    def test_total_length_minimal_vs_yao(self, cloud):
+        mst_len = build_euclidean_mst(cloud).edge_lengths().sum()
+        yao_len = build_yao_graph(cloud, cones=8).edge_lengths().sum()
+        assert mst_len <= yao_len + 1e-9

@@ -1,0 +1,61 @@
+"""Tests for the unit-disk graph builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import pairwise_distances
+from repro.graphs.udg import build_udg, udg_edges
+
+coord = st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+class TestUdgEdges:
+    def test_simple_chain(self):
+        pts = np.array([[0, 0], [0.9, 0], [1.9, 0], [5, 0]], dtype=float)
+        edges = udg_edges(pts, radius=1.0)
+        assert edges.tolist() == [[0, 1], [1, 2]]
+
+    def test_radius_boundary_inclusive(self):
+        pts = np.array([[0, 0], [1.0, 0]], dtype=float)
+        assert len(udg_edges(pts, radius=1.0)) == 1
+
+    def test_no_points_or_zero_radius(self):
+        assert udg_edges(np.zeros((0, 2)), 1.0).shape == (0, 2)
+        assert udg_edges(np.array([[0, 0], [0.5, 0]]), 0.0).shape == (0, 2)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            udg_edges(np.zeros((2, 2)), -1.0)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=2, max_size=40), st.floats(0.1, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_bruteforce_property(self, coords, radius):
+        """KD-tree edge enumeration must match the O(n²) definition."""
+        pts = np.array(coords)
+        edges = {tuple(e) for e in udg_edges(pts, radius)}
+        d = pairwise_distances(pts)
+        expected = {
+            (i, j)
+            for i in range(len(pts))
+            for j in range(i + 1, len(pts))
+            if d[i, j] <= radius
+        }
+        assert edges == expected
+
+
+class TestBuildUdg:
+    def test_graph_name_default(self):
+        g = build_udg(np.array([[0, 0], [0.5, 0]]), radius=1.0)
+        assert "UDG" in g.name
+
+    def test_edge_lengths_bounded_by_radius(self, rng):
+        pts = rng.uniform(0, 5, size=(200, 2))
+        g = build_udg(pts, radius=1.0)
+        assert (g.edge_lengths() <= 1.0 + 1e-9).all()
+
+    def test_density_increases_edges(self, rng):
+        sparse = build_udg(rng.uniform(0, 10, size=(50, 2)), radius=1.0)
+        dense = build_udg(rng.uniform(0, 10, size=(400, 2)), radius=1.0)
+        assert dense.n_edges > sparse.n_edges

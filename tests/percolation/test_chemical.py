@@ -1,0 +1,91 @@
+"""Tests for chemical distances inside percolation clusters."""
+
+import numpy as np
+import pytest
+
+from repro.percolation.chemical import (
+    chemical_distance,
+    chemical_distances_from,
+    chemical_stretch_samples,
+)
+from repro.percolation.lattice import LatticeConfiguration, sample_site_percolation
+
+
+class TestChemicalDistances:
+    def test_full_lattice_equals_l1(self):
+        config = LatticeConfiguration(np.ones((6, 6), dtype=bool))
+        dist = chemical_distances_from(config, (0, 0))
+        assert dist[5, 5] == 10
+        assert dist[0, 3] == 3
+        assert dist[0, 0] == 0
+
+    def test_detour_around_hole(self):
+        mask = np.ones((3, 3), dtype=bool)
+        mask[1, 1] = False
+        config = LatticeConfiguration(mask)
+        # Straight-line L1 distance from (1,0) to (1,2) is 2, but the centre is closed.
+        assert chemical_distance(config, (1, 0), (1, 2)) == 4
+
+    def test_disconnected_returns_minus_one(self):
+        mask = np.array([[True, False, True]])
+        config = LatticeConfiguration(mask)
+        assert chemical_distance(config, (0, 0), (0, 2)) == -1
+
+    def test_closed_source_rejected(self):
+        config = LatticeConfiguration(np.array([[False, True]]))
+        with pytest.raises(ValueError):
+            chemical_distances_from(config, (0, 0))
+
+    def test_out_of_bounds_rejected(self):
+        config = LatticeConfiguration(np.ones((2, 2), dtype=bool))
+        with pytest.raises(ValueError):
+            chemical_distances_from(config, (5, 0))
+        with pytest.raises(ValueError):
+            chemical_distance(config, (0, 0), (5, 5))
+
+    def test_distances_ge_l1_everywhere(self, rng):
+        """Chemical distance is always at least the L1 distance."""
+        config = sample_site_percolation(20, 20, 0.75, rng)
+        coords = config.open_sites()
+        src = tuple(int(x) for x in coords[0])
+        dist = chemical_distances_from(config, src)
+        for r, c in coords:
+            chem = dist[r, c]
+            if chem >= 0:
+                assert chem >= abs(r - src[0]) + abs(c - src[1])
+
+
+class TestStretchSamples:
+    def test_samples_have_valid_fields(self, rng):
+        config = sample_site_percolation(30, 30, 0.8, rng)
+        samples = chemical_stretch_samples(config, n_pairs=20, rng=rng, min_l1=2)
+        assert samples, "expected at least one sample at p=0.8"
+        for s in samples:
+            assert s.l1_distance >= 2
+            if np.isfinite(s.stretch):
+                assert s.stretch >= 1.0 - 1e-9
+                assert s.chemical >= s.l1_distance
+
+    def test_restrict_to_largest_gives_finite_stretch(self, rng):
+        config = sample_site_percolation(30, 30, 0.85, rng)
+        samples = chemical_stretch_samples(config, n_pairs=15, rng=rng, restrict_to_largest=True)
+        assert all(np.isfinite(s.stretch) for s in samples)
+
+    def test_stretch_decreases_with_p(self):
+        rng = np.random.default_rng(5)
+        means = []
+        for p in (0.65, 0.95):
+            config = sample_site_percolation(40, 40, p, rng)
+            samples = chemical_stretch_samples(config, n_pairs=40, rng=rng, min_l1=5)
+            finite = [s.stretch for s in samples if np.isfinite(s.stretch)]
+            means.append(np.mean(finite))
+        assert means[1] <= means[0] + 0.05
+
+    def test_empty_lattice_returns_no_samples(self, rng):
+        config = LatticeConfiguration(np.zeros((5, 5), dtype=bool))
+        assert chemical_stretch_samples(config, n_pairs=5, rng=rng) == []
+
+    def test_invalid_pairs_rejected(self, rng):
+        config = LatticeConfiguration(np.ones((5, 5), dtype=bool))
+        with pytest.raises(ValueError):
+            chemical_stretch_samples(config, n_pairs=0, rng=rng)

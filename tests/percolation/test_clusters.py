@@ -1,0 +1,170 @@
+"""Tests for union-find, cluster labelling and cluster statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.percolation.clusters import (
+    UnionFind,
+    cluster_sizes,
+    cluster_statistics,
+    has_spanning_cluster,
+    label_clusters,
+    largest_cluster_mask,
+    theta_estimate,
+)
+from repro.percolation.lattice import LatticeConfiguration, sample_site_percolation
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_connects(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.connected(0, 1)
+        assert uf.connected(2, 3)
+        assert not uf.connected(1, 2)
+        assert uf.n_components == 2
+
+    def test_component_size(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(2) == 3
+        assert uf.component_size(5) == 1
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        before = uf.n_components
+        uf.union(1, 0)
+        assert uf.n_components == before
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_transitivity_property(self, pairs):
+        """connected() must be an equivalence relation consistent with the unions."""
+        uf = UnionFind(20)
+        for a, b in pairs:
+            uf.union(a, b)
+        # Build reference components via a simple graph traversal.
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(20))
+        g.add_edges_from(pairs)
+        for comp in nx.connected_components(g):
+            comp = sorted(comp)
+            for x in comp[1:]:
+                assert uf.connected(comp[0], x)
+        # Component count matches.
+        assert uf.n_components == nx.number_connected_components(g)
+
+
+class TestLabelClusters:
+    def test_simple_two_clusters(self):
+        mask = np.array(
+            [
+                [True, True, False],
+                [False, False, False],
+                [False, True, True],
+            ]
+        )
+        labels = label_clusters(LatticeConfiguration(mask))
+        assert labels[0, 0] == labels[0, 1]
+        assert labels[2, 1] == labels[2, 2]
+        assert labels[0, 0] != labels[2, 1]
+        assert labels[1, 1] == -1
+
+    def test_diagonal_not_connected(self):
+        mask = np.array([[True, False], [False, True]])
+        labels = label_clusters(LatticeConfiguration(mask))
+        assert labels[0, 0] != labels[1, 1]
+
+    def test_wrap_connects_opposite_edges(self):
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[1, 0] = True
+        mask[1, 2] = True
+        open_labels = label_clusters(LatticeConfiguration(mask, wrap=False))
+        wrap_labels = label_clusters(LatticeConfiguration(mask, wrap=True))
+        assert open_labels[1, 0] != open_labels[1, 2]
+        assert wrap_labels[1, 0] == wrap_labels[1, 2]
+
+    def test_empty_configuration(self):
+        labels = label_clusters(LatticeConfiguration(np.zeros((4, 4), dtype=bool)))
+        assert (labels == -1).all()
+
+    def test_labels_match_networkx_components(self, rng):
+        config = sample_site_percolation(15, 15, 0.55, rng)
+        labels = label_clusters(config)
+        g = config.subgraph_networkx()
+        import networkx as nx
+
+        for comp in nx.connected_components(g):
+            comp_labels = {int(labels[s]) for s in comp}
+            assert len(comp_labels) == 1
+        n_clusters = len(set(labels[labels >= 0].tolist()))
+        assert n_clusters == nx.number_connected_components(g)
+
+    def test_cluster_sizes_sum_to_open_count(self, rng):
+        config = sample_site_percolation(20, 20, 0.6, rng)
+        labels = label_clusters(config)
+        assert cluster_sizes(labels).sum() == config.n_open
+
+
+class TestStatistics:
+    def test_statistics_fields(self, rng):
+        config = sample_site_percolation(30, 30, 0.7, rng)
+        stats = cluster_statistics(config)
+        assert stats.n_clusters >= 1
+        assert 0 < stats.largest_fraction <= 1
+        assert stats.open_fraction == pytest.approx(config.open_fraction)
+
+    def test_empty_lattice_statistics(self):
+        stats = cluster_statistics(LatticeConfiguration(np.zeros((3, 3), dtype=bool)))
+        assert stats.n_clusters == 0
+        assert stats.largest_size == 0
+        assert not stats.spanning
+
+    def test_largest_cluster_mask(self):
+        mask = np.array(
+            [
+                [True, True, True, False],
+                [False, False, False, False],
+                [True, False, False, False],
+            ]
+        )
+        config = LatticeConfiguration(mask)
+        largest = largest_cluster_mask(config)
+        assert largest.sum() == 3
+        assert largest[0, :3].all()
+        assert not largest[2, 0]
+
+    def test_spanning_detection(self):
+        mask = np.zeros((3, 4), dtype=bool)
+        mask[1, :] = True
+        assert has_spanning_cluster(LatticeConfiguration(mask))
+        mask[1, 2] = False
+        assert not has_spanning_cluster(LatticeConfiguration(mask))
+
+    def test_theta_estimate_monotone_in_p(self):
+        rng = np.random.default_rng(8)
+        thetas = []
+        for p in (0.55, 0.65, 0.8, 0.95):
+            config = sample_site_percolation(60, 60, p, rng)
+            thetas.append(theta_estimate(config))
+        assert thetas == sorted(thetas)
+
+    def test_theta_full_lattice_is_one(self):
+        config = LatticeConfiguration(np.ones((10, 10), dtype=bool))
+        assert theta_estimate(config) == pytest.approx(1.0)

@@ -1,0 +1,51 @@
+"""Tests for the spanning-probability curve and the p_c estimator."""
+
+import numpy as np
+import pytest
+
+from repro.percolation.critical import (
+    SpanningCurve,
+    estimate_critical_probability,
+    spanning_probability_curve,
+)
+
+
+class TestSpanningCurve:
+    def test_curve_monotone_trend(self, rng):
+        curve = spanning_probability_curve([0.3, 0.6, 0.9], box_size=24, trials=15, rng=rng)
+        # Far below the threshold spanning is (almost) never seen; far above, (almost) always.
+        assert curve.spanning_probability[0] < 0.3
+        assert curve.spanning_probability[-1] > 0.7
+
+    def test_crossing_point_interpolation(self):
+        curve = SpanningCurve(
+            p_values=np.array([0.5, 0.6, 0.7]),
+            spanning_probability=np.array([0.0, 0.25, 0.75]),
+            box_size=10,
+            trials=10,
+        )
+        crossing = curve.crossing_point(0.5)
+        assert 0.6 < crossing < 0.7
+        assert crossing == pytest.approx(0.65)
+
+    def test_crossing_point_all_above(self):
+        curve = SpanningCurve(np.array([0.5, 0.6]), np.array([0.9, 1.0]), 10, 10)
+        assert curve.crossing_point() == 0.5
+
+    def test_crossing_point_never_crosses(self):
+        curve = SpanningCurve(np.array([0.5, 0.6]), np.array([0.0, 0.1]), 10, 10)
+        assert curve.crossing_point() == 0.6
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            spanning_probability_curve([0.5], box_size=1, trials=5, rng=rng)
+        with pytest.raises(ValueError):
+            spanning_probability_curve([0.5], box_size=10, trials=0, rng=rng)
+
+
+class TestCriticalEstimate:
+    def test_estimate_near_literature_value(self):
+        rng = np.random.default_rng(17)
+        p_hat = estimate_critical_probability(box_size=32, trials=20, rng=rng)
+        # Finite-size estimate; allow a generous but meaningful bracket.
+        assert 0.54 <= p_hat <= 0.65

@@ -1,0 +1,87 @@
+"""Tests for lattice configurations."""
+
+import numpy as np
+import pytest
+
+from repro.percolation.lattice import LatticeConfiguration, sample_site_percolation
+
+
+class TestLatticeConfiguration:
+    def test_basic_counts(self):
+        mask = np.array([[True, False], [True, True]])
+        config = LatticeConfiguration(mask)
+        assert config.shape == (2, 2)
+        assert config.n_sites == 4
+        assert config.n_open == 3
+        assert config.open_fraction == pytest.approx(0.75)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            LatticeConfiguration(np.zeros(5, dtype=bool))
+
+    def test_is_open_and_bounds(self):
+        config = LatticeConfiguration(np.array([[True, False]]))
+        assert config.is_open((0, 0))
+        assert not config.is_open((0, 1))
+        assert config.in_bounds((0, 1))
+        assert not config.in_bounds((1, 0))
+
+    def test_neighbours_interior_and_corner(self):
+        config = LatticeConfiguration(np.ones((3, 3), dtype=bool))
+        assert len(config.neighbours((1, 1))) == 4
+        assert len(config.neighbours((0, 0))) == 2
+
+    def test_neighbours_wrap(self):
+        config = LatticeConfiguration(np.ones((3, 3), dtype=bool), wrap=True)
+        assert len(config.neighbours((0, 0))) == 4
+        assert (2, 0) in config.neighbours((0, 0))
+
+    def test_open_neighbours_filtered(self):
+        mask = np.array([[True, False], [True, True]])
+        config = LatticeConfiguration(mask)
+        assert config.open_neighbours((0, 0)) == [(1, 0)]
+
+    def test_open_sites_coordinates(self):
+        mask = np.array([[True, False], [False, True]])
+        config = LatticeConfiguration(mask)
+        coords = {tuple(c) for c in config.open_sites()}
+        assert coords == {(0, 0), (1, 1)}
+
+    def test_site_index_roundtrip(self):
+        config = LatticeConfiguration(np.ones((4, 7), dtype=bool))
+        for site in [(0, 0), (3, 6), (2, 5)]:
+            assert config.index_site(config.site_index(site)) == site
+
+    def test_sites_iteration_count(self):
+        config = LatticeConfiguration(np.ones((3, 5), dtype=bool))
+        assert len(list(config.sites())) == 15
+
+    def test_networkx_subgraph_matches_open_adjacency(self):
+        mask = np.array([[True, True, False], [False, True, True]])
+        g = LatticeConfiguration(mask).subgraph_networkx()
+        assert set(g.nodes) == {(0, 0), (0, 1), (1, 1), (1, 2)}
+        assert g.has_edge((0, 0), (0, 1))
+        assert g.has_edge((0, 1), (1, 1))
+        assert not g.has_edge((0, 0), (1, 1))
+
+
+class TestSampling:
+    def test_sample_shape_and_range(self, rng):
+        config = sample_site_percolation(10, 20, 0.5, rng)
+        assert config.shape == (10, 20)
+        assert 0 <= config.open_fraction <= 1
+
+    def test_p_zero_and_one(self, rng):
+        assert sample_site_percolation(5, 5, 0.0, rng).n_open == 0
+        assert sample_site_percolation(5, 5, 1.0, rng).n_open == 25
+
+    def test_open_fraction_tracks_p(self):
+        rng = np.random.default_rng(1)
+        config = sample_site_percolation(200, 200, 0.6, rng)
+        assert config.open_fraction == pytest.approx(0.6, abs=0.02)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            sample_site_percolation(0, 5, 0.5, rng)
+        with pytest.raises(ValueError):
+            sample_site_percolation(5, 5, 1.5, rng)

@@ -1,0 +1,124 @@
+"""Tests for the Angel-et-al mesh routing algorithm (Figure 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.percolation.clusters import label_clusters
+from repro.percolation.lattice import LatticeConfiguration, sample_site_percolation
+from repro.routing.mesh import route_xy_mesh, xy_path
+
+site = st.tuples(st.integers(0, 15), st.integers(0, 15))
+
+
+class TestXyPath:
+    def test_straight_line(self):
+        path = xy_path((2, 1), (2, 4))
+        assert path == [(2, 1), (2, 2), (2, 3), (2, 4)]
+
+    def test_l_shape_column_first(self):
+        path = xy_path((0, 0), (2, 3))
+        # The x (column) coordinate is fixed first, then the y (row).
+        assert path[0] == (0, 0)
+        assert path[1] == (0, 1)
+        assert path[-1] == (2, 3)
+        assert (0, 3) in path
+
+    def test_same_site(self):
+        assert xy_path((1, 1), (1, 1)) == [(1, 1)]
+
+    @given(site, site)
+    @settings(max_examples=60, deadline=None)
+    def test_path_properties(self, a, b):
+        """The x-y path is a lattice path of length |Δrow| + |Δcol| from a to b."""
+        path = xy_path(a, b)
+        assert path[0] == a
+        assert path[-1] == b
+        assert len(path) == abs(a[0] - b[0]) + abs(a[1] - b[1]) + 1
+        for u, v in zip(path[:-1], path[1:]):
+            assert abs(u[0] - v[0]) + abs(u[1] - v[1]) == 1
+
+
+class TestRouting:
+    def test_full_lattice_follows_xy_path(self):
+        config = LatticeConfiguration(np.ones((8, 8), dtype=bool))
+        result = route_xy_mesh(config, (0, 0), (5, 6))
+        assert result.success
+        assert result.hops == 11
+        assert result.detour_ratio == 1.0
+        assert result.path == xy_path((0, 0), (5, 6))
+
+    def test_probe_count_on_clear_path(self):
+        config = LatticeConfiguration(np.ones((5, 5), dtype=bool))
+        result = route_xy_mesh(config, (0, 0), (0, 4))
+        # One probe per step along the unobstructed path.
+        assert result.probes == 4
+
+    def test_detour_around_obstacle(self):
+        mask = np.ones((5, 5), dtype=bool)
+        mask[0, 2] = False  # blocks the straight row-0 path
+        config = LatticeConfiguration(mask)
+        result = route_xy_mesh(config, (0, 0), (0, 4))
+        assert result.success
+        assert result.hops > 4
+        assert result.probes > 4
+        # The walked path only visits open sites.
+        assert all(config.is_open(s) for s in result.path)
+
+    def test_failure_when_target_unreachable(self):
+        mask = np.ones((3, 5), dtype=bool)
+        mask[:, 2] = False  # a closed column splits the lattice
+        config = LatticeConfiguration(mask)
+        result = route_xy_mesh(config, (1, 0), (1, 4))
+        assert not result.success
+        assert result.detour_ratio == float("inf")
+
+    def test_closed_endpoint_rejected(self):
+        mask = np.ones((3, 3), dtype=bool)
+        mask[1, 1] = False
+        config = LatticeConfiguration(mask)
+        with pytest.raises(ValueError):
+            route_xy_mesh(config, (1, 1), (0, 0))
+        with pytest.raises(ValueError):
+            route_xy_mesh(config, (0, 0), (1, 1))
+        with pytest.raises(ValueError):
+            route_xy_mesh(config, (0, 0), (9, 9))
+
+    def test_source_equals_target(self):
+        config = LatticeConfiguration(np.ones((3, 3), dtype=bool))
+        result = route_xy_mesh(config, (1, 1), (1, 1))
+        assert result.success
+        assert result.hops == 0
+        assert result.probes == 0
+
+    def test_supercritical_delivery_within_giant_component(self, rng):
+        """Above the threshold, routing between giant-component sites succeeds and the
+        detour and probe overheads stay modest (the Angel et al. guarantee)."""
+        config = sample_site_percolation(40, 40, 0.8, rng)
+        labels = label_clusters(config)
+        sizes = np.bincount(labels[labels >= 0])
+        coords = np.column_stack(np.nonzero(labels == int(np.argmax(sizes))))
+        detours = []
+        for _ in range(25):
+            a, b = coords[rng.integers(0, len(coords), size=2)]
+            src, tgt = (int(a[0]), int(a[1])), (int(b[0]), int(b[1]))
+            if src == tgt:
+                continue
+            result = route_xy_mesh(config, src, tgt)
+            assert result.success
+            assert result.hops >= result.l1_distance
+            detours.append(result.detour_ratio)
+        assert np.mean(detours) < 2.5
+
+    def test_path_is_connected_open_walk(self, rng):
+        config = sample_site_percolation(30, 30, 0.75, rng)
+        labels = label_clusters(config)
+        sizes = np.bincount(labels[labels >= 0])
+        coords = np.column_stack(np.nonzero(labels == int(np.argmax(sizes))))
+        a, b = coords[0], coords[-1]
+        result = route_xy_mesh(config, (int(a[0]), int(a[1])), (int(b[0]), int(b[1])))
+        if result.success:
+            for u, v in zip(result.path[:-1], result.path[1:]):
+                assert abs(u[0] - v[0]) + abs(u[1] - v[1]) == 1
+                assert config.is_open(u) and config.is_open(v)

@@ -1,0 +1,99 @@
+"""Tests for routing lifted onto the SENS overlay."""
+
+import numpy as np
+import pytest
+
+from repro.routing.overlay import expand_site_path, route_on_overlay
+
+
+@pytest.fixture(scope="module")
+def routable(udg_network_module):
+    return udg_network_module
+
+
+@pytest.fixture(scope="module")
+def udg_network_module():
+    from repro import Rect, build_udg_sens
+
+    return build_udg_sens(intensity=25.0, window=Rect(0, 0, 16, 16), seed=21, build_base_graph=False)
+
+
+def _two_distant_good_tiles(net, rng):
+    tiles = [t for t in net.classification.good_tiles() if t in net.overlay.tile_representatives]
+    tiles = sorted(tiles)
+    return tiles[0], tiles[-1]
+
+
+class TestRouteOnOverlay:
+    def test_successful_route_fields(self, routable, rng):
+        src, tgt = _two_distant_good_tiles(routable, rng)
+        result = route_on_overlay(routable, src, tgt)
+        assert result.success
+        assert result.hops >= 1
+        assert result.euclidean_length > 0
+        assert result.power > 0
+        assert result.stretch >= 1.0 - 1e-9
+
+    def test_route_uses_only_overlay_edges(self, routable, rng):
+        src, tgt = _two_distant_good_tiles(routable, rng)
+        result = route_on_overlay(routable, src, tgt)
+        graph = routable.overlay.graph
+        for a, b in zip(result.node_path[:-1], result.node_path[1:]):
+            assert graph.has_edge(int(a), int(b))
+
+    def test_route_endpoints_are_representatives(self, routable, rng):
+        src, tgt = _two_distant_good_tiles(routable, rng)
+        result = route_on_overlay(routable, src, tgt)
+        assert result.node_path[0] == routable.overlay.tile_representatives[src]
+        assert result.node_path[-1] == routable.overlay.tile_representatives[tgt]
+
+    def test_bad_tile_rejected(self, routable):
+        bad = next(
+            (t for t in routable.tiling.tiles() if not routable.classification.records[t].good),
+            None,
+        )
+        if bad is None:
+            pytest.skip("no bad tile in this realisation")
+        good = routable.classification.good_tiles()[0]
+        with pytest.raises(ValueError):
+            route_on_overlay(routable, bad, good)
+
+    def test_same_tile_route_is_trivial(self, routable):
+        tile = routable.classification.good_tiles()[0]
+        result = route_on_overlay(routable, tile, tile)
+        assert result.success
+        assert result.hops == 0
+
+    def test_power_consistent_with_hops(self, routable, rng):
+        """All overlay hops are <= 1 long, so power (beta=2) <= hop count."""
+        src, tgt = _two_distant_good_tiles(routable, rng)
+        result = route_on_overlay(routable, src, tgt, beta=2.0)
+        assert result.power <= result.hops + 1e-9
+
+
+class TestExpandSitePath:
+    def test_single_site(self, routable):
+        tile = routable.classification.good_tiles()[0]
+        site = routable.tiling.lattice_site(tile)
+        path = expand_site_path(routable, [site])
+        assert path == [routable.overlay.tile_representatives[tile]]
+
+    def test_empty_path(self, routable):
+        assert expand_site_path(routable, []) == []
+
+    def test_adjacent_tiles_expand_to_relay_chain(self, routable):
+        good = set(routable.classification.good_tiles())
+        # Find a pair of horizontally adjacent good tiles.
+        pair = None
+        for (c, r) in good:
+            if (c + 1, r) in good:
+                pair = ((c, r), (c + 1, r))
+                break
+        if pair is None:
+            pytest.skip("no adjacent good tiles")
+        sites = [routable.tiling.lattice_site(t) for t in pair]
+        path = expand_site_path(routable, sites)
+        # UDG chain: rep - E_right - E_left(neighbour) - rep = up to 4 distinct nodes.
+        assert 2 <= len(path) <= 4
+        assert path[0] == routable.overlay.tile_representatives[pair[0]]
+        assert path[-1] == routable.overlay.tile_representatives[pair[1]]

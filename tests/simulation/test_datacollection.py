@@ -1,0 +1,81 @@
+"""Tests for the convergecast data-collection simulation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.base import GeometricGraph
+from repro.simulation.datacollection import run_convergecast
+from repro.simulation.energy import EnergyModel
+
+
+@pytest.fixture
+def line_graph():
+    pts = np.array([[0, 0], [1, 0], [2, 0], [3, 0]], dtype=float)
+    return GeometricGraph(pts, np.array([[0, 1], [1, 2], [2, 3]]))
+
+
+class TestConvergecast:
+    def test_all_reports_delivered_on_connected_graph(self, line_graph):
+        result = run_convergecast(line_graph, sink=0)
+        assert result.delivered == 3
+        assert result.undeliverable == 0
+        assert result.total_energy > 0
+        assert result.mean_hops == pytest.approx(2.0)  # hops: 1+2+3 over 3 sources
+
+    def test_disconnected_sources_counted_undeliverable(self):
+        pts = np.array([[0, 0], [1, 0], [10, 10]], dtype=float)
+        g = GeometricGraph(pts, np.array([[0, 1]]))
+        result = run_convergecast(g, sink=0)
+        assert result.delivered == 1
+        assert result.undeliverable == 1
+
+    def test_energy_scales_with_rounds(self, line_graph):
+        one = run_convergecast(line_graph, sink=0, rounds=1)
+        three = run_convergecast(line_graph, sink=0, rounds=3)
+        assert three.total_energy == pytest.approx(3 * one.total_energy)
+        assert three.delivered == 3 * one.delivered
+
+    def test_nodes_near_sink_carry_most_load(self, line_graph):
+        result = run_convergecast(line_graph, sink=0)
+        consumed = result.ledger.consumed
+        # Node 1 forwards traffic from 2 and 3, so it spends more than node 3.
+        assert consumed[1] > consumed[3]
+
+    def test_explicit_sources(self, line_graph):
+        result = run_convergecast(line_graph, sink=0, sources=[3])
+        assert result.delivered == 1
+        assert result.mean_hops == pytest.approx(3.0)
+
+    def test_lifetime_estimate_finite_when_energy_drawn(self, line_graph):
+        result = run_convergecast(line_graph, sink=0, rounds=2, initial_energy=0.01)
+        assert np.isfinite(result.rounds_to_first_death)
+        assert result.rounds_to_first_death > 0
+
+    def test_energy_per_delivered_infinite_when_nothing_delivered(self):
+        pts = np.array([[0, 0], [5, 5]], dtype=float)
+        g = GeometricGraph(pts, np.zeros((0, 2), dtype=int))
+        result = run_convergecast(g, sink=0)
+        assert result.delivered == 0
+        assert result.energy_per_delivered == float("inf")
+
+    def test_min_power_routing_prefers_short_hops(self):
+        """With beta=2 the relayed route through a midpoint is chosen over a long direct hop."""
+        pts = np.array([[0, 0], [1, 0], [2, 0]], dtype=float)
+        g = GeometricGraph(pts, np.array([[0, 1], [1, 2], [0, 2]]))
+        result = run_convergecast(g, sink=0, sources=[2], energy_model=EnergyModel(e_elec=0.0, e_amp=1.0))
+        # The relayed path costs 2 * d^2 = 2 (per bit·e_amp) vs the direct 4.
+        assert result.mean_hops == pytest.approx(2.0)
+
+    def test_validation(self, line_graph):
+        with pytest.raises(ValueError):
+            run_convergecast(line_graph, sink=10)
+        with pytest.raises(ValueError):
+            run_convergecast(line_graph, sink=0, rounds=0)
+
+    def test_sens_overlay_convergecast_end_to_end(self, udg_network):
+        """Integration: convergecast over a real SENS overlay delivers from every node."""
+        graph = udg_network.sens.graph
+        sink = 0
+        result = run_convergecast(graph, sink=sink, rounds=1)
+        assert result.delivered == graph.n_nodes - 1
+        assert result.undeliverable == 0

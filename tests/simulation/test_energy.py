@@ -1,0 +1,82 @@
+"""Tests for the radio energy model and ledger."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.energy import EnergyLedger, EnergyModel
+
+
+class TestEnergyModel:
+    def test_tx_cost_components(self):
+        model = EnergyModel(e_elec=1.0, e_amp=2.0, beta=2.0)
+        assert model.tx_cost(bits=10, distance=3.0) == pytest.approx(10 * (1.0 + 2.0 * 9.0))
+
+    def test_rx_cost(self):
+        model = EnergyModel(e_elec=1.0, e_amp=2.0)
+        assert model.rx_cost(bits=5) == pytest.approx(5.0)
+
+    def test_hop_cost_is_tx_plus_rx(self):
+        model = EnergyModel()
+        assert model.hop_cost(100, 0.5) == pytest.approx(
+            model.tx_cost(100, 0.5) + model.rx_cost(100)
+        )
+
+    def test_longer_hops_cost_more(self):
+        model = EnergyModel()
+        assert model.tx_cost(1000, 2.0) > model.tx_cost(1000, 0.5)
+
+    def test_higher_beta_penalises_long_hops_more(self):
+        lo = EnergyModel(beta=2.0)
+        hi = EnergyModel(beta=4.0)
+        ratio_lo = lo.tx_cost(1, 2.0) / lo.tx_cost(1, 1.0)
+        ratio_hi = hi.tx_cost(1, 2.0) / hi.tx_cost(1, 1.0)
+        assert ratio_hi > ratio_lo
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(beta=1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(e_elec=-1.0)
+        model = EnergyModel()
+        with pytest.raises(ValueError):
+            model.tx_cost(-1, 1.0)
+        with pytest.raises(ValueError):
+            model.rx_cost(-1)
+
+
+class TestEnergyLedger:
+    def test_charge_and_remaining(self):
+        ledger = EnergyLedger(3, initial_energy=1.0)
+        ledger.charge(0, 0.4)
+        ledger.charge(0, 0.3)
+        assert ledger.consumed[0] == pytest.approx(0.7)
+        assert ledger.remaining()[0] == pytest.approx(0.3)
+        assert ledger.remaining()[1] == pytest.approx(1.0)
+
+    def test_alive_mask_and_dead_count(self):
+        ledger = EnergyLedger(2, initial_energy=0.5)
+        ledger.charge(1, 0.6)
+        assert ledger.alive_mask().tolist() == [True, False]
+        assert ledger.n_dead == 1
+
+    def test_most_loaded(self):
+        ledger = EnergyLedger(3)
+        ledger.charge(2, 0.1)
+        assert ledger.most_loaded() == 2
+
+    def test_total_consumed(self):
+        ledger = EnergyLedger(2)
+        ledger.charge(0, 0.1)
+        ledger.charge(1, 0.2)
+        assert ledger.total_consumed == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyLedger(-1)
+        with pytest.raises(ValueError):
+            EnergyLedger(2, initial_energy=0.0)
+        ledger = EnergyLedger(1)
+        with pytest.raises(ValueError):
+            ledger.charge(0, -0.1)
+        with pytest.raises(ValueError):
+            EnergyLedger(0).most_loaded()

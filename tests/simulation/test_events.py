@@ -1,0 +1,73 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.events import EventQueue
+
+
+class TestEventQueue:
+    def test_schedule_and_pop_in_order(self):
+        q = EventQueue()
+        q.schedule(5.0, "b")
+        q.schedule(1.0, "a")
+        q.schedule(10.0, "c")
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == ["a", "b", "c"]
+        assert q.now == 10.0
+
+    def test_fifo_within_same_time(self):
+        q = EventQueue()
+        q.schedule(1.0, "first")
+        q.schedule(1.0, "second")
+        assert q.pop().kind == "first"
+        assert q.pop().kind == "second"
+
+    def test_schedule_at_absolute_time(self):
+        q = EventQueue()
+        q.schedule_at(3.0, "x")
+        assert q.pop().time == 3.0
+
+    def test_cannot_schedule_into_past(self):
+        q = EventQueue()
+        q.schedule(1.0, "x")
+        q.pop()
+        with pytest.raises(ValueError):
+            q.schedule(-0.5, "y")
+        with pytest.raises(ValueError):
+            q.schedule_at(0.5, "y")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_run_with_handler_and_rescheduling(self):
+        q = EventQueue()
+        seen = []
+
+        def handler(event, queue):
+            seen.append((event.time, event.kind))
+            if event.kind == "tick" and event.time < 3:
+                queue.schedule(1.0, "tick")
+
+        q.schedule(1.0, "tick")
+        processed = q.run(handler)
+        assert processed == 3
+        assert seen == [(1.0, "tick"), (2.0, "tick"), (3.0, "tick")]
+
+    def test_run_until_and_max_events(self):
+        q = EventQueue()
+        for i in range(10):
+            q.schedule(float(i + 1), "e")
+        assert q.run(lambda e, qq: None, until=4.5) == 4
+        q2 = EventQueue()
+        for i in range(10):
+            q2.schedule(float(i + 1), "e")
+        assert q2.run(lambda e, qq: None, max_events=3) == 3
+
+    def test_drain(self):
+        q = EventQueue()
+        q.schedule(2.0, "a", payload=1)
+        q.schedule(1.0, "b", payload=2)
+        events = list(q.drain())
+        assert [e.kind for e in events] == ["b", "a"]
+        assert len(q) == 0

@@ -1,0 +1,85 @@
+"""Tests for the sensing-field helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import Rect
+from repro.simulation.sensing import MovingTarget, SensingField, coverage_fraction
+
+
+class TestCoverageFraction:
+    def test_full_coverage(self):
+        sensors = np.array([[0, 0], [1, 0]], dtype=float)
+        events = np.array([[0.1, 0.1], [0.9, 0.0]])
+        assert coverage_fraction(sensors, events, sensing_radius=0.5) == 1.0
+
+    def test_partial_coverage(self):
+        sensors = np.array([[0, 0]], dtype=float)
+        events = np.array([[0.1, 0.0], [5.0, 5.0]])
+        assert coverage_fraction(sensors, events, sensing_radius=0.5) == 0.5
+
+    def test_no_sensors(self):
+        assert coverage_fraction(np.zeros((0, 2)), np.array([[0, 0]]), 1.0) == 0.0
+
+    def test_no_events(self):
+        assert coverage_fraction(np.array([[0, 0]], dtype=float), np.zeros((0, 2)), 1.0) == 1.0
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            coverage_fraction(np.zeros((1, 2)), np.zeros((1, 2)), 0.0)
+
+
+class TestSensingField:
+    def test_sample_events_inside_window(self, rng):
+        field = SensingField(Rect(0, 0, 5, 5), sensing_radius=1.0)
+        events = field.sample_events(100, rng)
+        assert field.window.contains(events).all()
+
+    def test_detectors_of(self):
+        field = SensingField(Rect(0, 0, 10, 10), sensing_radius=1.0)
+        sensors = np.array([[1, 1], [5, 5], [1.5, 1.0]], dtype=float)
+        detectors = field.detectors_of(sensors, np.array([1.2, 1.0]))
+        assert set(detectors.tolist()) == {0, 2}
+
+    def test_coverage_monotone_in_sensor_count(self, rng):
+        field = SensingField(Rect(0, 0, 10, 10), sensing_radius=1.0)
+        few = field.window.sample_uniform(5, rng)
+        many = np.vstack([few, field.window.sample_uniform(200, rng)])
+        cov_few = field.coverage(few, 300, np.random.default_rng(1))
+        cov_many = field.coverage(many, 300, np.random.default_rng(1))
+        assert cov_many >= cov_few
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensingField(Rect(0, 0, 1, 1), sensing_radius=-1.0)
+        field = SensingField(Rect(0, 0, 1, 1), sensing_radius=1.0)
+        with pytest.raises(ValueError):
+            field.sample_events(-1, np.random.default_rng())
+
+
+class TestMovingTarget:
+    def test_path_length(self):
+        target = MovingTarget(np.array([[0, 0], [3, 0], [3, 4]]), speed=1.0)
+        assert target.path_length == pytest.approx(7.0)
+
+    def test_position_at(self):
+        target = MovingTarget(np.array([[0, 0], [2, 0]]), speed=0.5)
+        assert np.allclose(target.position_at(1.0), [1.0, 0.0])
+        assert np.allclose(target.position_at(10.0), [2.0, 0.0])  # clamped to the end
+        assert np.allclose(target.position_at(-1.0), [0.0, 0.0])
+
+    def test_positions_iteration(self):
+        target = MovingTarget(np.array([[0, 0], [1, 0]]), speed=0.25)
+        positions = list(target.positions())
+        assert len(positions) >= 5
+        assert np.allclose(positions[0], [0, 0])
+        assert np.allclose(positions[-1], [1, 0])
+        # x-coordinates increase monotonically along the straight path.
+        xs = [p[0] for p in positions]
+        assert xs == sorted(xs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MovingTarget(np.array([[0, 0]]), speed=1.0)
+        with pytest.raises(ValueError):
+            MovingTarget(np.array([[0, 0], [1, 0]]), speed=0.0)

@@ -1,0 +1,109 @@
+"""End-to-end integration tests and cross-cutting property tests.
+
+These tests exercise the full paper pipeline — deployment → base graph →
+tiling → goodness → overlay → coupling → routing → measurement — and check
+the invariants the paper's properties P1–P4 promise, on freshly sampled
+deployments (hypothesis drives the deployment parameters).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rect, build_udg_sens
+from repro.core.stretch import measure_stretch
+from repro.distributed.construct import distributed_build
+from repro.percolation.clusters import label_clusters
+from repro.routing.overlay import route_on_overlay
+
+
+class TestFullPipelineUDG:
+    def test_pipeline_invariants(self, udg_network):
+        net = udg_network
+        # P1 — sparsity.
+        assert net.sens.graph.degrees().max() <= 4
+        # Overlay is a subgraph of the base UDG.
+        assert net.overlay.verify_edges_in_base(net.base_graph).all()
+        # Coupling: number of open sites equals number of good tiles.
+        assert net.lattice().n_open == net.classification.n_good
+        # The SENS component is non-trivial at this density.
+        assert net.n_sens_nodes > 0.5 * net.classification.n_good
+
+    def test_representative_graph_isomorphic_to_open_mesh(self, udg_network):
+        """Contracting relay chains, the SENS representatives form exactly the open
+        subgraph of the coupled lattice (restricted to the giant component)."""
+        net = udg_network
+        lattice = net.lattice()
+        labels = label_clusters(lattice)
+        overlay = net.overlay
+        # For every pair of adjacent good tiles, the representatives must be connected
+        # in the overlay through at most 2 intermediate relays (UDG chain length 3).
+        from repro.graphs.metrics import shortest_path_hops
+
+        reps = overlay.tile_representatives
+        good = set(net.classification.good_tiles())
+        pairs = []
+        for (c, r) in list(good)[:40]:
+            if (c + 1, r) in good:
+                pairs.append(((c, r), (c + 1, r)))
+        if not pairs:
+            pytest.skip("no adjacent good tiles")
+        sources = [reps[a] for a, _ in pairs]
+        hop = shortest_path_hops(overlay.graph, sources=sources)
+        for row, (a, b) in enumerate(pairs):
+            assert hop[row, reps[b]] <= 3
+
+    def test_stretch_and_routing_consistent(self, udg_network, rng):
+        """The router's realised stretch is never better than the shortest-path stretch."""
+        net = udg_network
+        good = sorted(t for t in net.classification.good_tiles() if t in net.sens.tile_representatives)
+        src, tgt = good[0], good[-1]
+        route = route_on_overlay(net, src, tgt)
+        assert route.success
+        # Shortest-path distance between the same representatives.
+        from repro.graphs.metrics import shortest_path_euclidean
+
+        overlay = net.overlay
+        d = shortest_path_euclidean(overlay.graph, sources=[overlay.tile_representatives[src]])
+        shortest = d[0, overlay.tile_representatives[tgt]]
+        assert route.euclidean_length >= shortest - 1e-9
+
+    def test_distributed_build_is_a_drop_in_replacement(self, rng):
+        window = Rect(0, 0, 9, 9)
+        net = build_udg_sens(intensity=22.0, window=window, seed=99, build_base_graph=False)
+        dist = distributed_build(net.points, net.spec, window)
+        assert dist.matches_overlay(net.overlay)
+
+
+class TestDeploymentSweepProperties:
+    @given(
+        intensity=st.floats(8.0, 35.0),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_invariants_hold_across_densities(self, intensity, seed):
+        """P1 + subgraph property + coupling consistency on random deployments."""
+        net = build_udg_sens(
+            intensity=intensity, window=Rect(0, 0, 8, 8), seed=seed, build_base_graph=True
+        )
+        deg = net.overlay.graph.degrees()
+        if deg.size:
+            assert deg.max() <= 4
+        assert net.overlay.verify_edges_in_base(net.base_graph).all()
+        assert net.lattice().n_open == net.classification.n_good
+        assert 0.0 <= net.fraction_good_tiles <= 1.0
+        assert net.n_sens_nodes <= net.n_overlay_nodes <= net.n_deployed
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_stretch_at_least_one_property(self, seed):
+        net = build_udg_sens(
+            intensity=28.0, window=Rect(0, 0, 12, 12), seed=seed, build_base_graph=False
+        )
+        try:
+            report = measure_stretch(net, n_pairs=30, rng=np.random.default_rng(seed))
+        except ValueError:
+            return  # degenerate realisation with < 2 representatives
+        assert (report.stretches >= 1.0 - 1e-9).all()
+        assert report.max_stretch < 4.0
