@@ -4,6 +4,11 @@ Every benchmark regenerates one experiment from the DESIGN.md index (E01–E12),
 prints the resulting table and writes it to ``benchmarks/results/<id>.txt`` so
 the numbers that back EXPERIMENTS.md can be re-derived with a single
 ``pytest benchmarks/ --benchmark-only`` run.
+
+The structured rows additionally go through the :mod:`repro.runner` result
+store (``benchmarks/results/store/``): each emitted result is keyed by its
+``(experiment_id, params)`` pair, an unchanged result is a no-op on rerun, and
+the JSON-lines records are what ``python -m repro.runner show`` reads.
 """
 
 from __future__ import annotations
@@ -14,8 +19,11 @@ import pytest
 
 from repro.analysis.experiments import ExperimentResult
 from repro.analysis.tables import format_table
+from repro.runner.serialize import canonical_json, params_key, result_to_payload
+from repro.runner.store import ResultStore
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+STORE_DIR = RESULTS_DIR / "store"
 
 
 @pytest.fixture(scope="session")
@@ -23,6 +31,7 @@ def emit_result():
     """Return a callable that prints and persists an ExperimentResult."""
 
     RESULTS_DIR.mkdir(exist_ok=True)
+    store = ResultStore(STORE_DIR)
 
     def _emit(result: ExperimentResult) -> ExperimentResult:
         lines = [
@@ -39,6 +48,20 @@ def emit_result():
         text = "\n".join(lines)
         print("\n" + text)
         (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+
+        record = {
+            "key": params_key(result.experiment_id, result.params),
+            "experiment_id": result.experiment_id,
+            "params": result.params,
+            "status": "ok",
+            "result": result_to_payload(result),
+        }
+        existing = store.get(record["key"])
+        # Compare canonical lines, not dicts: NaN payloads never compare equal.
+        if existing is None or canonical_json(existing, strict=False) != canonical_json(
+            record, strict=False
+        ):
+            store.put(record)
         return result
 
     return _emit

@@ -18,10 +18,12 @@ from repro.analysis.experiments import ExperimentResult
 from repro.core.thresholds import goodness_curve_udg
 from repro.core.tiles_udg import UDGTileSpec
 from repro.percolation import SITE_PERCOLATION_THRESHOLD
+from repro.runner.registry import register
 
 __all__ = ["ablation_udg_tile_parameters"]
 
 
+@register("A01", title="UDG tile parameterisation ablation")
 def ablation_udg_tile_parameters(
     rep_radii: Sequence[float] = (0.25, 1.0 / 3.0, 0.40, 0.45),
     sides: Sequence[float] = (1.2, 4.0 / 3.0),

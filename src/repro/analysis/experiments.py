@@ -9,6 +9,13 @@ benchmark files expose knobs for larger runs.
 The functions are deliberately thin compositions of the library's public API
 — they are the "scripts" a reader of the paper would write, and double as
 end-to-end integration tests.
+
+Every experiment registers itself with :mod:`repro.runner` under its DESIGN.md
+id, which derives a frozen params dataclass from the signature (e.g.
+``experiment_e01_udg_threshold.Params``) and makes the experiment runnable,
+cacheable and parallelisable through ``python -m repro.runner run E01``.  The
+keyword calling convention below is unchanged; ``ALL_EXPERIMENTS`` is now a
+snapshot of the registry rather than a hand-maintained dict.
 """
 
 from __future__ import annotations
@@ -53,6 +60,7 @@ from repro.percolation.lattice import sample_site_percolation
 from repro.routing.baselines import greedy_geographic_route
 from repro.routing.mesh import route_xy_mesh
 from repro.routing.overlay import route_on_overlay
+from repro.runner.registry import REGISTRY, register
 from repro.simulation.datacollection import run_convergecast
 from repro.simulation.energy import EnergyModel
 
@@ -86,6 +94,8 @@ class ExperimentResult:
     rows: the table rows (list of dicts) the benchmark prints.
     headline: the scalar(s) EXPERIMENTS.md compares against the paper.
     notes: free-form remarks (degeneracy warnings, deviations, …).
+    params: the fully-resolved parameters of the run; stamped by the runner
+        registry wrapper so the result store can key the row.
     """
 
     experiment_id: str
@@ -94,11 +104,13 @@ class ExperimentResult:
     rows: List[Dict] = field(default_factory=list)
     headline: Dict[str, float | str | None] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    params: Dict = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
 # E01 — UDG tile-goodness threshold (Theorem 2.2)
 # ---------------------------------------------------------------------------
+@register("E01")
 def experiment_e01_udg_threshold(
     trials: int = 300,
     intensities: Sequence[float] | None = None,
@@ -146,6 +158,7 @@ def experiment_e01_udg_threshold(
 # ---------------------------------------------------------------------------
 # E02 — NN tile-goodness threshold (Theorem 2.4)
 # ---------------------------------------------------------------------------
+@register("E02")
 def experiment_e02_nn_threshold(
     trials: int = 200,
     k_values: Sequence[int] | None = None,
@@ -181,6 +194,7 @@ def experiment_e02_nn_threshold(
 # ---------------------------------------------------------------------------
 # E03 — Sparsity (Property P1)
 # ---------------------------------------------------------------------------
+@register("E03")
 def experiment_e03_sparsity(
     udg_intensity: float = 20.0,
     udg_window_side: float = 24.0,
@@ -239,6 +253,7 @@ def experiment_e03_sparsity(
 # ---------------------------------------------------------------------------
 # E04 — Distance stretch (Claims 2.1/2.3, Theorem 3.2)
 # ---------------------------------------------------------------------------
+@register("E04")
 def experiment_e04_stretch(
     intensity: float = 20.0,
     window_side: float = 30.0,
@@ -280,6 +295,7 @@ def experiment_e04_stretch(
 # ---------------------------------------------------------------------------
 # E05 — Coverage (Theorem 3.3, Corollary 3.4)
 # ---------------------------------------------------------------------------
+@register("E05")
 def experiment_e05_coverage(
     intensities: Sequence[float] = (12.0, 20.0, 32.0),
     window_side: float = 30.0,
@@ -322,6 +338,7 @@ def experiment_e05_coverage(
 # ---------------------------------------------------------------------------
 # E06 — Distributed construction (Figure 7, Property P4)
 # ---------------------------------------------------------------------------
+@register("E06")
 def experiment_e06_distributed_build(
     intensity: float = 25.0,
     window_sides: Sequence[float] = (8.0, 12.0, 16.0, 20.0),
@@ -365,6 +382,7 @@ def experiment_e06_distributed_build(
 # ---------------------------------------------------------------------------
 # E07 — Routing on the percolated mesh and the overlay (Figure 9)
 # ---------------------------------------------------------------------------
+@register("E07")
 def experiment_e07_routing(
     p_values: Sequence[float] = (0.65, 0.70, 0.80, 0.90),
     lattice_size: int = 60,
@@ -458,6 +476,7 @@ def experiment_e07_routing(
 # ---------------------------------------------------------------------------
 # E08 — Power efficiency (Li–Wan–Wang; paper §1)
 # ---------------------------------------------------------------------------
+@register("E08")
 def experiment_e08_power(
     intensity: float = 10.0,
     window_side: float = 12.0,
@@ -538,6 +557,7 @@ def experiment_e08_power(
 # ---------------------------------------------------------------------------
 # E09 — Percolation substrate validation (Lemma 1.1, p_c bracket)
 # ---------------------------------------------------------------------------
+@register("E09")
 def experiment_e09_percolation(
     box_size: int = 40,
     trials: int = 20,
@@ -594,6 +614,7 @@ def experiment_e09_percolation(
 # ---------------------------------------------------------------------------
 # E10 — Tile and region geometry (Figures 1, 3, 5)
 # ---------------------------------------------------------------------------
+@register("E10")
 def experiment_e10_tile_geometry(
     udg_lambdas: Sequence[float] = (10.0, 20.0),
     trials: int = 150,
@@ -653,6 +674,7 @@ def experiment_e10_tile_geometry(
 # ---------------------------------------------------------------------------
 # E11 — Continuum percolation context (largest component of the base graphs)
 # ---------------------------------------------------------------------------
+@register("E11")
 def experiment_e11_continuum(
     lambdas: Sequence[float] = (0.4, 0.8, 1.2, 1.6, 2.4, 3.2),
     ks: Sequence[int] = (1, 2, 3, 4, 5, 6),
@@ -710,6 +732,7 @@ def experiment_e11_continuum(
 # ---------------------------------------------------------------------------
 # E12 — Small components / switched-off nodes (paper §4.1 remark)
 # ---------------------------------------------------------------------------
+@register("E12")
 def experiment_e12_components(
     intensities: Sequence[float] = (14.0, 18.0, 24.0, 32.0),
     window_side: float = 24.0,
@@ -753,18 +776,7 @@ def experiment_e12_components(
     )
 
 
-#: Registry used by the EXPERIMENTS.md generator and the meta-tests.
-ALL_EXPERIMENTS = {
-    "E01": experiment_e01_udg_threshold,
-    "E02": experiment_e02_nn_threshold,
-    "E03": experiment_e03_sparsity,
-    "E04": experiment_e04_stretch,
-    "E05": experiment_e05_coverage,
-    "E06": experiment_e06_distributed_build,
-    "E07": experiment_e07_routing,
-    "E08": experiment_e08_power,
-    "E09": experiment_e09_percolation,
-    "E10": experiment_e10_tile_geometry,
-    "E11": experiment_e11_continuum,
-    "E12": experiment_e12_components,
-}
+#: Registry view used by the EXPERIMENTS.md generator and the meta-tests —
+#: snapshot of the runner registry at import time (exactly E01–E12), so the
+#: two can never drift.
+ALL_EXPERIMENTS = REGISTRY.as_mapping()

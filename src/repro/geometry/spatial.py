@@ -62,10 +62,14 @@ class GridIndex:
         return list(self._cells.keys())
 
     def query_radius(self, center: Iterable[float], radius: float) -> np.ndarray:
-        """Indices of points within ``radius`` of ``center`` (closed ball).
+        """Indices of points within ``radius`` of ``center`` (exact closed ball).
 
         Scans the minimal block of cells that can contain qualifying points
-        and filters by exact distance.
+        and filters by exact squared distance (``d² <= r²``, no tolerance) —
+        the same closed-ball predicate ``scipy.spatial.cKDTree`` applies in
+        :func:`repro.graphs.udg.udg_edges`, so the distributed simulator and
+        the centralized builder agree on every boundary pair.  At
+        ``radius == 0`` only exactly coincident points qualify.
         """
         if radius < 0:
             raise ValueError("radius must be non-negative")
@@ -80,7 +84,7 @@ class GridIndex:
             return np.empty(0, dtype=np.int64)
         idx = np.asarray(candidates, dtype=np.int64)
         diff = self.points[idx] - np.asarray([cx, cy], dtype=np.float64)
-        keep = np.einsum("ij,ij->i", diff, diff) <= radius**2 + 1e-12
+        keep = np.einsum("ij,ij->i", diff, diff) <= radius * radius
         return idx[keep]
 
     def neighbours_of(self, index: int, radius: float, include_self: bool = False) -> np.ndarray:

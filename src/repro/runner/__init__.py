@@ -1,0 +1,49 @@
+"""repro.runner — registry-driven parallel experiment runner.
+
+The subsystem turns the E01–E12 entry points (and any future workload) into
+uniquely-parameterised, cacheable, parallelisable jobs, following the
+py_experimenter model: an experiment is a pure function of its parameter row.
+
+* :mod:`repro.runner.registry` — ``@register("E01")`` decorator; derives a
+  frozen params dataclass from the function signature.
+* :mod:`repro.runner.grid` — ``grid(trials=[...], seed=range(...))`` →
+  cartesian parameter sweep.
+* :mod:`repro.runner.executor` — ``make_jobs`` (SeedSequence-spawned per-job
+  seeds) and ``run_jobs`` (ProcessPoolExecutor fan-out, resume, failure log).
+* :mod:`repro.runner.store` — append-only JSON-lines cache keyed by
+  ``(experiment_id, params)``.
+* :mod:`repro.runner.cli` — ``python -m repro.runner run E01 --jobs 8``.
+"""
+
+from repro.runner.executor import (
+    Job,
+    JobOutcome,
+    RunReport,
+    load_builtin_experiments,
+    make_jobs,
+    run_jobs,
+)
+from repro.runner.grid import grid
+from repro.runner.registry import REGISTRY, Experiment, ExperimentRegistry, get_experiment, register
+from repro.runner.serialize import canonical_json, jsonify, params_key
+from repro.runner.store import DEFAULT_STORE_DIR, ResultStore
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "Experiment",
+    "ExperimentRegistry",
+    "Job",
+    "JobOutcome",
+    "REGISTRY",
+    "ResultStore",
+    "RunReport",
+    "canonical_json",
+    "get_experiment",
+    "grid",
+    "jsonify",
+    "load_builtin_experiments",
+    "make_jobs",
+    "params_key",
+    "register",
+    "run_jobs",
+]

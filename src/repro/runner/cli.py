@@ -1,0 +1,225 @@
+"""Command-line front end of the experiment runner.
+
+Examples::
+
+    python -m repro.runner list
+    python -m repro.runner run E01 E04 --jobs 8 --trials 500
+    python -m repro.runner run E01 --grid "seed=1,2,3" --set "intensities=[5,10,20]"
+    python -m repro.runner show E01
+
+``run`` resolves each experiment through the registry, expands ``--grid``
+axes into a parameter sweep, executes through the parallel executor and
+persists every row to the JSON-lines store (``runner_cache/`` by default), so
+a second invocation with the same parameters is a pure cache hit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import time
+from typing import Any, Dict, List, Tuple
+
+from repro.analysis.tables import format_table
+from repro.runner.executor import JobOutcome, load_builtin_experiments, make_jobs, run_jobs
+from repro.runner.grid import grid
+from repro.runner.registry import REGISTRY
+from repro.runner.store import DEFAULT_STORE_DIR, ResultStore
+
+__all__ = ["main"]
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_assignment(text: str) -> Tuple[str, Any]:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"expected KEY=VALUE, got {text!r}")
+    key, value = text.split("=", 1)
+    return key.strip(), _parse_value(value.strip())
+
+
+def _parse_grid_assignment(text: str) -> Tuple[str, Any]:
+    """Like :func:`_parse_assignment`, but a non-literal value splits on commas
+    so string axes sweep too: ``mode=fast,slow`` → ``["fast", "slow"]``."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"expected KEY=V1,V2,..., got {text!r}")
+    key, value = text.split("=", 1)
+    key, value = key.strip(), value.strip()
+    try:
+        return key, ast.literal_eval(value)
+    except (ValueError, SyntaxError):
+        return key, [_parse_value(part.strip()) for part in value.split(",")]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.runner",
+        description="Registry-driven parallel experiment runner with an on-disk result cache.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run experiments through the parallel executor")
+    p_run.add_argument(
+        "experiments", nargs="+", metavar="ID", help='experiment ids (e.g. E01 E04) or "all"'
+    )
+    p_run.add_argument("--jobs", type=int, default=1, help="worker processes (default: 1, inline)")
+    p_run.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="override the 'trials' parameter of experiments that have one",
+    )
+    p_run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed; per-job seeds are spawned from it via SeedSequence",
+    )
+    p_run.add_argument(
+        "--set",
+        dest="overrides",
+        type=_parse_assignment,
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="pin one parameter (python literal), e.g. --set window_side=20.0",
+    )
+    p_run.add_argument(
+        "--grid",
+        dest="grid_axes",
+        type=_parse_grid_assignment,
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help='sweep one parameter over several values, e.g. --grid "seed=1,2,3"',
+    )
+    p_run.add_argument("--store", default=DEFAULT_STORE_DIR, help="result-store directory")
+    p_run.add_argument(
+        "--force", action="store_true", help="ignore cached results and recompute every job"
+    )
+
+    sub.add_parser("list", help="list registered experiments")
+
+    p_show = sub.add_parser("show", help="print stored results")
+    p_show.add_argument("experiments", nargs="*", metavar="ID", help="restrict to these ids")
+    p_show.add_argument("--store", default=DEFAULT_STORE_DIR, help="result-store directory")
+    return parser
+
+
+def _resolve_ids(requested: List[str]) -> Tuple[List[str], List[str]]:
+    if any(token.lower() == "all" for token in requested):
+        return REGISTRY.ids(), []
+    ids: List[str] = []
+    for token in requested:
+        if token not in ids:
+            ids.append(token)
+    unknown = [eid for eid in ids if eid not in REGISTRY]
+    return ids, unknown
+
+
+def _cmd_list() -> int:
+    rows = []
+    for eid in REGISTRY.ids():
+        experiment = REGISTRY.get(eid)
+        rows.append(
+            {
+                "id": eid,
+                "title": experiment.title,
+                "parameters": ", ".join(experiment.field_names),
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    ids = args.experiments or sorted({r["experiment_id"] for r in store.records()})
+    if not ids:
+        print(f"store {args.store!r} is empty")
+        return 0
+    rows = []
+    for eid in ids:
+        for record in store.records(experiment_id=eid):
+            result = record.get("result") or {}
+            headline = result.get("headline", {}) if isinstance(result, dict) else {}
+            rows.append(
+                {
+                    "id": eid,
+                    "key": record["key"][:10],
+                    "status": record["status"],
+                    "headline": ", ".join(f"{k}={v}" for k, v in headline.items()) or "-",
+                }
+            )
+    print(format_table(rows) if rows else "(no records)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids, unknown = _resolve_ids(args.experiments)
+    if unknown:
+        print(
+            f"error: unknown experiment id(s) {', '.join(unknown)}; "
+            f"registered: {', '.join(REGISTRY.ids())}"
+        )
+        return 2
+    overrides = dict(args.overrides)
+    axes = dict(args.grid_axes)
+    store = ResultStore(args.store)
+
+    def _report_progress(outcome: JobOutcome) -> None:
+        line = f"  {outcome.job.experiment_id}[{outcome.job.key[:10]}] {outcome.status}"
+        if outcome.status == "failed":
+            error = outcome.record.get("error", "").strip().splitlines()
+            line += f" — {error[-1] if error else 'unknown error'}"
+        print(line, flush=True)
+
+    exit_code = 0
+    for eid in ids:
+        experiment = REGISTRY.get(eid)
+        known = set(experiment.field_names)
+        effective = dict(overrides)
+        if args.trials is not None:
+            effective["trials"] = args.trials
+        applicable = {k: v for k, v in effective.items() if k in known}
+        for name in sorted(set(effective) - known):
+            print(f"note: {eid} has no parameter {name!r}; override ignored")
+        sweep_axes = {k: v for k, v in axes.items() if k in known}
+        for name in sorted(set(axes) - known):
+            print(f"note: {eid} has no parameter {name!r}; grid axis ignored")
+        param_sets = [{**applicable, **point} for point in grid(sweep_axes)]
+
+        jobs = make_jobs(eid, param_sets, base_seed=args.seed)
+        print(f"{eid} — {experiment.title} ({len(jobs)} job(s), --jobs {args.jobs})")
+        started = time.perf_counter()
+        report = run_jobs(
+            jobs,
+            n_jobs=args.jobs,
+            store=store,
+            resume=not args.force,
+            progress=_report_progress,
+        )
+        elapsed = time.perf_counter() - started
+        print(
+            f"{eid}: {report.n_ok} ran, {report.n_cached} cached, "
+            f"{report.n_failed} failed in {elapsed:.1f}s "
+            f"→ {store.path_for(eid)}"
+        )
+        if not report.all_ok:
+            exit_code = 1
+    return exit_code
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    load_builtin_experiments()
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "show":
+        return _cmd_show(args)
+    return _cmd_run(args)

@@ -1,0 +1,214 @@
+"""Parallel job execution: fan experiments out over a process pool.
+
+A :class:`Job` is a fully-resolved ``(experiment_id, params)`` pair plus its
+store key.  :func:`make_jobs` builds jobs from parameter overrides (typically
+the output of :func:`repro.runner.grid.grid`) and derives per-job seeds from a
+base seed via ``numpy.random.SeedSequence.spawn`` — at job-*creation* time, in
+job order, so the realised seeds (and therefore every result) are independent
+of worker count and scheduling.  :func:`run_jobs` skips jobs whose key already
+has an ``ok`` record in the store (resume-on-rerun), executes the rest inline
+or on a ``ProcessPoolExecutor``, and logs failures to the store instead of
+aborting the batch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.runner.registry import REGISTRY, ExperimentRegistry
+from repro.runner.serialize import params_key, result_to_payload
+from repro.runner.store import ResultStore
+
+__all__ = [
+    "Job",
+    "JobOutcome",
+    "RunReport",
+    "load_builtin_experiments",
+    "make_jobs",
+    "run_jobs",
+]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit: an experiment id, resolved params and store key."""
+
+    experiment_id: str
+    params: Mapping[str, Any]
+    key: str
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What happened to one job: ``ok`` (ran), ``cached`` (store hit) or ``failed``."""
+
+    job: Job
+    status: str
+    record: Dict[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class RunReport:
+    """Outcomes of one :func:`run_jobs` batch, in job order."""
+
+    outcomes: List[JobOutcome]
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def all_ok(self) -> bool:
+        return self.n_failed == 0
+
+    def failures(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    def results(self) -> List[Dict[str, Any]]:
+        """Stored result payloads of the ok/cached outcomes, in job order."""
+        return [o.record["result"] for o in self.outcomes if o.ok]
+
+
+def load_builtin_experiments() -> None:
+    """Import the modules that register the library's own experiments.
+
+    Idempotent; called by workers and the CLI so E01–E12 and the ablations
+    are resolvable by id in any process.
+    """
+    import repro.analysis.experiments  # noqa: F401  (registers E01–E12)
+    import repro.analysis.ablations  # noqa: F401  (registers A01)
+
+
+def make_jobs(
+    experiment_id: str,
+    param_sets: Optional[Iterable[Mapping[str, Any]]] = None,
+    *,
+    base_seed: Optional[int] = None,
+    registry: ExperimentRegistry = REGISTRY,
+) -> List[Job]:
+    """Resolve parameter overrides into :class:`Job` objects.
+
+    ``param_sets`` defaults to one all-defaults job.  When ``base_seed`` is
+    given and the experiment has a ``seed`` parameter, every param set that
+    does not pin ``seed`` explicitly gets an independent seed spawned from
+    ``SeedSequence(base_seed)`` in job order.
+    """
+    # Make ``from repro.runner import make_jobs; make_jobs("E01")`` work on a
+    # cold import — E01–E12 register as a side effect of importing analysis.
+    load_builtin_experiments()
+    experiment = registry.get(experiment_id)
+    sets = [dict(p) for p in param_sets] if param_sets is not None else [{}]
+    if not sets:
+        raise ValueError("param_sets must contain at least one parameter mapping")
+    if base_seed is not None and "seed" in experiment.field_names:
+        # Fold the experiment id into the entropy: E01 and E02 jobs of the
+        # same sweep must draw from independent streams, not the same seeds.
+        id_entropy = int.from_bytes(
+            hashlib.sha256(experiment_id.encode("utf-8")).digest()[:8], "big"
+        )
+        children = np.random.SeedSequence([base_seed, id_entropy]).spawn(len(sets))
+        for overrides, child in zip(sets, children):
+            if "seed" not in overrides:
+                overrides["seed"] = int(child.generate_state(1)[0])
+    jobs = []
+    for overrides in sets:
+        params = experiment.resolve_params(overrides)
+        jobs.append(Job(experiment_id, params, params_key(experiment_id, params)))
+    return jobs
+
+
+def _execute(payload: Tuple[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Run one job and return its store record (module-level: pool-picklable)."""
+    experiment_id, params = payload
+    record: Dict[str, Any] = {
+        "key": params_key(experiment_id, params),
+        "experiment_id": experiment_id,
+        "params": params,
+    }
+    try:
+        load_builtin_experiments()
+        experiment = REGISTRY.get(experiment_id)
+        result = experiment.run(**params)
+        record["status"] = "ok"
+        record["result"] = result_to_payload(result)
+    except Exception:
+        record["status"] = "failed"
+        record["error"] = traceback.format_exc()
+    return record
+
+
+def run_jobs(
+    jobs: Iterable[Job],
+    *,
+    n_jobs: int = 1,
+    store: Union[ResultStore, str, pathlib.Path, None] = None,
+    resume: bool = True,
+    progress: Optional[Callable[[JobOutcome], None]] = None,
+) -> RunReport:
+    """Execute ``jobs``, reusing and filling ``store`` when one is given.
+
+    ``n_jobs <= 1`` runs inline in this process (which also makes experiments
+    registered only in the current process runnable); larger values fan out
+    over a ``ProcessPoolExecutor``.  Failures are captured per job — the batch
+    always completes and the report carries the error text of each failure.
+    """
+    ordered: List[Job] = []
+    seen = set()
+    for job in jobs:
+        if job.key not in seen:
+            seen.add(job.key)
+            ordered.append(job)
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+
+    outcomes: Dict[str, JobOutcome] = {}
+    pending: List[Job] = []
+    for job in ordered:
+        cached = store.get(job.key) if (store is not None and resume) else None
+        if cached is not None and cached.get("status") == "ok":
+            outcome = JobOutcome(job, "cached", cached)
+            outcomes[job.key] = outcome
+            if progress is not None:
+                progress(outcome)
+        else:
+            pending.append(job)
+
+    def _finish(job: Job, record: Dict[str, Any]) -> None:
+        if store is not None:
+            record = store.put(record)
+        outcome = JobOutcome(job, record["status"], record)
+        outcomes[job.key] = outcome
+        if progress is not None:
+            progress(outcome)
+
+    payloads = [(job.experiment_id, dict(job.params)) for job in pending]
+    if len(pending) <= 1 or n_jobs <= 1:
+        for job, payload in zip(pending, payloads):
+            _finish(job, _execute(payload))
+    else:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(pending))) as pool:
+            # map() preserves submission order, so store rows are written in
+            # job order no matter which worker finishes first.
+            for job, record in zip(pending, pool.map(_execute, payloads, chunksize=1)):
+                _finish(job, record)
+
+    return RunReport([outcomes[job.key] for job in ordered])

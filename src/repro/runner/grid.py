@@ -1,0 +1,37 @@
+"""Parameter-grid expansion: axes → the cartesian list of parameter dicts.
+
+``grid(trials=[100, 200], seed=range(3))`` yields the 6 parameter dicts of
+the sweep, in deterministic (row-major, insertion-order) order.  Scalars are
+broadcast, so ``grid(trials=[100, 200], window_side=20.0)`` pins
+``window_side`` on every job.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = ["grid"]
+
+
+def _as_axis(name: str, values: Any) -> List[Any]:
+    if isinstance(values, (str, bytes)) or not isinstance(values, Iterable):
+        return [values]
+    out = list(values)
+    if not out:
+        raise ValueError(f"grid axis {name!r} is empty")
+    return out
+
+
+def grid(axes: Optional[Mapping[str, Any]] = None, /, **kw_axes: Any) -> List[Dict[str, Any]]:
+    """Expand axes (mapping and/or keywords) into the cartesian job list.
+
+    Returns ``[{}]`` when no axes are given, so the result is always a valid
+    ``param_sets`` argument for :func:`repro.runner.make_jobs`.
+    """
+    merged: Dict[str, Any] = {**(dict(axes) if axes else {}), **kw_axes}
+    if not merged:
+        return [{}]
+    names = list(merged)
+    values = [_as_axis(name, merged[name]) for name in names]
+    return [dict(zip(names, combo)) for combo in product(*values)]

@@ -1,0 +1,194 @@
+"""Experiment registry: id → runnable experiment with a derived params class.
+
+Every experiment of the library (E01–E12, the A-series ablations and any
+future workload) registers itself with the :func:`register` decorator.  The
+decorator derives a frozen dataclass from the function signature — the single
+"params object" that uniquely defines a run, following the py_experimenter
+model where an experiment is a pure function of its parameter row — and wraps
+the function so it can be called either with keyword overrides (the historic
+calling convention, kept for the tests and benchmarks) or with one params
+dataclass / mapping:
+
+    result = experiment_e01_udg_threshold(trials=40)
+    result = experiment_e01_udg_threshold(experiment_e01_udg_threshold.Params(trials=40))
+
+After a run the wrapper stamps the fully-resolved, JSON-canonical parameters
+onto ``result.params`` so the store can key the row without re-deriving them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import inspect
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+
+from repro.runner.serialize import jsonify
+
+__all__ = ["Experiment", "ExperimentRegistry", "REGISTRY", "register", "get_experiment"]
+
+_MISSING = object()
+
+
+def _params_dataclass(experiment_id: str, fn: Callable[..., Any]) -> type:
+    """Frozen dataclass mirroring ``fn``'s signature (one field per argument)."""
+    fields: List[Any] = []
+    for name, param in inspect.signature(fn).parameters.items():
+        if param.kind in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD):
+            raise TypeError(
+                f"experiment {experiment_id!r}: *args/**kwargs signatures cannot be registered"
+            )
+        annotation = param.annotation if param.annotation is not inspect.Parameter.empty else Any
+        if param.default is inspect.Parameter.empty:
+            fields.append((name, annotation))
+        else:
+            fields.append((name, annotation, dataclasses.field(default=param.default)))
+    cls = dataclasses.make_dataclass(f"{experiment_id}Params", fields, frozen=True)
+    cls.__doc__ = f"Parameters of experiment {experiment_id} ({fn.__name__})."
+    return cls
+
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: the wrapper, its params class and metadata."""
+
+    experiment_id: str
+    run: Callable[..., Any]
+    params_cls: type
+    raw_fn: Callable[..., Any]
+    title: str
+
+    @property
+    def field_names(self) -> List[str]:
+        return [f.name for f in dataclasses.fields(self.params_cls)]
+
+    def defaults(self) -> Dict[str, Any]:
+        """Signature defaults (``_MISSING`` is never exposed: required args raise)."""
+        out: Dict[str, Any] = {}
+        for f in dataclasses.fields(self.params_cls):
+            if f.default is not dataclasses.MISSING:
+                out[f.name] = f.default
+        return out
+
+    def resolve_params(self, overrides: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Full JSON-canonical parameter dict: defaults overlaid with ``overrides``.
+
+        Raises ``TypeError`` on unknown or missing-required parameter names, so
+        a bad job is rejected at job-creation time rather than inside a worker.
+        """
+        overrides = dict(overrides or {})
+        names = self.field_names
+        unknown = sorted(set(overrides) - set(names))
+        if unknown:
+            raise TypeError(
+                f"experiment {self.experiment_id!r} has no parameter(s) {', '.join(unknown)}; "
+                f"known parameters: {', '.join(names)}"
+            )
+        defaults = self.defaults()
+        resolved: Dict[str, Any] = {}
+        for name in names:
+            if name in overrides:
+                resolved[name] = overrides[name]
+            elif name in defaults:
+                resolved[name] = defaults[name]
+            else:
+                raise TypeError(
+                    f"experiment {self.experiment_id!r} requires parameter {name!r}"
+                )
+        return jsonify(resolved)
+
+
+class ExperimentRegistry:
+    """Mutable id → :class:`Experiment` mapping with decorator-based insertion."""
+
+    def __init__(self) -> None:
+        self._experiments: Dict[str, Experiment] = {}
+
+    def register(self, experiment_id: str, *, title: str | None = None) -> Callable:
+        """Decorator registering a function as experiment ``experiment_id``."""
+        if not experiment_id or not isinstance(experiment_id, str):
+            raise ValueError("experiment_id must be a non-empty string")
+
+        def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+            if experiment_id in self._experiments:
+                raise ValueError(f"experiment id {experiment_id!r} is already registered")
+            params_cls = _params_dataclass(experiment_id, fn)
+
+            @functools.wraps(fn)
+            def run(params=None, /, **kwargs):
+                if params is not None:
+                    if kwargs:
+                        raise TypeError(
+                            "pass either a params object or keyword overrides, not both"
+                        )
+                    if dataclasses.is_dataclass(params) and not isinstance(params, type):
+                        kwargs = {
+                            f.name: getattr(params, f.name)
+                            for f in dataclasses.fields(params)
+                        }
+                    elif isinstance(params, Mapping):
+                        kwargs = dict(params)
+                    else:
+                        raise TypeError(
+                            f"experiment {experiment_id!r} takes keyword arguments or a "
+                            f"single params dataclass/mapping, not a positional "
+                            f"{type(params).__name__}"
+                        )
+                result = fn(**kwargs)
+                if hasattr(result, "params"):
+                    result.params = experiment.resolve_params(kwargs)
+                return result
+
+            run.experiment_id = experiment_id
+            run.Params = params_cls
+            experiment = Experiment(
+                experiment_id=experiment_id,
+                run=run,
+                params_cls=params_cls,
+                raw_fn=fn,
+                title=title or _title_from(fn),
+            )
+            self._experiments[experiment_id] = experiment
+            return run
+
+        return decorator
+
+    def get(self, experiment_id: str) -> Experiment:
+        try:
+            return self._experiments[experiment_id]
+        except KeyError:
+            known = ", ".join(self.ids()) or "(none)"
+            raise KeyError(
+                f"unknown experiment id {experiment_id!r}; registered: {known}"
+            ) from None
+
+    def unregister(self, experiment_id: str) -> None:
+        self._experiments.pop(experiment_id, None)
+
+    def ids(self) -> List[str]:
+        return sorted(self._experiments)
+
+    def as_mapping(self) -> Dict[str, Callable[..., Any]]:
+        """Snapshot dict of id → runnable wrapper (insertion order preserved)."""
+        return {eid: exp.run for eid, exp in self._experiments.items()}
+
+    def __contains__(self, experiment_id: object) -> bool:
+        return experiment_id in self._experiments
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._experiments)
+
+    def __len__(self) -> int:
+        return len(self._experiments)
+
+
+def _title_from(fn: Callable[..., Any]) -> str:
+    doc = inspect.getdoc(fn)
+    return doc.splitlines()[0].strip() if doc else fn.__name__
+
+
+#: Process-wide default registry; experiment modules register into it on import.
+REGISTRY = ExperimentRegistry()
+
+register = REGISTRY.register
+get_experiment = REGISTRY.get

@@ -1,0 +1,68 @@
+"""Canonical JSON helpers shared by the runner registry, store and executor.
+
+A job's cache key must be stable across processes, runs and worker counts, so
+everything that feeds it is first reduced to plain JSON types (dict / list /
+str / int / float / bool / None) and then dumped with sorted keys and fixed
+separators.  :func:`jsonify` is also what makes :class:`ExperimentResult`
+payloads (numpy scalars, arrays, tuples) storable as JSON lines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["jsonify", "canonical_json", "params_key", "result_to_payload"]
+
+
+def jsonify(value: Any, *, strict: bool = True) -> Any:
+    """Reduce ``value`` to plain JSON types, recursively.
+
+    numpy scalars become Python scalars, arrays / tuples / ranges become
+    lists, sets become sorted lists and dataclasses become dicts.  With
+    ``strict=True`` (the default, used for cache keys) an unconvertible value
+    raises ``TypeError``; with ``strict=False`` (used for result payloads) it
+    degrades to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return jsonify(value.tolist(), strict=strict)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonify(getattr(value, f.name), strict=strict)
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): jsonify(v, strict=strict) for k, v in value.items()}
+    if isinstance(value, (list, tuple, range)):
+        return [jsonify(v, strict=strict) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((jsonify(v, strict=strict) for v in value), key=repr)
+    if strict:
+        raise TypeError(
+            f"cannot canonicalise {type(value).__name__} value {value!r} for the runner store"
+        )
+    return repr(value)
+
+
+def canonical_json(value: Any, *, strict: bool = True) -> str:
+    """One canonical JSON line for ``value`` (sorted keys, fixed separators)."""
+    return json.dumps(jsonify(value, strict=strict), sort_keys=True, separators=(",", ":"))
+
+
+def params_key(experiment_id: str, params: Mapping[str, Any]) -> str:
+    """Stable cache key of an ``(experiment_id, params)`` pair."""
+    payload = canonical_json({"experiment_id": experiment_id, "params": params})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def result_to_payload(result: Any) -> Any:
+    """JSON-safe payload of an experiment's return value (lenient mode)."""
+    return jsonify(result, strict=False)

@@ -1,0 +1,101 @@
+"""Append-only JSON-lines result store with resume-on-rerun semantics.
+
+One ``<experiment_id>.jsonl`` file per experiment under the store root; each
+line is one canonical-JSON record::
+
+    {"key": ..., "experiment_id": ..., "params": {...},
+     "status": "ok" | "failed", "result": {...} | "error": "..."}
+
+Records are keyed by :func:`repro.runner.serialize.params_key` over
+``(experiment_id, params)``.  The store is append-only — a rerun of a failed
+or forced job appends a fresh record and the *latest* record for a key wins —
+so the files double as a failure log.  Because records are canonical JSON and
+contain no timestamps, identical runs produce byte-identical rows regardless
+of worker count or scheduling.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.runner.serialize import canonical_json
+
+__all__ = ["ResultStore", "DEFAULT_STORE_DIR"]
+
+#: Default cache directory of the CLI (git-ignored).
+DEFAULT_STORE_DIR = "runner_cache"
+
+
+class ResultStore:
+    """JSON-lines store rooted at a directory, lazily indexed in memory."""
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+        self._index: Optional[Dict[str, Dict[str, Any]]] = None
+
+    # -- loading ------------------------------------------------------------
+    def _ensure_loaded(self) -> Dict[str, Dict[str, Any]]:
+        if self._index is None:
+            index: Dict[str, Dict[str, Any]] = {}
+            if self.root.is_dir():
+                for path in sorted(self.root.glob("*.jsonl")):
+                    with path.open("r", encoding="utf-8") as fh:
+                        for line in fh:
+                            line = line.strip()
+                            if not line:
+                                continue
+                            record = json.loads(line)
+                            index[record["key"]] = record
+            self._index = index
+        return self._index
+
+    def path_for(self, experiment_id: str) -> pathlib.Path:
+        return self.root / f"{experiment_id}.jsonl"
+
+    # -- queries ------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Latest record for ``key``, or ``None``."""
+        return self._ensure_loaded().get(key)
+
+    def records(
+        self, experiment_id: Optional[str] = None, status: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """Current (latest-wins) records, optionally filtered."""
+        out = []
+        for record in self._ensure_loaded().values():
+            if experiment_id is not None and record.get("experiment_id") != experiment_id:
+                continue
+            if status is not None and record.get("status") != status:
+                continue
+            out.append(record)
+        return out
+
+    def failures(self, experiment_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        return self.records(experiment_id=experiment_id, status="failed")
+
+    def __len__(self) -> int:
+        return len(self._ensure_loaded())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._ensure_loaded()
+
+    # -- writes -------------------------------------------------------------
+    def put(self, record: Mapping[str, Any]) -> Dict[str, Any]:
+        """Append ``record`` (must carry key / experiment_id / status).
+
+        Returns the normalised (JSON round-tripped) record that the index now
+        holds for the key.
+        """
+        for field in ("key", "experiment_id", "status"):
+            if field not in record:
+                raise ValueError(f"store record is missing the {field!r} field")
+        line = canonical_json(record, strict=False)
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(record["experiment_id"])
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+        normalised: Dict[str, Any] = json.loads(line)
+        self._ensure_loaded()[normalised["key"]] = normalised
+        return normalised

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.geometry.primitives import pairwise_distances
 from repro.geometry.spatial import GridIndex
+from repro.graphs.udg import udg_edges
 
 coord = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
 
@@ -72,3 +73,57 @@ class TestGridIndex:
         expected = set(np.nonzero(pairwise_distances(pts, np.array([center]))[:, 0] <= radius)[0].tolist())
         got = set(idx.query_radius(center, radius).tolist())
         assert got == expected
+
+
+class TestBackendAgreement:
+    """GridIndex and the cKDTree-based ``udg_edges`` must define the same UDG.
+
+    Regression tests for the tolerance bug where ``query_radius`` used
+    ``d² <= r² + 1e-12`` and therefore admitted boundary pairs strictly
+    outside the radius that ``udg_edges`` rejects.
+    """
+
+    @staticmethod
+    def _grid_edges(pts: np.ndarray, radius: float) -> set:
+        idx = GridIndex(pts, cell_size=max(radius, 0.25))
+        edges = set()
+        for i in range(len(pts)):
+            for j in idx.neighbours_of(i, radius):
+                edges.add((min(i, int(j)), max(i, int(j))))
+        return edges
+
+    def test_pair_just_outside_radius_is_not_a_neighbour(self):
+        # d = 1 + 4e-13: under the old slack this was an edge for GridIndex
+        # but not for udg_edges — the two backends built different UDGs.
+        pts = np.array([[0.0, 0.0], [1.0 + 4e-13, 0.0]])
+        idx = GridIndex(pts, cell_size=1.0)
+        assert 1 not in idx.query_radius((0.0, 0.0), 1.0)
+        assert idx.neighbours_of(0, 1.0).size == 0
+        assert udg_edges(pts, 1.0).shape == (0, 2)
+
+    def test_pair_at_exact_radius_is_a_neighbour(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        idx = GridIndex(pts, cell_size=1.0)
+        assert 1 in idx.query_radius((0.0, 0.0), 1.0)
+        assert udg_edges(pts, 1.0).shape == (1, 2)
+
+    def test_boundary_heavy_point_set_agrees_with_udg_edges(self):
+        # Unit-spaced lattice (many pairs at exactly d = 1) plus adversarial
+        # just-outside points and a random cloud.
+        rng = np.random.default_rng(7)
+        lattice = np.array([[float(i), float(j)] for i in range(4) for j in range(4)])
+        adversarial = np.array([[0.0, 1.0 + 4e-13], [2.0 + 4e-13, 0.0]])
+        cloud = rng.uniform(0.0, 4.0, size=(60, 2))
+        pts = np.vstack([lattice, adversarial, cloud])
+        expected = set(map(tuple, udg_edges(pts, 1.0).tolist()))
+        assert self._grid_edges(pts, 1.0) == expected
+
+    def test_zero_radius_returns_exact_coincidence_only(self):
+        pts = np.array([[0.5, 0.5], [0.5, 0.5], [0.5 + 1e-9, 0.5], [2.0, 2.0]])
+        idx = GridIndex(pts, cell_size=1.0)
+        assert sorted(idx.query_radius((0.5, 0.5), 0.0).tolist()) == [0, 1]
+        # Self excluded, near-coincident (d = 1e-9 > 0) excluded.
+        assert idx.neighbours_of(0, 0.0).tolist() == [1]
+        assert idx.neighbours_of(2, 0.0).size == 0
+        # udg_edges returns no edges at radius 0 by definition.
+        assert udg_edges(pts, 0.0).shape == (0, 2)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the runner-subsystem tests.
+
+The toy experiment registers into the process-wide default registry under a
+reserved test id and is unregistered on teardown, so the E01–E12 snapshot in
+``repro.analysis.experiments.ALL_EXPERIMENTS`` is never affected.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.runner import REGISTRY, register
+
+TOY_ID = "T91"
+
+
+@pytest.fixture
+def toy_experiment():
+    """A cheap registered experiment with a call counter and a failure switch."""
+    calls = []
+
+    @register(TOY_ID, title="toy workload")
+    def toy_workload(x: int = 1, seed: int = 0, fail: bool = False) -> ExperimentResult:
+        calls.append({"x": x, "seed": seed})
+        if fail:
+            raise RuntimeError("toy workload asked to fail")
+        rng = np.random.default_rng(seed)
+        return ExperimentResult(
+            experiment_id=TOY_ID,
+            title="toy workload",
+            paper_reference="-",
+            rows=[{"x": x, "draw": float(rng.random())}],
+            headline={"x": float(x)},
+        )
+
+    yield SimpleNamespace(run=toy_workload, calls=calls, experiment_id=TOY_ID)
+    REGISTRY.unregister(TOY_ID)

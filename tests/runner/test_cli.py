@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro.runner`` command-line interface."""
+
+import pytest
+
+from repro.runner import ResultStore
+from repro.runner.cli import _parse_grid_assignment, main
+
+
+class TestGridAssignmentParsing:
+    def test_literal_values_parse_as_literals(self):
+        assert _parse_grid_assignment("seed=1,2,3") == ("seed", (1, 2, 3))
+        assert _parse_grid_assignment("lambdas=(0.4,),(0.8,)") == ("lambdas", ((0.4,), (0.8,)))
+
+    def test_bare_strings_split_into_a_string_axis(self):
+        assert _parse_grid_assignment("mode=fast,slow") == ("mode", ["fast", "slow"])
+        assert _parse_grid_assignment("mode=fast") == ("mode", ["fast"])
+
+    def test_missing_equals_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_grid_assignment("notanassignment")
+
+E11_ARGS = [
+    "--set", "lambdas=(0.4,)",
+    "--set", "ks=(1,)",
+    "--set", "window_side=8.0",
+    "--set", "n_points_nn=40",
+]
+
+
+class TestCli:
+    def test_list_shows_all_registered_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 13):
+            assert f"E{i:02d}" in out
+
+    def test_run_persists_then_second_invocation_is_a_cache_hit(self, tmp_path, capsys):
+        argv = ["run", "E11", "--store", str(tmp_path), *E11_ARGS]
+        assert main(argv) == 0
+        assert "1 ran, 0 cached" in capsys.readouterr().out
+        assert len(ResultStore(tmp_path).records(experiment_id="E11", status="ok")) == 1
+
+        path = ResultStore(tmp_path).path_for("E11")
+        before = path.read_bytes()
+        assert main(argv) == 0
+        assert "0 ran, 1 cached" in capsys.readouterr().out
+        assert path.read_bytes() == before
+
+    def test_grid_expands_into_multiple_jobs(self, tmp_path, capsys):
+        argv = ["run", "E11", "--store", str(tmp_path), "--grid", "seed=1,2", *E11_ARGS]
+        assert main(argv) == 0
+        assert "2 ran" in capsys.readouterr().out
+        assert len(ResultStore(tmp_path).records(experiment_id="E11")) == 2
+
+    def test_trials_override_applies_only_where_defined(self, tmp_path, capsys):
+        argv = [
+            "run", "E11", "--store", str(tmp_path), "--trials", "50", *E11_ARGS,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "no parameter 'trials'" in out  # E11 has no trials knob
+        (record,) = ResultStore(tmp_path).records(experiment_id="E11")
+        assert "trials" not in record["params"]
+
+    def test_unknown_experiment_id_exits_nonzero(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "unknown experiment id" in capsys.readouterr().out
+
+    def test_show_prints_stored_headlines(self, tmp_path, capsys):
+        assert main(["run", "E11", "--store", str(tmp_path), *E11_ARGS]) == 0
+        capsys.readouterr()
+        assert main(["show", "E11", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "E11" in out and "ok" in out
+
+    def test_show_on_empty_store(self, tmp_path, capsys):
+        assert main(["show", "--store", str(tmp_path / "nothing")]) == 0
+        assert "empty" in capsys.readouterr().out

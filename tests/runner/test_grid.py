@@ -1,0 +1,39 @@
+"""Tests for the parameter-grid expander."""
+
+import pytest
+
+from repro.runner import grid
+
+
+class TestGrid:
+    def test_cartesian_product_row_major_order(self):
+        jobs = grid(trials=[100, 200], seed=range(2))
+        assert jobs == [
+            {"trials": 100, "seed": 0},
+            {"trials": 100, "seed": 1},
+            {"trials": 200, "seed": 0},
+            {"trials": 200, "seed": 1},
+        ]
+
+    def test_scalar_broadcast(self):
+        jobs = grid(trials=[100, 200], window_side=20.0)
+        assert all(j["window_side"] == 20.0 for j in jobs)
+        assert [j["trials"] for j in jobs] == [100, 200]
+
+    def test_string_is_a_scalar_not_an_iterable(self):
+        assert grid(mode="fast") == [{"mode": "fast"}]
+
+    def test_no_axes_yields_one_empty_job(self):
+        assert grid() == [{}]
+        assert grid({}) == [{}]
+
+    def test_mapping_and_keyword_axes_merge(self):
+        jobs = grid({"a": [1, 2]}, b=[3])
+        assert jobs == [{"a": 1, "b": 3}, {"a": 2, "b": 3}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            grid(trials=[])
+
+    def test_expansion_is_deterministic(self):
+        assert grid(a=[1, 2], b=(3, 4)) == grid(a=[1, 2], b=(3, 4))

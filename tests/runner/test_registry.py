@@ -1,0 +1,94 @@
+"""Tests for the experiment registry and the derived params dataclasses."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    experiment_e01_udg_threshold,
+    experiment_e11_continuum,
+)
+from repro.runner import REGISTRY, register
+from repro.runner.registry import ExperimentRegistry
+
+
+class TestBuiltinRegistration:
+    def test_e01_to_e12_plus_ablation_registered(self):
+        import repro.analysis.ablations  # noqa: F401  (registers A01)
+
+        expected = {f"E{i:02d}" for i in range(1, 13)} | {"A01"}
+        assert expected <= set(REGISTRY.ids())
+
+    def test_all_experiments_snapshot_matches_registry(self):
+        for eid, fn in ALL_EXPERIMENTS.items():
+            assert REGISTRY.get(eid).run is fn
+            assert fn.experiment_id == eid
+
+    def test_params_dataclass_mirrors_signature(self):
+        params_cls = experiment_e01_udg_threshold.Params
+        names = [f.name for f in dataclasses.fields(params_cls)]
+        assert names == ["trials", "intensities", "seed"]
+        defaults = params_cls()
+        assert defaults.trials == 300
+        assert defaults.seed == 101
+
+    def test_wrapper_stamps_resolved_params_on_result(self):
+        result = experiment_e11_continuum(
+            lambdas=(0.4,), ks=(1,), window_side=8.0, n_points_nn=40
+        )
+        assert result.params == {
+            "lambdas": [0.4],
+            "ks": [1],
+            "window_side": 8.0,
+            "n_points_nn": 40,
+            "seed": 111,
+        }
+
+
+class TestToyRegistration:
+    def test_kwargs_dataclass_and_mapping_calls_agree(self, toy_experiment):
+        by_kwargs = toy_experiment.run(x=3, seed=5)
+        by_params = toy_experiment.run(toy_experiment.run.Params(x=3, seed=5))
+        by_mapping = toy_experiment.run({"x": 3, "seed": 5})
+        assert by_kwargs.rows == by_params.rows == by_mapping.rows
+        assert by_kwargs.params == by_params.params == by_mapping.params
+
+    def test_params_object_and_kwargs_are_mutually_exclusive(self, toy_experiment):
+        with pytest.raises(TypeError):
+            toy_experiment.run(toy_experiment.run.Params(), x=3)
+
+    def test_duplicate_id_rejected(self, toy_experiment):
+        with pytest.raises(ValueError):
+
+            @register(toy_experiment.experiment_id)
+            def clash():  # pragma: no cover - never runs
+                pass
+
+    def test_unknown_id_raises_with_known_ids_listed(self):
+        with pytest.raises(KeyError, match="unknown experiment id"):
+            REGISTRY.get("E99")
+
+    def test_resolve_params_rejects_unknown_names(self, toy_experiment):
+        experiment = REGISTRY.get(toy_experiment.experiment_id)
+        with pytest.raises(TypeError, match="no parameter"):
+            experiment.resolve_params({"bogus": 1})
+
+    def test_resolve_params_requires_missing_required_args(self):
+        registry = ExperimentRegistry()
+
+        @registry.register("T92")
+        def needs_n(n: int, seed: int = 0):
+            return n
+
+        with pytest.raises(TypeError, match="requires parameter"):
+            registry.get("T92").resolve_params({})
+        assert registry.get("T92").resolve_params({"n": 4}) == {"n": 4, "seed": 0}
+
+    def test_var_keyword_signature_rejected(self):
+        registry = ExperimentRegistry()
+        with pytest.raises(TypeError):
+
+            @registry.register("T93")
+            def bad(**kwargs):  # pragma: no cover - never runs
+                pass

@@ -1,0 +1,70 @@
+"""Tests for the JSON-lines result store and the canonical serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.runner import ResultStore, canonical_json, jsonify, params_key
+
+
+def _record(key="k1", experiment_id="E01", status="ok", **extra):
+    return {"key": key, "experiment_id": experiment_id, "status": status, **extra}
+
+
+class TestSerialize:
+    def test_jsonify_numpy_and_tuples(self):
+        value = {"a": np.float64(1.5), "b": (1, 2), "c": np.arange(3), "d": {np.int64(7)}}
+        assert jsonify(value) == {"a": 1.5, "b": [1, 2], "c": [0, 1, 2], "d": [7]}
+
+    def test_jsonify_strict_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            jsonify(object())
+        assert jsonify(object(), strict=False).startswith("<object")
+
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_params_key_stable_and_sensitive(self):
+        key = params_key("E01", {"trials": 100, "seed": 1})
+        assert key == params_key("E01", {"seed": 1, "trials": 100})
+        assert key != params_key("E01", {"seed": 2, "trials": 100})
+        assert key != params_key("E02", {"trials": 100, "seed": 1})
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        stored = store.put(_record(result={"headline": {"x": 1.0}}))
+        assert store.get("k1") == stored
+        assert "k1" in store and len(store) == 1
+
+    def test_records_persist_across_instances(self, tmp_path):
+        ResultStore(tmp_path).put(_record())
+        reopened = ResultStore(tmp_path)
+        assert reopened.get("k1") is not None
+        assert reopened.path_for("E01").exists()
+
+    def test_latest_record_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_record(status="failed", error="boom"))
+        store.put(_record(status="ok", result={}))
+        assert store.get("k1")["status"] == "ok"
+        reopened = ResultStore(tmp_path)
+        assert reopened.get("k1")["status"] == "ok"
+        assert len(reopened) == 1
+
+    def test_filters_by_experiment_and_status(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_record(key="a", experiment_id="E01", status="ok", result={}))
+        store.put(_record(key="b", experiment_id="E02", status="failed", error="x"))
+        assert [r["key"] for r in store.records(experiment_id="E01")] == ["a"]
+        assert [r["key"] for r in store.failures()] == ["b"]
+
+    def test_missing_fields_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path).put({"key": "k1"})
+
+    def test_records_are_normalised_json(self, tmp_path):
+        store = ResultStore(tmp_path)
+        stored = store.put(_record(params={"xs": (1, 2)}, result={"v": np.float64(2.5)}))
+        assert stored["params"]["xs"] == [1, 2]
+        assert stored["result"]["v"] == 2.5
