@@ -17,13 +17,13 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.distributed.messages import Message
+from repro.geometry.index import build_index
 from repro.geometry.primitives import as_points
-from repro.geometry.spatial import GridIndex
 
 __all__ = ["NetworkStats", "MessageNetwork"]
 
@@ -58,17 +58,35 @@ class MessageNetwork:
     radio_range:
         Maximum distance over which a message can be sent.  ``None`` disables
         the check (useful for unit tests of upper layers).
+    index_backend:
+        Spatial-index backend (:func:`repro.geometry.index.build_index`) used
+        to precompute the one-hop neighbour table.
+
+    When a radio range is given, the full neighbour table is computed once at
+    construction with one bulk ``neighbour_lists`` query; every subsequent
+    locality check in :meth:`send` is then an O(log degree) membership probe
+    on the sender's sorted neighbour array instead of a per-message distance
+    computation (and no second copy of the table is materialised).  The table
+    uses the exact closed ball (``d² <= r²``), so "can message" and "is a
+    neighbour" agree on every boundary pair.
     """
 
-    def __init__(self, points: np.ndarray, radio_range: float | None = None) -> None:
+    def __init__(
+        self,
+        points: np.ndarray,
+        radio_range: float | None = None,
+        index_backend: str = "grid",
+    ) -> None:
         self.points = as_points(points)
         self.radio_range = radio_range
+        self.index_backend = index_backend
         self.stats = NetworkStats()
         self._outbox: List[Message] = []
         self._inboxes: Dict[int, List[Message]] = defaultdict(list)
-        self._index = (
-            GridIndex(self.points, cell_size=radio_range) if radio_range and len(self.points) else None
-        )
+        self._neighbours: Optional[List[np.ndarray]] = None
+        if radio_range is not None and len(self.points):
+            index = build_index(self.points, radius=radio_range, backend=index_backend)
+            self._neighbours = index.neighbour_lists(radio_range)
 
     @property
     def n_nodes(self) -> int:
@@ -87,28 +105,38 @@ class MessageNetwork:
         """
         if message.sender >= self.n_nodes or message.recipient >= self.n_nodes:
             raise ValueError("message endpoints must be existing node ids")
-        if self.radio_range is not None:
+        if (
+            self._neighbours is not None
+            and message.recipient != message.sender
+            and not self._is_neighbour(message.sender, message.recipient)
+        ):
             d = float(np.linalg.norm(self.points[message.sender] - self.points[message.recipient]))
-            if d > self.radio_range + 1e-9:
-                raise ValueError(
-                    f"locality violation: node {message.sender} tried to message node "
-                    f"{message.recipient} at distance {d:.3f} > radio range {self.radio_range:.3f}"
-                )
+            raise ValueError(
+                f"locality violation: node {message.sender} tried to message node "
+                f"{message.recipient} at distance {d:.6g} > radio range {self.radio_range:.6g}"
+            )
         self._outbox.append(message)
         self.stats.record(message)
 
+    def _is_neighbour(self, sender: int, recipient: int) -> bool:
+        """Membership probe on the sender's sorted neighbour array."""
+        neighbours = self._neighbours[sender]
+        pos = int(np.searchsorted(neighbours, recipient))
+        return pos < len(neighbours) and neighbours[pos] == recipient
+
     def broadcast(self, sender: int, recipients: Iterable[int], kind: str, payload=None) -> None:
         """Send the same message to several recipients (counts one message each)."""
+        resolved = {} if payload is None else payload
         for recipient in recipients:
             if recipient == sender:
                 continue
-            self.send(Message(sender, int(recipient), kind, payload or {}))
+            self.send(Message(sender, int(recipient), kind, resolved))
 
     def neighbours_of(self, node: int) -> np.ndarray:
         """One-hop neighbours of ``node`` under the radio range (empty if unlimited)."""
-        if self._index is None or self.radio_range is None:
+        if self._neighbours is None:
             return np.zeros(0, dtype=np.int64)
-        return self._index.neighbours_of(int(node), self.radio_range)
+        return self._neighbours[int(node)].copy()
 
     # -- round execution ---------------------------------------------------------
     def deliver_round(self) -> Dict[int, List[Message]]:

@@ -11,8 +11,9 @@ constructions rest on:
   regions (discs, annuli, lenses, intersections of disc families).
 * :mod:`repro.geometry.integration` — numeric area computation for arbitrary
   predicates (uniform grid and Monte-Carlo estimators with error bounds).
-* :mod:`repro.geometry.spatial` — a uniform spatial hash grid used to answer
-  fixed-radius neighbour queries in (expected) linear time.
+* :mod:`repro.geometry.index` — the pluggable :class:`SpatialIndex` backend
+  layer (vectorised uniform hash grid and cKDTree wrapper) answering
+  fixed-radius neighbour queries, in bulk, in (expected) linear time.
 
 Everything here is deterministic given a :class:`numpy.random.Generator`
 seed; no global random state is used anywhere in the library.
@@ -38,7 +39,7 @@ from repro.geometry.predicates import (
     UnionPredicate,
 )
 from repro.geometry.integration import estimate_area_grid, estimate_area_monte_carlo
-from repro.geometry.spatial import GridIndex
+from repro.geometry.index import BACKENDS, GridIndex, KDTreeIndex, SpatialIndex, build_index
 
 __all__ = [
     "Disc",
@@ -59,5 +60,9 @@ __all__ = [
     "DiscIntersectionPredicate",
     "estimate_area_grid",
     "estimate_area_monte_carlo",
+    "BACKENDS",
     "GridIndex",
+    "KDTreeIndex",
+    "SpatialIndex",
+    "build_index",
 ]

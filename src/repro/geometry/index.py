@@ -1,0 +1,420 @@
+"""Pluggable spatial-index backends with vectorised bulk queries.
+
+Every layer of the library ultimately reduces to fixed-radius neighbour
+queries over planar point sets: the UDG builder enumerates all pairs within
+the connection radius, the distributed simulator checks one-hop locality, the
+sensing model asks which sensors cover an event, and continuum percolation
+derives adjacency from the same closed ball.  This module gives those
+consumers one interface — :class:`SpatialIndex` — with two interchangeable
+backends:
+
+* :class:`GridIndex` — a uniform spatial hash.  The cell table is built with
+  one ``np.unique`` over packed integer cell keys (CSR-style: points sorted
+  by cell plus start/count arrays), and :meth:`GridIndex.query_radius_many`
+  answers *all* queries with one candidate gather and one squared-distance
+  mask instead of a Python loop per query.
+* :class:`KDTreeIndex` — a thin wrapper over :class:`scipy.spatial.cKDTree`.
+
+Both backends implement the exact closed ball (``d² <= r²``, no tolerance;
+at ``radius == 0`` only exactly coincident points qualify) and return
+identical, deterministically ordered results, so consumers can switch
+backends without changing which graph they build.  :func:`build_index` is the
+factory the consumers go through.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.geometry.primitives import as_points
+
+__all__ = ["SpatialIndex", "GridIndex", "KDTreeIndex", "build_index", "BACKENDS"]
+
+
+@runtime_checkable
+class SpatialIndex(Protocol):
+    """Common query surface of the spatial-index backends.
+
+    All radius queries are exact closed balls: a point at distance exactly
+    ``radius`` *is* a neighbour, a point at ``radius + ulp`` is not, and at
+    ``radius == 0`` only exactly coincident points qualify.  Results are
+    sorted ascending (scalar queries / per-query lists) or in canonical
+    ``(i, j)``-lexicographic order with ``i < j`` (:meth:`query_pairs`), so
+    two backends built over the same points return *identical* arrays.
+    """
+
+    points: np.ndarray
+
+    def __len__(self) -> int: ...
+
+    def query_radius(self, center: Iterable[float], radius: float) -> np.ndarray:
+        """Indices of points within ``radius`` of one ``center``, ascending."""
+        ...
+
+    def query_radius_many(self, centers: np.ndarray, radius: float) -> List[np.ndarray]:
+        """Per-center neighbour index arrays for a whole batch of centers."""
+        ...
+
+    def count_radius_many(self, centers: np.ndarray, radius: float) -> np.ndarray:
+        """Per-center neighbour *counts* (cheaper than materialising indices)."""
+        ...
+
+    def query_pairs(self, radius: float) -> np.ndarray:
+        """All index pairs ``(i, j)``, ``i < j``, within ``radius`` of each other."""
+        ...
+
+    def neighbour_lists(self, radius: float, include_self: bool = False) -> List[np.ndarray]:
+        """Neighbour array per stored point (self excluded unless requested)."""
+        ...
+
+
+def _strip_self(lists: List[np.ndarray], include_self: bool) -> List[np.ndarray]:
+    if include_self:
+        return lists
+    return [arr[arr != i] for i, arr in enumerate(lists)]
+
+
+def _pairs_from_lists(lists: List[np.ndarray]) -> np.ndarray:
+    """Canonical ``(m, 2)`` pair array from per-point neighbour lists."""
+    n = len(lists)
+    counts = np.fromiter((len(a) for a in lists), dtype=np.int64, count=n)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    sources = np.repeat(np.arange(n, dtype=np.int64), counts)
+    targets = np.concatenate(lists)
+    keep = targets > sources  # each unordered pair once, smaller index first
+    pairs = np.column_stack([sources[keep], targets[keep]])
+    # Sources ascend by construction and per-list targets are sorted, so the
+    # rows are already in (i, j)-lexicographic order.
+    return pairs
+
+
+class GridIndex:
+    """Uniform spatial hash over square cells of a given size.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` point coordinates.
+    cell_size:
+        Side of the (axis-aligned) hash cells.  For radius-``r`` neighbour
+        queries a cell size of ``r`` means only the 3×3 block of cells around
+        a query needs scanning.
+
+    The constructor is fully vectorised: integer cell keys are packed into one
+    ``int64`` per point, a stable argsort groups points by cell, and a single
+    ``np.unique`` yields the CSR-style ``(cell id, start, count)`` table.  No
+    per-point Python loop runs at build or bulk-query time.
+    """
+
+    def __init__(self, points: np.ndarray, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.points = as_points(points)
+        self.cell_size = float(cell_size)
+        n = len(self.points)
+        if n:
+            keys = np.floor(self.points / self.cell_size).astype(np.int64)
+            self._key_min = keys.min(axis=0)
+            self._spans = keys.max(axis=0) - self._key_min + 1
+            if int(self._spans[0]) * int(self._spans[1]) >= 2**62:
+                raise ValueError(
+                    "point spread spans too many grid cells for this cell_size; "
+                    "use a larger cell_size or the 'kdtree' backend"
+                )
+            packed = (keys[:, 0] - self._key_min[0]) * self._spans[1] + (
+                keys[:, 1] - self._key_min[1]
+            )
+            # Stable sort keeps original index order inside each cell.
+            self._order = np.argsort(packed, kind="stable")
+            self._cell_ids, starts = np.unique(packed[self._order], return_index=True)
+            self._starts = starts.astype(np.int64)
+            self._counts = np.diff(np.append(self._starts, n)).astype(np.int64)
+        else:
+            self._key_min = np.zeros(2, dtype=np.int64)
+            self._spans = np.ones(2, dtype=np.int64)
+            self._order = np.zeros(0, dtype=np.int64)
+            self._cell_ids = np.zeros(0, dtype=np.int64)
+            self._starts = np.zeros(0, dtype=np.int64)
+            self._counts = np.zeros(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    # -- cell accessors -----------------------------------------------------------
+    def cell_of(self, point: Iterable[float]) -> Tuple[int, int]:
+        """Integer cell coordinates containing ``point``."""
+        x, y = point
+        return (int(np.floor(x / self.cell_size)), int(np.floor(y / self.cell_size)))
+
+    def _cell_slice(self, cx: int, cy: int) -> np.ndarray:
+        """Stored-point indices in cell ``(cx, cy)`` (ascending; empty if none)."""
+        rx = cx - int(self._key_min[0])
+        ry = cy - int(self._key_min[1])
+        if not (0 <= rx < int(self._spans[0]) and 0 <= ry < int(self._spans[1])):
+            return np.zeros(0, dtype=np.int64)
+        packed = rx * int(self._spans[1]) + ry
+        pos = int(np.searchsorted(self._cell_ids, packed))
+        if pos == len(self._cell_ids) or self._cell_ids[pos] != packed:
+            return np.zeros(0, dtype=np.int64)
+        start = self._starts[pos]
+        return self._order[start : start + self._counts[pos]]
+
+    def points_in_cell(self, cell: Tuple[int, int]) -> np.ndarray:
+        """Indices of points bucketed into ``cell``, ascending."""
+        cx, cy = cell
+        return self._cell_slice(int(cx), int(cy)).copy()
+
+    def occupied_cells(self) -> List[Tuple[int, int]]:
+        """All cells that contain at least one point."""
+        span_y = int(self._spans[1])
+        cx = self._cell_ids // span_y + self._key_min[0]
+        cy = self._cell_ids % span_y + self._key_min[1]
+        return list(zip(cx.tolist(), cy.tolist()))
+
+    # -- scalar queries -----------------------------------------------------------
+    def query_radius(self, center: Iterable[float], radius: float) -> np.ndarray:
+        """Indices of points within ``radius`` of ``center`` (exact closed ball).
+
+        Scans the minimal block of cells that can contain qualifying points
+        and filters by exact squared distance (``d² <= r²``, no tolerance) —
+        the same closed-ball predicate :class:`KDTreeIndex` applies, so the
+        distributed simulator and the centralized builder agree on every
+        boundary pair.  At ``radius == 0`` only exactly coincident points
+        qualify.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if len(self) == 0:
+            return np.zeros(0, dtype=np.int64)
+        cx, cy = center
+        reach = int(np.ceil(radius / self.cell_size))
+        base = self.cell_of(center)
+        parts = [
+            self._cell_slice(base[0] + dx, base[1] + dy)
+            for dx in range(-reach, reach + 1)
+            for dy in range(-reach, reach + 1)
+        ]
+        idx = np.concatenate(parts)
+        if idx.size == 0:
+            return idx
+        diff = self.points[idx] - np.asarray([cx, cy], dtype=np.float64)
+        keep = np.einsum("ij,ij->i", diff, diff) <= radius * radius
+        return np.sort(idx[keep])
+
+    def neighbours_of(self, index: int, radius: float, include_self: bool = False) -> np.ndarray:
+        """Indices of points within ``radius`` of the stored point ``index``."""
+        result = self.query_radius(self.points[index], radius)
+        if include_self:
+            return result
+        return result[result != index]
+
+    # -- bulk queries -------------------------------------------------------------
+    def _matches(self, centers: np.ndarray, radius: float) -> Tuple[np.ndarray, np.ndarray]:
+        """All (query, point) index pairs within ``radius``, unordered.
+
+        The shared engine of the bulk queries: for each of the
+        ``(2·reach + 1)²`` cell offsets (3×3 when ``radius <= cell_size``)
+        the candidate ranges of *all* queries are located with one
+        ``searchsorted`` into the packed cell table and expanded with a
+        vectorised range gather; a single squared-distance mask then filters
+        the pooled candidates.
+        """
+        reach = int(np.ceil(radius / self.cell_size))
+        qkeys = np.floor(centers / self.cell_size).astype(np.int64) - self._key_min
+        qidx = np.arange(len(centers), dtype=np.int64)
+        span_x, span_y = int(self._spans[0]), int(self._spans[1])
+        n_cells = len(self._cell_ids)
+
+        cand_query_parts: List[np.ndarray] = []
+        cand_point_parts: List[np.ndarray] = []
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                rx = qkeys[:, 0] + dx
+                ry = qkeys[:, 1] + dy
+                inside = (rx >= 0) & (rx < span_x) & (ry >= 0) & (ry < span_y)
+                if not inside.any():
+                    continue
+                packed = rx[inside] * span_y + ry[inside]
+                pos = np.searchsorted(self._cell_ids, packed)
+                hit = (pos < n_cells) & (self._cell_ids[np.minimum(pos, n_cells - 1)] == packed)
+                if not hit.any():
+                    continue
+                pos = pos[hit]
+                starts = self._starts[pos]
+                counts = self._counts[pos]
+                total = int(counts.sum())
+                # Range gather: expand each (start, count) run into indices.
+                offsets = np.repeat(np.cumsum(counts) - counts, counts)
+                flat = np.repeat(starts, counts) + np.arange(total, dtype=np.int64) - offsets
+                cand_point_parts.append(self._order[flat])
+                cand_query_parts.append(np.repeat(qidx[inside][hit], counts))
+
+        if not cand_point_parts:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        cand_points = np.concatenate(cand_point_parts)
+        cand_queries = np.concatenate(cand_query_parts)
+        diff = self.points[cand_points] - centers[cand_queries]
+        keep = np.einsum("ij,ij->i", diff, diff) <= radius * radius
+        return cand_queries[keep], cand_points[keep]
+
+    def query_radius_many(self, centers: np.ndarray, radius: float) -> List[np.ndarray]:
+        """Answer all ``centers`` at once with one gather + one distance mask.
+
+        Returns one sorted index array per center; see :meth:`_matches` for
+        the vectorised candidate-gathering scheme.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        centers = as_points(centers)
+        q = len(centers)
+        if q == 0:
+            return []
+        if len(self) == 0:
+            return [np.zeros(0, dtype=np.int64) for _ in range(q)]
+        cand_queries, cand_points = self._matches(centers, radius)
+        # Group by query, ascending point index inside each group.
+        order = np.lexsort((cand_points, cand_queries))
+        cand_points = cand_points[order]
+        per_query = np.bincount(cand_queries, minlength=q)
+        return np.split(cand_points, np.cumsum(per_query)[:-1])
+
+    def count_radius_many(self, centers: np.ndarray, radius: float) -> np.ndarray:
+        """Per-center neighbour counts — skips the sort/split of the full query."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        centers = as_points(centers)
+        if len(centers) == 0 or len(self) == 0:
+            return np.zeros(len(centers), dtype=np.int64)
+        cand_queries, _ = self._matches(centers, radius)
+        return np.bincount(cand_queries, minlength=len(centers))
+
+    def neighbour_lists(self, radius: float, include_self: bool = False) -> List[np.ndarray]:
+        """Neighbour array per stored point via one bulk query."""
+        return _strip_self(self.query_radius_many(self.points, radius), include_self)
+
+    def query_pairs(self, radius: float) -> np.ndarray:
+        """All pairs within ``radius`` (``i < j``, lexicographically ordered)."""
+        return _pairs_from_lists(self.query_radius_many(self.points, radius))
+
+
+class KDTreeIndex:
+    """:class:`scipy.spatial.cKDTree` behind the :class:`SpatialIndex` surface.
+
+    ``cKDTree`` already implements the exact closed ball (``d <= r``); this
+    wrapper only normalises result ordering so the two backends are
+    interchangeable array-for-array.
+    """
+
+    def __init__(self, points: np.ndarray) -> None:
+        self.points = as_points(points)
+        self._tree = cKDTree(self.points) if len(self.points) else None
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def query_radius(self, center: Iterable[float], radius: float) -> np.ndarray:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if self._tree is None:
+            return np.zeros(0, dtype=np.int64)
+        hits = self._tree.query_ball_point(np.asarray(tuple(center), dtype=np.float64), radius)
+        return np.sort(np.asarray(hits, dtype=np.int64))
+
+    def neighbours_of(self, index: int, radius: float, include_self: bool = False) -> np.ndarray:
+        result = self.query_radius(self.points[index], radius)
+        if include_self:
+            return result
+        return result[result != index]
+
+    def query_radius_many(self, centers: np.ndarray, radius: float) -> List[np.ndarray]:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        centers = as_points(centers)
+        if len(centers) == 0:
+            return []
+        if self._tree is None:
+            return [np.zeros(0, dtype=np.int64) for _ in range(len(centers))]
+        hits = self._tree.query_ball_point(centers, radius)
+        return [np.sort(np.asarray(h, dtype=np.int64)) for h in hits]
+
+    def count_radius_many(self, centers: np.ndarray, radius: float) -> np.ndarray:
+        """Per-center neighbour counts via cKDTree's ``return_length`` fast path."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        centers = as_points(centers)
+        if len(centers) == 0 or self._tree is None:
+            return np.zeros(len(centers), dtype=np.int64)
+        return np.asarray(
+            self._tree.query_ball_point(centers, radius, return_length=True), dtype=np.int64
+        )
+
+    def neighbour_lists(self, radius: float, include_self: bool = False) -> List[np.ndarray]:
+        return _strip_self(self.query_radius_many(self.points, radius), include_self)
+
+    def query_pairs(self, radius: float) -> np.ndarray:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if self._tree is None or len(self) < 2:
+            return np.zeros((0, 2), dtype=np.int64)
+        pairs = self._tree.query_pairs(r=radius, output_type="ndarray")
+        if pairs.size == 0:
+            return np.zeros((0, 2), dtype=np.int64)
+        pairs = np.sort(pairs.astype(np.int64), axis=1)
+        return pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+
+    def query_nearest(self, centers: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the ``k`` nearest stored points per center (``(q, k)``).
+
+        Nearest first; when fewer than ``k`` points are stored the available
+        columns are returned (callers pad).  This is a KD-tree-only extension
+        used by the kNN graph builder — grids have no efficient nearest-point
+        query, which is exactly why the backend layer is pluggable.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        centers = as_points(centers)
+        if self._tree is None:
+            raise ValueError("cannot run nearest-neighbour queries on an empty index")
+        k_eff = min(k, len(self))
+        _, idx = self._tree.query(centers, k=k_eff)
+        return np.asarray(idx, dtype=np.int64).reshape(len(centers), k_eff)
+
+
+#: Names accepted by :func:`build_index`.
+BACKENDS = ("grid", "kdtree")
+
+
+def build_index(
+    points: np.ndarray,
+    radius: float | None = None,
+    backend: str = "grid",
+    cell_size: float | None = None,
+) -> SpatialIndex:
+    """Build a :class:`SpatialIndex` over ``points``.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` point coordinates.
+    radius:
+        The query radius the index will mostly serve.  The grid backend uses
+        it as its cell size (the optimal choice for fixed-radius queries);
+        the KD-tree backend ignores it.
+    backend:
+        ``"grid"`` or ``"kdtree"``.
+    cell_size:
+        Grid-only override of the cell size derived from ``radius``.
+    """
+    if backend == "kdtree":
+        return KDTreeIndex(points)
+    if backend == "grid":
+        size = cell_size if cell_size is not None else radius
+        if size is None or size <= 0:
+            size = 1.0  # radius-0 queries only match coincident points; any cell works
+        return GridIndex(points, cell_size=size)
+    raise ValueError(f"unknown spatial-index backend {backend!r}; known: {', '.join(BACKENDS)}")

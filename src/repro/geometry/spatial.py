@@ -1,95 +1,12 @@
-"""Uniform spatial hash grid for fixed-radius neighbour queries.
+"""Backward-compatible home of :class:`GridIndex`.
 
-scipy's ``cKDTree`` covers most neighbour queries in the library, but the
-distributed-construction simulator needs a structure whose query pattern
-mirrors what a sensor node can actually do: enumerate the points that fall in
-its own tile / region ("which nodes share my region?") and the points within
-its radio range.  A uniform grid keyed by integer cell coordinates supports
-both in expected O(1) per query and is trivially vectorised with
-``numpy.floor_divide``.
+The implementation moved to :mod:`repro.geometry.index`, which hosts the
+pluggable :class:`~repro.geometry.index.SpatialIndex` backend layer (the
+vectorised grid, the cKDTree wrapper and the :func:`~repro.geometry.index.build_index`
+factory).  This module re-exports :class:`GridIndex` so existing imports keep
+working.
 """
 
-from __future__ import annotations
-
-from collections import defaultdict
-from typing import Dict, Iterable, List, Tuple
-
-import numpy as np
-
-from repro.geometry.primitives import as_points
+from repro.geometry.index import GridIndex
 
 __all__ = ["GridIndex"]
-
-
-class GridIndex:
-    """Bucket points into square cells of a given size.
-
-    Parameters
-    ----------
-    points:
-        ``(n, 2)`` point coordinates.
-    cell_size:
-        Side of the (axis-aligned) hash cells.  For radius-``r`` neighbour
-        queries a cell size of ``r`` means only the 3×3 block of cells around
-        a query needs scanning.
-    """
-
-    def __init__(self, points: np.ndarray, cell_size: float) -> None:
-        if cell_size <= 0:
-            raise ValueError("cell_size must be positive")
-        self.points = as_points(points)
-        self.cell_size = float(cell_size)
-        self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
-        if len(self.points):
-            keys = np.floor(self.points / self.cell_size).astype(np.int64)
-            for idx, (cx, cy) in enumerate(map(tuple, keys)):
-                self._cells[(int(cx), int(cy))].append(idx)
-
-    def __len__(self) -> int:
-        return len(self.points)
-
-    def cell_of(self, point: Iterable[float]) -> Tuple[int, int]:
-        """Integer cell coordinates containing ``point``."""
-        x, y = point
-        return (int(np.floor(x / self.cell_size)), int(np.floor(y / self.cell_size)))
-
-    def points_in_cell(self, cell: Tuple[int, int]) -> np.ndarray:
-        """Indices of points bucketed into ``cell``."""
-        return np.asarray(self._cells.get(cell, []), dtype=np.int64)
-
-    def occupied_cells(self) -> List[Tuple[int, int]]:
-        """All cells that contain at least one point."""
-        return list(self._cells.keys())
-
-    def query_radius(self, center: Iterable[float], radius: float) -> np.ndarray:
-        """Indices of points within ``radius`` of ``center`` (exact closed ball).
-
-        Scans the minimal block of cells that can contain qualifying points
-        and filters by exact squared distance (``d² <= r²``, no tolerance) —
-        the same closed-ball predicate ``scipy.spatial.cKDTree`` applies in
-        :func:`repro.graphs.udg.udg_edges`, so the distributed simulator and
-        the centralized builder agree on every boundary pair.  At
-        ``radius == 0`` only exactly coincident points qualify.
-        """
-        if radius < 0:
-            raise ValueError("radius must be non-negative")
-        cx, cy = center
-        reach = int(np.ceil(radius / self.cell_size))
-        base = self.cell_of(center)
-        candidates: List[int] = []
-        for dx in range(-reach, reach + 1):
-            for dy in range(-reach, reach + 1):
-                candidates.extend(self._cells.get((base[0] + dx, base[1] + dy), ()))
-        if not candidates:
-            return np.empty(0, dtype=np.int64)
-        idx = np.asarray(candidates, dtype=np.int64)
-        diff = self.points[idx] - np.asarray([cx, cy], dtype=np.float64)
-        keep = np.einsum("ij,ij->i", diff, diff) <= radius * radius
-        return idx[keep]
-
-    def neighbours_of(self, index: int, radius: float, include_self: bool = False) -> np.ndarray:
-        """Indices of points within ``radius`` of the stored point ``index``."""
-        result = self.query_radius(self.points[index], radius)
-        if include_self:
-            return result
-        return result[result != index]

@@ -2,17 +2,18 @@
 
 Each point establishes undirected edges to the ``k`` points nearest to it
 (Häggström–Meester model): the edge {x, y} exists when y is among x's k
-nearest *or* x is among y's k nearest.  Neighbour queries use
-:class:`scipy.spatial.cKDTree`; ties (a measure-zero event for Poisson
-inputs) are broken by index order, matching the paper's remark that any
-tie-breaking rule is acceptable.
+nearest *or* x is among y's k nearest.  Neighbour queries go through the
+:class:`repro.geometry.index.KDTreeIndex` backend (nearest-point queries are
+the one operation the grid backend does not offer); ties (a measure-zero
+event for Poisson inputs) are broken by index order, matching the paper's
+remark that any tie-breaking rule is acceptable.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy.spatial import cKDTree
 
+from repro.geometry.index import KDTreeIndex
 from repro.geometry.primitives import as_points
 from repro.graphs.base import GeometricGraph
 
@@ -35,10 +36,9 @@ def knn_neighbour_indices(points: np.ndarray, k: int) -> np.ndarray:
     k_eff = min(k, n - 1)
     if k_eff == 0:
         return np.full((n, k), -1, dtype=np.int64)
-    tree = cKDTree(pts)
+    index = KDTreeIndex(pts)
     # Query k_eff + 1 because the nearest hit is the point itself.
-    _, idx = tree.query(pts, k=k_eff + 1)
-    idx = np.atleast_2d(idx)
+    idx = index.query_nearest(pts, k_eff + 1)
     neighbours = np.full((n, k), -1, dtype=np.int64)
     for i in range(n):
         row = idx[i]

@@ -3,40 +3,48 @@
 Given a point set S, the unit disk graph joins x, y ∈ S whenever
 ``d(x, y) <= radius`` (the paper fixes the radius to 1; we keep it a
 parameter so that radio-range experiments can rescale).  Edge enumeration
-uses :class:`scipy.spatial.cKDTree.query_pairs`, which is the standard
-O(n log n + output) approach and avoids the quadratic distance matrix.
+goes through the :mod:`repro.geometry.index` backend layer
+(``query_pairs`` on either the cKDTree wrapper or the vectorised grid), which
+is the standard O(n log n + output) approach and avoids the quadratic
+distance matrix.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy.spatial import cKDTree
 
+from repro.geometry.index import build_index
 from repro.geometry.primitives import as_points
 from repro.graphs.base import GeometricGraph
 
 __all__ = ["udg_edges", "build_udg"]
 
 
-def udg_edges(points: np.ndarray, radius: float = 1.0) -> np.ndarray:
+def udg_edges(points: np.ndarray, radius: float = 1.0, backend: str = "kdtree") -> np.ndarray:
     """Edge list of the unit-disk graph with the given connection ``radius``.
 
     Returns an ``(m, 2)`` integer array of node-index pairs (smaller index
-    first, unique rows).
+    first, rows in lexicographic order).  Both spatial-index backends produce
+    the identical edge list; ``kdtree`` is the default because one-shot edge
+    enumeration does not amortise a grid build.
+
+    ``radius == 0`` returns no edges *by UDG convention* (a zero-range radio
+    connects nothing) without consulting the index.  This deliberately
+    differs from the raw index layer, where a radius-0 closed ball matches
+    exactly coincident points — e.g. ``continuum_cluster_labels`` merges
+    coincident points at radius 0 while the UDG on the same set is empty.
     """
     if radius < 0:
         raise ValueError("radius must be non-negative")
     pts = as_points(points)
     if len(pts) < 2 or radius == 0:
         return np.zeros((0, 2), dtype=np.int64)
-    tree = cKDTree(pts)
-    pairs = tree.query_pairs(r=radius, output_type="ndarray")
-    if pairs.size == 0:
-        return np.zeros((0, 2), dtype=np.int64)
-    return np.sort(pairs.astype(np.int64), axis=1)
+    return build_index(pts, radius=radius, backend=backend).query_pairs(radius)
 
 
-def build_udg(points: np.ndarray, radius: float = 1.0, name: str | None = None) -> GeometricGraph:
+def build_udg(
+    points: np.ndarray, radius: float = 1.0, name: str | None = None, backend: str = "kdtree"
+) -> GeometricGraph:
     """Build ``UDG(2, λ)`` on an explicit point set.
 
     Parameters
@@ -48,7 +56,9 @@ def build_udg(points: np.ndarray, radius: float = 1.0, name: str | None = None) 
         Connection radius (1.0 in the paper).
     name:
         Optional label; defaults to ``"UDG(r=<radius>)"``.
+    backend:
+        Spatial-index backend used for edge enumeration.
     """
     pts = as_points(points)
-    edges = udg_edges(pts, radius)
+    edges = udg_edges(pts, radius, backend=backend)
     return GeometricGraph(pts, edges, name=name or f"UDG(r={radius:g})")

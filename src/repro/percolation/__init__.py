@@ -24,6 +24,8 @@ from repro.percolation.clusters import (
     ClusterStatistics,
     UnionFind,
     cluster_statistics,
+    continuum_cluster_labels,
+    continuum_largest_cluster_fraction,
     label_clusters,
     largest_cluster_mask,
     has_spanning_cluster,
@@ -44,6 +46,8 @@ __all__ = [
     "ClusterStatistics",
     "label_clusters",
     "cluster_statistics",
+    "continuum_cluster_labels",
+    "continuum_largest_cluster_fraction",
     "largest_cluster_mask",
     "has_spanning_cluster",
     "theta_estimate",

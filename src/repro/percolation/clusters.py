@@ -5,6 +5,12 @@ compression).  Open sites are united with their open right/down neighbours,
 which labels all 4-connected open clusters in near-linear time; this is the
 standard Hoshen–Kopelman-style approach expressed with numpy index arrays
 instead of per-site Python loops.
+
+The same union–find also labels *continuum* clusters: given a planar point
+set, :func:`continuum_cluster_labels` derives the Gilbert-graph adjacency
+from one ``query_pairs`` call on a :mod:`repro.geometry.index` backend and
+unions the resulting pairs, which is how E11-style continuum-percolation
+questions reduce to the cluster machinery already used on Z².
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.geometry.index import build_index
+from repro.geometry.primitives import as_points
 from repro.percolation.lattice import LatticeConfiguration
 
 __all__ = [
@@ -25,6 +33,8 @@ __all__ = [
     "largest_cluster_mask",
     "has_spanning_cluster",
     "theta_estimate",
+    "continuum_cluster_labels",
+    "continuum_largest_cluster_fraction",
 ]
 
 
@@ -83,6 +93,19 @@ class UnionFind:
         return int(self.size[self.find(x)])
 
 
+def _order_by_first_appearance(compact: np.ndarray) -> np.ndarray:
+    """Relabel compact component ids by first (array-order) appearance."""
+    order = np.full(int(compact.max()) + 1, -1, dtype=np.int64)
+    next_label = 0
+    ordered = np.empty_like(compact)
+    for i, c in enumerate(compact):
+        if order[c] < 0:
+            order[c] = next_label
+            next_label += 1
+        ordered[i] = order[c]
+    return ordered
+
+
 def label_clusters(config: LatticeConfiguration) -> np.ndarray:
     """Label 4-connected open clusters.
 
@@ -114,16 +137,44 @@ def label_clusters(config: LatticeConfiguration) -> np.ndarray:
     roots = uf.find_many(open_idx)
     _, compact = np.unique(roots, return_inverse=True)
     # Re-order labels by first appearance to make them deterministic.
-    order = np.full(compact.max() + 1, -1, dtype=np.int64)
-    next_label = 0
-    ordered = np.empty_like(compact)
-    for i, c in enumerate(compact):
-        if order[c] < 0:
-            order[c] = next_label
-            next_label += 1
-        ordered[i] = order[c]
-    labels[mask] = ordered
+    labels[mask] = _order_by_first_appearance(compact)
     return labels
+
+
+def continuum_cluster_labels(
+    points: np.ndarray, radius: float, backend: str = "grid"
+) -> np.ndarray:
+    """Connected-component labels of the Gilbert (unit-disk) graph on ``points``.
+
+    Adjacency is derived from one :meth:`~repro.geometry.index.SpatialIndex.query_pairs`
+    call (exact closed ball, so boundary pairs at distance exactly ``radius``
+    are connected), and the pairs are fed to the same :class:`UnionFind` that
+    labels lattice clusters.  Returns one label per point, contiguous from 0
+    and ordered by first (index-order) appearance.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    pts = as_points(points)
+    n = len(pts)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    uf = UnionFind(n)
+    pairs = build_index(pts, radius=radius, backend=backend).query_pairs(radius)
+    if len(pairs):
+        uf.union_pairs(pairs[:, 0], pairs[:, 1])
+    roots = uf.find_many(np.arange(n))
+    _, compact = np.unique(roots, return_inverse=True)
+    return _order_by_first_appearance(compact)
+
+
+def continuum_largest_cluster_fraction(
+    points: np.ndarray, radius: float, backend: str = "grid"
+) -> float:
+    """Fraction of points in the largest Gilbert-graph cluster (0.0 if empty)."""
+    labels = continuum_cluster_labels(points, radius, backend=backend)
+    if labels.size == 0:
+        return 0.0
+    return float(np.bincount(labels).max()) / labels.size
 
 
 def cluster_sizes(labels: np.ndarray) -> np.ndarray:

@@ -96,6 +96,7 @@ def load_builtin_experiments() -> None:
     """
     import repro.analysis.experiments  # noqa: F401  (registers E01–E12)
     import repro.analysis.ablations  # noqa: F401  (registers A01)
+    import repro.analysis.spatial_bench  # noqa: F401  (registers S01)
 
 
 def make_jobs(

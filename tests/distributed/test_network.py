@@ -73,6 +73,70 @@ class TestMessageNetwork:
         net = MessageNetwork(pts, radio_range=1.0)
         assert set(net.neighbours_of(0).tolist()) == {1}
 
+    def test_index_backends_agree(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 6, size=(40, 2))
+        grid_net = MessageNetwork(pts, radio_range=1.0, index_backend="grid")
+        tree_net = MessageNetwork(pts, radio_range=1.0, index_backend="kdtree")
+        for node in range(len(pts)):
+            assert np.array_equal(grid_net.neighbours_of(node), tree_net.neighbours_of(node))
+
+    def test_boundary_pair_can_message(self):
+        # d == radio_range exactly: "is a neighbour" under the exact closed
+        # ball, so "can message" must agree (regression for the 1e-9 slack).
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]], dtype=float)
+        net = MessageNetwork(pts, radio_range=1.0)
+        assert net.neighbours_of(0).tolist() == [1]
+        net.send(Message(0, 1, "edge"))
+        assert net.deliver_round()[1]
+
+    def test_just_outside_boundary_rejected(self):
+        # d = 1 + 4e-13 was sendable under the old ``d <= r + 1e-9`` slack
+        # even though the neighbour index excluded the pair.
+        pts = np.array([[0.0, 0.0], [1.0 + 4e-13, 0.0]], dtype=float)
+        net = MessageNetwork(pts, radio_range=1.0)
+        assert net.neighbours_of(0).size == 0
+        with pytest.raises(ValueError, match="locality violation"):
+            net.send(Message(0, 1, "edge"))
+
+    def test_send_and_neighbourhood_agree_on_random_points(self):
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0, 4, size=(25, 2))
+        net = MessageNetwork(pts, radio_range=1.0)
+        for i in range(len(pts)):
+            neighbours = set(net.neighbours_of(i).tolist())
+            for j in range(len(pts)):
+                if i == j:
+                    continue
+                if j in neighbours:
+                    net.send(Message(i, j, "ok"))
+                else:
+                    with pytest.raises(ValueError, match="locality violation"):
+                        net.send(Message(i, j, "far"))
+
+    def test_zero_radio_range_allows_only_coincident_nodes(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [1.0, 2.0]], dtype=float)
+        net = MessageNetwork(pts, radio_range=0.0)
+        net.send(Message(0, 1, "coincident"))
+        with pytest.raises(ValueError, match="locality violation"):
+            net.send(Message(0, 2, "apart"))
+
+    def test_self_message_always_in_range(self):
+        net = MessageNetwork(np.array([[0, 0], [5, 0]], dtype=float), radio_range=1.0)
+        net.send(Message(0, 0, "note-to-self"))
+        assert net.deliver_round()[0]
+
+    def test_broadcast_preserves_falsy_payloads(self):
+        net = MessageNetwork(np.array([[0, 0], [0.1, 0]], dtype=float), radio_range=1.0)
+        for payload in (0, "", False, []):
+            net.broadcast(0, [1], "falsy", payload)
+            [message] = net.deliver_round()[1]
+            assert message.payload == payload
+            assert message.payload is not None
+        net.broadcast(0, [1], "default")
+        [message] = net.deliver_round()[1]
+        assert message.payload == {}
+
     def test_run_phase_executes_steps(self):
         pts = np.array([[0, 0], [0.5, 0]], dtype=float)
         net = MessageNetwork(pts, radio_range=1.0)

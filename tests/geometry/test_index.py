@@ -1,0 +1,169 @@
+"""Property and equivalence tests for the SpatialIndex backend layer.
+
+The contract under test: `GridIndex` and `KDTreeIndex` implement the *same*
+exact closed-ball semantics and return *identical, identically ordered*
+results for every query method, including boundary-distance pairs and
+radius 0 — so every consumer can switch backends without changing which
+graph it builds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.index import BACKENDS, GridIndex, KDTreeIndex, SpatialIndex, build_index
+
+coord = st.floats(-30.0, 30.0, allow_nan=False, allow_infinity=False)
+# Snapping coordinates to a coarse lattice makes exact boundary-distance and
+# coincident pairs common instead of measure-zero.
+snapped = st.tuples(coord, coord).map(lambda p: (round(p[0] * 2) / 2, round(p[1] * 2) / 2))
+point_sets = st.lists(st.tuples(coord, coord) | snapped, min_size=0, max_size=50)
+radii = st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.5, 7.0]) | st.floats(0.0, 8.0, allow_nan=False)
+
+
+def _brute_ball(pts: np.ndarray, center, radius: float) -> np.ndarray:
+    if len(pts) == 0:
+        return np.zeros(0, dtype=np.int64)
+    diff = pts - np.asarray(center, dtype=np.float64)
+    return np.nonzero(np.einsum("ij,ij->i", diff, diff) <= radius * radius)[0]
+
+
+def _indices(pts: np.ndarray, radius: float):
+    return (
+        GridIndex(pts, cell_size=max(radius, 0.75)),
+        KDTreeIndex(pts),
+    )
+
+
+class TestCrossBackendAgreement:
+    @given(point_sets, radii)
+    @settings(max_examples=60, deadline=None)
+    def test_query_radius_many_agrees_with_scalar_and_brute_force(self, coords, radius):
+        pts = np.asarray(coords, dtype=np.float64).reshape(len(coords), 2)
+        grid, tree = _indices(pts, radius)
+        centers = np.vstack([pts, [[0.25, -0.25]]]) if len(pts) else np.array([[0.25, -0.25]])
+        grid_many = grid.query_radius_many(centers, radius)
+        tree_many = tree.query_radius_many(centers, radius)
+        assert len(grid_many) == len(tree_many) == len(centers)
+        grid_counts = grid.count_radius_many(centers, radius)
+        tree_counts = tree.count_radius_many(centers, radius)
+        assert np.array_equal(grid_counts, [len(a) for a in grid_many])
+        assert np.array_equal(grid_counts, tree_counts)
+        for i, center in enumerate(centers):
+            expected = _brute_ball(pts, center, radius)
+            assert np.array_equal(grid_many[i], expected)
+            assert np.array_equal(tree_many[i], expected)
+            assert np.array_equal(grid.query_radius(center, radius), expected)
+            assert np.array_equal(tree.query_radius(center, radius), expected)
+
+    @given(point_sets, radii)
+    @settings(max_examples=60, deadline=None)
+    def test_query_pairs_and_neighbour_lists_identical(self, coords, radius):
+        pts = np.asarray(coords, dtype=np.float64).reshape(len(coords), 2)
+        grid, tree = _indices(pts, radius)
+        grid_pairs = grid.query_pairs(radius)
+        tree_pairs = tree.query_pairs(radius)
+        assert np.array_equal(grid_pairs, tree_pairs)
+        if len(grid_pairs):
+            assert (grid_pairs[:, 0] < grid_pairs[:, 1]).all()
+        for with_self in (False, True):
+            gl = grid.neighbour_lists(radius, include_self=with_self)
+            tl = tree.neighbour_lists(radius, include_self=with_self)
+            assert len(gl) == len(tl) == len(pts)
+            for i, (a, b) in enumerate(zip(gl, tl)):
+                assert np.array_equal(a, b)
+                assert with_self or i not in a
+
+
+class TestBoundarySemantics:
+    def test_pair_at_exact_radius_is_a_neighbour(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        for backend in BACKENDS:
+            index = build_index(pts, radius=1.0, backend=backend)
+            assert index.query_pairs(1.0).tolist() == [[0, 1]]
+
+    def test_pair_just_outside_radius_is_not(self):
+        pts = np.array([[0.0, 0.0], [1.0 + 4e-13, 0.0]])
+        for backend in BACKENDS:
+            index = build_index(pts, radius=1.0, backend=backend)
+            assert index.query_pairs(1.0).shape == (0, 2)
+            assert index.query_radius_many(pts, 1.0)[0].tolist() == [0]
+
+    def test_radius_zero_matches_exact_coincidence_only(self):
+        pts = np.array([[0.5, 0.5], [0.5, 0.5], [0.5 + 1e-9, 0.5], [2.0, 2.0]])
+        for backend in BACKENDS:
+            index = build_index(pts, radius=0.0, backend=backend)
+            many = index.query_radius_many(pts, 0.0)
+            assert many[0].tolist() == [0, 1]
+            assert many[2].tolist() == [2]
+            assert index.query_pairs(0.0).tolist() == [[0, 1]]
+
+    def test_unit_lattice_boundary_pairs(self):
+        # Every horizontal/vertical neighbour sits at distance exactly 1.
+        pts = np.array([[float(i), float(j)] for i in range(5) for j in range(5)])
+        grid_pairs = build_index(pts, radius=1.0, backend="grid").query_pairs(1.0)
+        tree_pairs = build_index(pts, radius=1.0, backend="kdtree").query_pairs(1.0)
+        assert np.array_equal(grid_pairs, tree_pairs)
+        assert len(grid_pairs) == 2 * 5 * 4  # 4-neighbour lattice edges
+
+
+class TestGridInternals:
+    def test_vectorised_build_matches_cell_arithmetic(self, rng):
+        pts = rng.uniform(-7, 7, size=(200, 2))
+        grid = GridIndex(pts, cell_size=1.25)
+        keys = np.floor(pts / 1.25).astype(np.int64)
+        assert sorted(grid.occupied_cells()) == sorted(set(map(tuple, keys.tolist())))
+        for cell in grid.occupied_cells():
+            expected = np.nonzero((keys == cell).all(axis=1))[0]
+            assert np.array_equal(grid.points_in_cell(cell), expected)
+
+    def test_large_radius_spans_many_cells(self, rng):
+        pts = rng.uniform(0, 10, size=(150, 2))
+        grid = GridIndex(pts, cell_size=0.5)  # reach of 12 cells at radius 6
+        for center in [(5.0, 5.0), (-1.0, 11.0)]:
+            assert np.array_equal(grid.query_radius(center, 6.0), _brute_ball(pts, center, 6.0))
+
+    def test_empty_and_degenerate_inputs(self):
+        for backend in BACKENDS:
+            empty = build_index(np.zeros((0, 2)), radius=1.0, backend=backend)
+            assert len(empty) == 0
+            assert empty.query_radius((0, 0), 2.0).size == 0
+            assert empty.query_radius_many(np.array([[0.0, 0.0]]), 2.0)[0].size == 0
+            assert empty.count_radius_many(np.array([[0.0, 0.0]]), 2.0).tolist() == [0]
+            assert empty.query_pairs(2.0).shape == (0, 2)
+            assert empty.neighbour_lists(2.0) == []
+            single = build_index(np.array([[1.0, 1.0]]), radius=1.0, backend=backend)
+            assert single.query_pairs(1.0).shape == (0, 2)
+            assert single.query_radius_many(np.zeros((0, 2)), 1.0) == []
+
+    def test_negative_radius_rejected_everywhere(self):
+        for backend in BACKENDS:
+            index = build_index(np.zeros((1, 2)), radius=1.0, backend=backend)
+            for call in (
+                lambda: index.query_radius((0, 0), -1.0),
+                lambda: index.query_radius_many(np.zeros((1, 2)), -1.0),
+                lambda: index.count_radius_many(np.zeros((1, 2)), -1.0),
+                lambda: index.query_pairs(-1.0),
+            ):
+                with pytest.raises(ValueError):
+                    call()
+
+
+class TestFactory:
+    def test_backend_dispatch(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        assert isinstance(build_index(pts, radius=1.0, backend="grid"), GridIndex)
+        assert isinstance(build_index(pts, radius=1.0, backend="kdtree"), KDTreeIndex)
+        assert isinstance(build_index(pts, radius=1.0), SpatialIndex)
+
+    def test_grid_cell_size_defaults(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        assert build_index(pts, radius=2.5).cell_size == 2.5
+        assert build_index(pts, radius=2.5, cell_size=0.5).cell_size == 0.5
+        # Radius 0 (or None) still builds a usable grid.
+        assert build_index(pts, radius=0.0).query_radius((0, 0), 0.0).tolist() == [0]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown spatial-index backend"):
+            build_index(np.zeros((1, 2)), radius=1.0, backend="rtree")

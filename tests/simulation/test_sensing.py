@@ -28,6 +28,18 @@ class TestCoverageFraction:
         with pytest.raises(ValueError):
             coverage_fraction(np.zeros((1, 2)), np.zeros((1, 2)), 0.0)
 
+    def test_backends_agree(self, rng):
+        sensors = rng.uniform(0, 8, size=(60, 2))
+        events = rng.uniform(0, 8, size=(200, 2))
+        grid = coverage_fraction(sensors, events, 0.9, backend="grid")
+        tree = coverage_fraction(sensors, events, 0.9, backend="kdtree")
+        assert grid == tree
+
+    def test_event_on_sensing_boundary_is_covered(self):
+        sensors = np.array([[0.0, 0.0]])
+        events = np.array([[1.0, 0.0]])
+        assert coverage_fraction(sensors, events, sensing_radius=1.0) == 1.0
+
 
 class TestSensingField:
     def test_sample_events_inside_window(self, rng):
