@@ -67,7 +67,8 @@ class MessageNetwork:
     locality check in :meth:`send` is then an O(log degree) membership probe
     on the sender's sorted neighbour array instead of a per-message distance
     computation (and no second copy of the table is materialised).  The table
-    uses the exact closed ball (``d² <= r²``), so "can message" and "is a
+    uses the backends' exact closed ball (true distance ``<= r``, see
+    :func:`repro.geometry.index.within_ball`), so "can message" and "is a
     neighbour" agree on every boundary pair.
     """
 
@@ -125,12 +126,17 @@ class MessageNetwork:
         return pos < len(neighbours) and neighbours[pos] == recipient
 
     def broadcast(self, sender: int, recipients: Iterable[int], kind: str, payload=None) -> None:
-        """Send the same message to several recipients (counts one message each)."""
-        resolved = {} if payload is None else payload
+        """Send the same message to several recipients (counts one message each).
+
+        The default payload is a *fresh* dict per recipient, so a receiver
+        mutating its payload cannot leak the mutation into the other
+        recipients' inboxes.  An explicit payload (falsy ones included) is
+        shared by reference, as for :meth:`send`.
+        """
         for recipient in recipients:
             if recipient == sender:
                 continue
-            self.send(Message(sender, int(recipient), kind, resolved))
+            self.send(Message(sender, int(recipient), kind, {} if payload is None else payload))
 
     def neighbours_of(self, node: int) -> np.ndarray:
         """One-hop neighbours of ``node`` under the radio range (empty if unlimited)."""

@@ -17,7 +17,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.geometry.index import build_index
+from repro.geometry.index import KDTreeIndex, build_index, within_ball
 from repro.geometry.primitives import Rect, as_points
 
 __all__ = ["SensingField", "MovingTarget", "coverage_fraction"]
@@ -31,10 +31,12 @@ def coverage_fraction(
 ) -> float:
     """Fraction of event positions within ``sensing_radius`` of some sensor.
 
-    All events are answered with one bulk ``count_radius_many`` against the
-    chosen :mod:`repro.geometry.index` backend (counts only — no index lists
-    are materialised); an event is covered when its closed sensing ball
-    contains at least one sensor.
+    An event is covered when its closed sensing ball contains at least one
+    sensor.  Existence is all that matters, so the KD-tree backend answers
+    each event with one nearest-sensor query confirmed by the backends'
+    shared ``within_ball`` predicate — O(log n) per event instead of
+    enumerating every sensor inside the ball; the grid backend answers with
+    one bulk ``count_radius_many``.
     """
     if sensing_radius <= 0:
         raise ValueError("sensing_radius must be positive")
@@ -45,8 +47,20 @@ def coverage_fraction(
     if len(sensors) == 0:
         return 0.0
     index = build_index(sensors, radius=sensing_radius, backend=backend)
-    counts = index.count_radius_many(evts, sensing_radius)
-    return float((counts > 0).mean())
+    if isinstance(index, KDTreeIndex):
+        nearest = index.query_nearest(evts, 1)[:, 0]
+        covered = within_ball(sensors[nearest], evts, sensing_radius)
+        # The tree ranks sensors by its own (underflow-prone) metric, so the
+        # one it picks can fail the exact predicate while an equidistant-
+        # under-rounding sensor covers the event; re-check apparent misses
+        # with the exact ball query (cheap: their balls are almost always
+        # empty, which is why the nearest-first path is the fast one).
+        unsure = np.nonzero(~covered)[0]
+        if unsure.size:
+            covered[unsure] = index.count_radius_many(evts[unsure], sensing_radius) > 0
+    else:
+        covered = index.count_radius_many(evts, sensing_radius) > 0
+    return float(covered.mean())
 
 
 @dataclass
@@ -76,15 +90,14 @@ class SensingField:
         """Indices of sensors that detect a single event position.
 
         A one-shot single-event query: the direct vectorised distance check
-        (same exact closed ball as the index backends) beats building a
-        spatial index that would answer only one query.
+        (literally the index backends' shared ``within_ball`` predicate)
+        beats building a spatial index that would answer only one query.
         """
         sensors = as_points(sensor_positions)
         if len(sensors) == 0:
             return np.zeros(0, dtype=np.int64)
-        diff = sensors - np.asarray(event, dtype=np.float64)
-        d2 = np.einsum("ij,ij->i", diff, diff)
-        return np.nonzero(d2 <= self.sensing_radius * self.sensing_radius)[0]
+        event = np.asarray(event, dtype=np.float64)
+        return np.nonzero(within_ball(sensors, event, self.sensing_radius))[0]
 
     def coverage(
         self,

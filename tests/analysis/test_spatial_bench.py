@@ -1,0 +1,34 @@
+"""Unit tests for the S01 backend-comparison experiment."""
+
+import json
+
+import pytest
+
+from repro.analysis.spatial_bench import experiment_s01_spatial_backends
+from repro.runner.serialize import result_to_payload
+
+
+class TestS01:
+    def test_small_run_reports_agreement_and_speedup(self):
+        result = experiment_s01_spatial_backends(n_points=120, repeats=1, seed=5)
+        assert result.headline["backends_agree"] is True
+        assert isinstance(result.headline["grid_bulk_speedup_vs_scalar"], float)
+        assert len(result.rows) == 6  # 3 intensities x 2 backends
+
+    def test_degenerate_realisations_yield_null_headline_not_nan(self):
+        # A realisation with < 2 points is skipped; the headline must then be
+        # JSON-null rather than NaN (which the result store cannot serialise)
+        # and backends_agree must not be vacuously True on zero comparisons.
+        result = experiment_s01_spatial_backends(n_points=1, intensities=(1.44,), seed=2)
+        assert result.headline["grid_bulk_speedup_vs_scalar"] is None
+        assert result.headline["backends_agree"] is None
+        assert any("degenerate" in note for note in result.notes)
+        json.dumps(result_to_payload(result), allow_nan=False)  # must not raise
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            experiment_s01_spatial_backends(n_points=0)
+        with pytest.raises(ValueError):
+            experiment_s01_spatial_backends(radius=0.0)
+        with pytest.raises(ValueError, match="intensities"):
+            experiment_s01_spatial_backends(intensities=())

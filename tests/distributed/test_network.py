@@ -137,6 +137,17 @@ class TestMessageNetwork:
         [message] = net.deliver_round()[1]
         assert message.payload == {}
 
+    def test_broadcast_default_payload_not_shared_between_recipients(self):
+        # Each recipient must get its own dict: a receiver mutating its
+        # payload must not leak the mutation into the other inboxes.
+        pts = np.array([[0, 0], [0.1, 0], [0.2, 0]], dtype=float)
+        net = MessageNetwork(pts, radio_range=1.0)
+        net.broadcast(0, [1, 2], "default")
+        inboxes = net.deliver_round()
+        [first], [second] = inboxes[1], inboxes[2]
+        first.payload["seen"] = True
+        assert second.payload == {}
+
     def test_run_phase_executes_steps(self):
         pts = np.array([[0, 0], [0.5, 0]], dtype=float)
         net = MessageNetwork(pts, radio_range=1.0)

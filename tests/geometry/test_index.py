@@ -23,10 +23,12 @@ radii = st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.5, 7.0]) | st.floats(0.0, 8.0, al
 
 
 def _brute_ball(pts: np.ndarray, center, radius: float) -> np.ndarray:
+    # True distance via hypot, not d² <= r²: squaring underflows for
+    # subnormal offsets and would call points outside the ball neighbours.
     if len(pts) == 0:
         return np.zeros(0, dtype=np.int64)
     diff = pts - np.asarray(center, dtype=np.float64)
-    return np.nonzero(np.einsum("ij,ij->i", diff, diff) <= radius * radius)[0]
+    return np.nonzero(np.hypot(diff[:, 0], diff[:, 1]) <= radius)[0]
 
 
 def _indices(pts: np.ndarray, radius: float):
@@ -99,6 +101,72 @@ class TestBoundarySemantics:
             assert many[2].tolist() == [2]
             assert index.query_pairs(0.0).tolist() == [[0, 1]]
 
+    def test_subnormal_offset_is_not_coincident_at_radius_zero(self):
+        # Regression: (2.2e-313)² underflows to 0.0, so the old d² <= r²
+        # predicate called this pair coincident at radius 0 — but only on the
+        # backend whose candidate generation visited the point (cKDTree did,
+        # the grid scan did not), so the backends disagreed.
+        pts = np.array([[0.0, 0.0], [0.0, -2.2e-313]])
+        for backend in BACKENDS:
+            index = build_index(pts, radius=0.0, backend=backend)
+            many = index.query_radius_many(pts, 0.0)
+            assert many[0].tolist() == [0]
+            assert many[1].tolist() == [1]
+            assert index.query_pairs(0.0).shape == (0, 2)
+            assert index.count_radius_many(pts, 0.0).tolist() == [1, 1]
+            assert index.query_radius((0.0, 0.0), 0.0).tolist() == [0]
+
+    def test_subnormal_squared_radius_pair_found_by_both_backends(self):
+        # r² ~ 2.6e-321 is deeply subnormal: inside cKDTree's squared-distance
+        # pruning the relative ULP spacing (~2e-3) swallows any relative
+        # candidate-radius slack, so a true neighbour used to be pruned before
+        # the exact post-filter ever saw it — only the absolute candidate
+        # floor keeps the candidate set a superset of the closed ball.
+        r = 5.094248284187525e-161
+        d, angle = 5.094248284187524e-161, 1.2037904221167388
+        pts = np.array([[0.0, 0.0], [d * np.cos(angle), d * np.sin(angle)]])
+        assert np.hypot(pts[1, 0], pts[1, 1]) <= r  # genuinely inside the ball
+        for backend in BACKENDS:
+            index = build_index(pts, radius=r, backend=backend)
+            assert index.query_radius((0.0, 0.0), r).tolist() == [0, 1]
+            assert [a.tolist() for a in index.query_radius_many(pts, r)] == [[0, 1], [0, 1]]
+            assert index.query_pairs(r).tolist() == [[0, 1]]
+            assert index.count_radius_many(pts, r).tolist() == [2, 2]
+
+    def test_reach_covers_quotient_that_rounds_down_across_an_integer(self):
+        # radius / cell_size is truly just above 3 but computes as exactly
+        # 3.0, so a plain ceil() scanned one ring of cells too few and the
+        # grid silently dropped this true neighbour four cells away.
+        cell_size = 0.6344381865479004
+        radius = 1.9033145596437013
+        center = np.nextafter(cell_size, 0.0)  # cell 0, just below the boundary
+        pts = np.array([[4 * cell_size, 0.0]])  # cell 4
+        assert np.hypot(pts[0, 0] - center, 0.0) <= radius  # genuinely inside
+        grid = GridIndex(pts, cell_size=cell_size)
+        tree = KDTreeIndex(pts)
+        assert grid.query_radius((center, 0.0), radius).tolist() == [0]
+        assert tree.query_radius((center, 0.0), radius).tolist() == [0]
+        centers = np.array([[center, 0.0]])
+        assert [a.tolist() for a in grid.query_radius_many(centers, radius)] == [[0]]
+        assert grid.count_radius_many(centers, radius).tolist() == [1]
+
+    def test_reach_covers_product_that_rounds_up_past_the_radius(self):
+        # Here radius = fp(2·cell_size) rounds *up* past the exact product,
+        # so the float check `reach·cell_size >= radius` claimed ring 2
+        # covered the ball while the exact product falls short; only the
+        # exact rational covering check widens the scan to ring 3.
+        cell_size = 0.17784969547876991
+        radius = 0.35569939095753983  # fp(2 * cell_size), above the exact product
+        center = np.nextafter(cell_size, 0.0)
+        pts = np.array([[0.5335490864363097, 0.0]])
+        assert np.hypot(pts[0, 0] - center, 0.0) <= radius  # genuinely inside
+        grid = GridIndex(pts, cell_size=cell_size)
+        assert grid.query_radius((center, 0.0), radius).tolist() == [0]
+        centers = np.array([[center, 0.0]])
+        assert [a.tolist() for a in grid.query_radius_many(centers, radius)] == [[0]]
+        assert grid.count_radius_many(centers, radius).tolist() == [1]
+        assert KDTreeIndex(pts).query_radius((center, 0.0), radius).tolist() == [0]
+
     def test_unit_lattice_boundary_pairs(self):
         # Every horizontal/vertical neighbour sits at distance exactly 1.
         pts = np.array([[float(i), float(j)] for i in range(5) for j in range(5)])
@@ -136,6 +204,46 @@ class TestGridInternals:
             single = build_index(np.array([[1.0, 1.0]]), radius=1.0, backend=backend)
             assert single.query_pairs(1.0).shape == (0, 2)
             assert single.query_radius_many(np.zeros((0, 2)), 1.0) == []
+
+    def test_cell_key_overflow_raises_instead_of_returning_empty(self):
+        # floor(1e6 / 1e-13) = 1e19 exceeds int64: the cast would produce
+        # garbage keys and every query would silently come back empty; the
+        # spread guard must fire before the cast instead.
+        pts = np.array([[1e6, 0.0], [1e6, 0.0]])
+        with pytest.raises(ValueError, match="too many grid cells"):
+            GridIndex(pts, cell_size=1e-13)
+        # The kdtree backend recommended by the error message handles it.
+        assert KDTreeIndex(pts).query_radius((1e6, 0.0), 1e-13).tolist() == [0, 1]
+
+    def test_extreme_spread_overflow_matches_grid(self):
+        # Squared distances overflow float64 for this spread, making scipy's
+        # tree raise internally; the kdtree backend must fall back to exact
+        # hypot candidates and keep agreeing with the grid instead of
+        # surfacing scipy's ValueError.
+        pts = np.array([[0.0, 0.0], [1e170, 0.0]])
+        grid = GridIndex(pts, cell_size=1e160)
+        tree = KDTreeIndex(pts)
+        assert grid.query_radius((0.0, 0.0), 1e160).tolist() == [0]
+        assert tree.query_radius((0.0, 0.0), 1e160).tolist() == [0]
+        assert [a.tolist() for a in tree.query_radius_many(pts, 1e160)] == [[0], [1]]
+        assert tree.count_radius_many(pts, 1e160).tolist() == [1, 1]
+        assert tree.query_pairs(1e160).shape == (0, 2)
+        assert tree.query_pairs(1e170).tolist() == [[0, 1]]
+
+    def test_far_away_center_returns_empty_without_warnings(self):
+        # A query center whose cell key exceeds int64 must not cast to
+        # garbage (numpy RuntimeWarning); it saturates and matches nothing,
+        # exactly like the kdtree backend.
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for backend in BACKENDS:
+                index = build_index(pts, radius=1.0, backend=backend)
+                assert index.query_radius((1e19, 0.0), 1.0).size == 0
+                assert index.query_radius_many(np.array([[1e19, 0.0]]), 1.0)[0].size == 0
+                assert index.count_radius_many(np.array([[1e19, 0.0]]), 1.0).tolist() == [0]
 
     def test_negative_radius_rejected_everywhere(self):
         for backend in BACKENDS:

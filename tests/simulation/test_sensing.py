@@ -40,6 +40,17 @@ class TestCoverageFraction:
         events = np.array([[1.0, 0.0]])
         assert coverage_fraction(sensors, events, sensing_radius=1.0) == 1.0
 
+    def test_tree_tiebreak_outside_ball_does_not_hide_covering_sensor(self):
+        # cKDTree's internal metric underflows for subnormal offsets, so its
+        # "nearest" can be the sensor strictly outside the exact ball even
+        # though the other (coincident) sensor covers the event; the kdtree
+        # path must then fall back to the exact ball query, matching grid.
+        sensors = np.array([[0.0, 2.2e-313], [0.0, 0.0]])
+        events = np.array([[0.0, 0.0]])
+        tree = coverage_fraction(sensors, events, 1e-313, backend="kdtree")
+        grid = coverage_fraction(sensors, events, 1e-313, backend="grid")
+        assert tree == grid == 1.0
+
 
 class TestSensingField:
     def test_sample_events_inside_window(self, rng):
