@@ -1,14 +1,15 @@
 """Shared helpers for the benchmark suite.
 
 Every benchmark regenerates one experiment from the DESIGN.md index (E01–E12),
-prints the resulting table and writes it to ``benchmarks/results/<id>.txt`` so
-the numbers that back EXPERIMENTS.md can be re-derived with a single
-``pytest benchmarks/ --benchmark-only`` run.
-
-The structured rows additionally go through the :mod:`repro.runner` result
-store (``benchmarks/results/store/``): each emitted result is keyed by its
-``(experiment_id, params)`` pair, an unchanged result is a no-op on rerun, and
-the JSON-lines records are what ``python -m repro.runner show`` reads.
+prints the resulting table and persists the structured rows through the
+:mod:`repro.runner` result store (``benchmarks/results/store/``): each emitted
+result is keyed by its ``(experiment_id, params)`` pair, an unchanged result
+is a no-op on rerun, and the JSON-lines records are what
+``python -m repro.runner show`` reads.  The store is the single source of the
+numbers that back EXPERIMENTS.md — re-render any experiment's table with
+``repro.analysis.tables.store_table(store, "E01")`` or export everything via
+``ResultStore.to_dataframe()`` (pandas optional); the old per-experiment
+``results/<id>.txt`` side files are gone.
 """
 
 from __future__ import annotations
@@ -45,9 +46,7 @@ def emit_result():
         if result.notes:
             lines.append("")
             lines.extend(f"note: {n}" for n in result.notes)
-        text = "\n".join(lines)
-        print("\n" + text)
-        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        print("\n" + "\n".join(lines))
 
         record = {
             "key": params_key(result.experiment_id, result.params),

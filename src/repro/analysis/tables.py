@@ -1,10 +1,17 @@
-"""Plain-text and markdown table formatting for the benchmark printers."""
+"""Plain-text and markdown table formatting for the benchmark printers.
+
+The runner's JSON-lines store is the single source of benchmark numbers;
+:func:`store_table` renders any experiment's stored rows on demand (it
+replaced the old side-channel ``benchmarks/results/<id>.txt`` emitter), and
+``ResultStore.to_dataframe`` provides the same export as a pandas DataFrame
+when pandas is installed.
+"""
 
 from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "to_markdown"]
+__all__ = ["format_table", "to_markdown", "store_table"]
 
 
 def _format_value(value, float_format: str) -> str:
@@ -54,6 +61,18 @@ def format_table(
     for r in rendered:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
     return "\n".join(lines)
+
+
+def store_table(store, experiment_id: str, float_format: str = ".4g") -> str:
+    """Plain-text table of one experiment's stored result rows.
+
+    ``store`` is a :class:`repro.runner.store.ResultStore` (duck-typed: any
+    object with ``result_rows``).  Sweeps render as one flat table with the
+    parameters as ``param_*`` columns; an experiment with no stored rows
+    renders its headline columns instead.
+    """
+    rows = store.result_rows(experiment_id=experiment_id)
+    return format_table(rows, float_format=float_format, title=experiment_id)
 
 
 def to_markdown(

@@ -15,9 +15,10 @@ paper's algorithm is analysed under the same assumptions; the energy model of
 
 from __future__ import annotations
 
+import weakref
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +26,56 @@ from repro.distributed.messages import Message
 from repro.geometry.index import build_index
 from repro.geometry.primitives import as_points
 
-__all__ = ["NetworkStats", "MessageNetwork"]
+__all__ = [
+    "NetworkStats",
+    "MessageNetwork",
+    "invalidate_neighbour_cache",
+    "clear_neighbour_cache",
+]
+
+
+# -- neighbour-table cache ----------------------------------------------------
+#: (id(points), radius, backend) → (weakref to the points array, table).  The
+#: table is the expensive precompute of repeated ``distributed_build`` calls
+#: on the same deployment; keying on array *identity* (not content) keeps the
+#: lookup O(1), and the weakref both drops entries when the deployment dies
+#: and guards against CPython reusing the id of a collected array.
+_NEIGHBOUR_CACHE: Dict[Tuple[int, float, str], Tuple[weakref.ref, List[np.ndarray]]] = {}
+
+
+def _cached_neighbour_table(
+    points: np.ndarray, radius: float, backend: str
+) -> List[np.ndarray]:
+    key = (id(points), float(radius), backend)
+    entry = _NEIGHBOUR_CACHE.get(key)
+    if entry is not None and entry[0]() is points:
+        return entry[1]
+    index = build_index(points, radius=radius, backend=backend)
+    table = index.neighbour_lists(radius)
+    try:
+        ref = weakref.ref(points, lambda _: _NEIGHBOUR_CACHE.pop(key, None))
+    except TypeError:  # non-weakrefable array subclass: just don't cache
+        return table
+    _NEIGHBOUR_CACHE[key] = (ref, table)
+    return table
+
+
+def invalidate_neighbour_cache(points: np.ndarray) -> None:
+    """Drop cached neighbour tables of one positions array.
+
+    Required whenever an array that was handed to a :class:`MessageNetwork`
+    is mutated *in place* (the dynamics layer does this on node moves);
+    replacing the array with a fresh object needs no invalidation because
+    the cache keys on identity.
+    """
+    stale = [key for key, (ref, _) in _NEIGHBOUR_CACHE.items() if ref() is points]
+    for key in stale:
+        _NEIGHBOUR_CACHE.pop(key, None)
+
+
+def clear_neighbour_cache() -> None:
+    """Drop every cached neighbour table (test isolation hook)."""
+    _NEIGHBOUR_CACHE.clear()
 
 
 @dataclass
@@ -61,6 +111,12 @@ class MessageNetwork:
     index_backend:
         Spatial-index backend (:func:`repro.geometry.index.build_index`) used
         to precompute the one-hop neighbour table.
+    use_cache:
+        Reuse the neighbour table across networks built over the *same*
+        positions array object and radio range (repeated
+        ``distributed_build`` calls on one deployment).  The cache keys on
+        array identity; callers that mutate a positions array in place must
+        call :func:`invalidate_neighbour_cache` (the dynamics layer does).
 
     When a radio range is given, the full neighbour table is computed once at
     construction with one bulk ``neighbour_lists`` query; every subsequent
@@ -77,6 +133,7 @@ class MessageNetwork:
         points: np.ndarray,
         radio_range: float | None = None,
         index_backend: str = "grid",
+        use_cache: bool = True,
     ) -> None:
         self.points = as_points(points)
         self.radio_range = radio_range
@@ -86,8 +143,13 @@ class MessageNetwork:
         self._inboxes: Dict[int, List[Message]] = defaultdict(list)
         self._neighbours: Optional[List[np.ndarray]] = None
         if radio_range is not None and len(self.points):
-            index = build_index(self.points, radius=radio_range, backend=index_backend)
-            self._neighbours = index.neighbour_lists(radio_range)
+            if use_cache:
+                self._neighbours = _cached_neighbour_table(
+                    self.points, radio_range, index_backend
+                )
+            else:
+                index = build_index(self.points, radius=radio_range, backend=index_backend)
+                self._neighbours = index.neighbour_lists(radio_range)
 
     @property
     def n_nodes(self) -> int:

@@ -1,0 +1,42 @@
+"""repro.dynamics — mobility, churn and incremental topology maintenance.
+
+The static library answers "what does a frozen Poisson deployment look
+like?"; this subsystem answers "what happens to it over time?".
+
+* :mod:`repro.dynamics.mobility` — seeded, vectorised mobility models
+  (random waypoint, billiard random walk, drift field).
+* :mod:`repro.dynamics.churn` — failure/arrival processes (i.i.d. lifetimes,
+  spatially correlated outage discs) and heterogeneous radio radii.
+* :mod:`repro.dynamics.incremental` — :class:`DynamicSpatialIndex`: point
+  moves/inserts/deletes answered without full rebuilds (dirty-cell patching
+  on the grid backend, a rebuild-threshold divergence buffer on the KD-tree
+  backend), byte-identical to a from-scratch ``build_index``.
+* :mod:`repro.dynamics.topology` — per-timestep UDG/kNN edge *diffs*
+  (:class:`TopologyTracker`), so downstream metrics and repair consume deltas
+  instead of recomputing graphs.
+* :mod:`repro.dynamics.workloads` — the registered scenario workloads
+  ``M01`` (mobility), ``F01`` (failure), ``H01`` (heterogeneous radii).
+* :mod:`repro.dynamics.bench` — the registered ``S02`` maintenance benchmark
+  (incremental vs rebuild-per-step).
+"""
+
+from repro.dynamics.churn import CorrelatedOutage, LifetimeChurn, heterogeneous_radii
+from repro.dynamics.incremental import DynamicIndexStats, DynamicSpatialIndex
+from repro.dynamics.mobility import Drift, MobilityModel, RandomWalk, RandomWaypoint, reflect_into
+from repro.dynamics.topology import EdgeDiff, KnnTopologyTracker, TopologyTracker
+
+__all__ = [
+    "CorrelatedOutage",
+    "Drift",
+    "DynamicIndexStats",
+    "DynamicSpatialIndex",
+    "EdgeDiff",
+    "KnnTopologyTracker",
+    "LifetimeChurn",
+    "MobilityModel",
+    "RandomWalk",
+    "RandomWaypoint",
+    "TopologyTracker",
+    "heterogeneous_radii",
+    "reflect_into",
+]

@@ -1,0 +1,199 @@
+"""S02 — incremental index maintenance vs rebuild-per-step.
+
+The mobility hot path maintains a queryable spatial index while every node
+moves a little each timestep.  The naive approach rebuilds
+:func:`repro.geometry.index.build_index` from scratch every step and pays the
+full argsort/unique grouping each time; the
+:class:`~repro.dynamics.incremental.DynamicSpatialIndex` instead compares new
+cell keys against the old ones and patches only the cells of boundary-crossing
+nodes.  This experiment times both on the same precomputed trajectory, checks
+the incremental result is byte-identical to the final rebuild, and also times
+the *churn* regime (a few failures/arrivals per step on otherwise static
+nodes) where patching touches O(changes) instead of O(n) and the gap widens
+to an order of magnitude.
+
+Registered through :mod:`repro.runner` like S01: rows carry wall-clock
+timings and are not byte-stable across recomputations; the ``results_agree``
+headline is deterministic.  An identical parameter set is a runner cache hit
+(``--force`` re-measures).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.spatial_bench import _best_of
+from repro.dynamics.incremental import DynamicSpatialIndex
+from repro.dynamics.mobility import reflect_into
+from repro.geometry.index import build_index
+from repro.geometry.poisson import poisson_points
+from repro.geometry.primitives import Rect
+from repro.runner.registry import register
+
+__all__ = ["experiment_s02_incremental_maintenance"]
+
+
+@register("S02")
+def experiment_s02_incremental_maintenance(
+    n_points: int = 20000,
+    n_steps: int = 15,
+    step_fraction: float = 0.005,
+    radius: float = 1.0,
+    intensity: float = 2.0,
+    churn_count: int = 20,
+    repeats: int = 3,
+    seed: int = 304,
+) -> ExperimentResult:
+    """Incremental maintenance vs rebuild-per-step on the mobility hot path.
+
+    Parameters
+    ----------
+    n_points:
+        Target expected deployment size (window side is
+        ``sqrt(n_points / intensity)``).
+    n_steps:
+        Timeline steps per timed run.
+    step_fraction:
+        Per-step per-axis rms displacement as a fraction of ``radius``
+        (fine-grained timesteps: a node covers one radio range in roughly
+        ``1 / step_fraction`` steps).
+    radius:
+        Query radius / grid cell size.
+    intensity:
+        Deployment intensity (controls the occupancy per grid cell).
+    churn_count:
+        Nodes failing + arriving per step in the churn arm.
+    repeats:
+        Timing repetitions per arm (best-of).
+    seed:
+        RNG seed for the deployment and the trajectory.
+    """
+    if n_points < 1 or n_steps < 1:
+        raise ValueError("n_points and n_steps must be positive")
+    if radius <= 0 or intensity <= 0:
+        raise ValueError("radius and intensity must be positive")
+    if step_fraction <= 0:
+        raise ValueError("step_fraction must be positive")
+    if churn_count < 1:
+        raise ValueError("churn_count must be positive")
+    rng = np.random.default_rng(seed)
+    side = float(np.sqrt(n_points / intensity))
+    window = Rect(0, 0, side, side)
+    pts = poisson_points(window, intensity, rng)
+    if len(pts) < 2:
+        return ExperimentResult(
+            experiment_id="S02",
+            title="Incremental index maintenance vs rebuild-per-step",
+            paper_reference="dynamics hot path (mobility maintenance)",
+            rows=[],
+            headline={
+                "mobility_speedup_vs_rebuild": None,
+                "churn_speedup_vs_rebuild": None,
+                "results_agree": None,
+            },
+            notes=["degenerate realisation (< 2 points); nothing to measure"],
+        )
+
+    # Precompute the trajectory outside the timed region so both arms replay
+    # the exact same positions.
+    trajectory = [pts]
+    for _ in range(n_steps):
+        displaced = trajectory[-1] + rng.normal(0, step_fraction * radius, size=pts.shape)
+        trajectory.append(reflect_into(displaced, window))
+
+    # Both strategies pay one index build at deployment time; the quantity
+    # under comparison is the *per-step maintenance* cost, so the incremental
+    # arm's clock starts after its (un-timed) initial build — exactly as the
+    # rebuild arm's clock covers only the per-step builds.
+    def run_incremental() -> tuple[float, DynamicSpatialIndex]:
+        dyn = DynamicSpatialIndex(pts, radius=radius, backend="grid")
+        started = time.perf_counter()
+        for positions in trajectory[1:]:
+            dyn.move(dyn.ids(), positions)
+        return time.perf_counter() - started, dyn
+
+    def run_rebuild() -> None:
+        for positions in trajectory[1:]:
+            build_index(positions, radius=radius, backend="grid")
+
+    mobility_inc_s = min(run_incremental()[0] for _ in range(max(1, repeats)))
+    mobility_full_s = _best_of(repeats, run_rebuild)
+
+    # Agreement check: the final incremental state answers exactly like a
+    # from-scratch rebuild over the final positions (deterministic headline).
+    dyn = run_incremental()[1]
+    rebuilt = build_index(dyn.positions(), radius=radius, backend="grid")
+    ids = dyn.ids()
+    results_agree = all(
+        np.array_equal(a, ids[b])
+        for a, b in zip(dyn.neighbour_lists(radius), rebuilt.neighbour_lists(radius))
+    )
+
+    # Churn regime: static survivors, churn_count deletes + arrivals per step.
+    # The plan (delete rows in alive order + arrival positions) is drawn once
+    # outside the clocks; both arms replay the identical schedule.
+    churn_plan = []
+    alive_preview = len(pts)
+    for _ in range(n_steps):
+        k = min(churn_count, max(alive_preview - 2, 0))
+        rows = rng.choice(alive_preview, size=k, replace=False) if k else np.zeros(0, np.int64)
+        churn_plan.append((rows, window.sample_uniform(churn_count, rng)))
+        alive_preview += churn_count - k
+
+    def run_churn_incremental() -> float:
+        dyn = DynamicSpatialIndex(pts, radius=radius, backend="grid")
+        started = time.perf_counter()
+        for rows, arrivals in churn_plan:
+            if len(rows):
+                dyn.delete(dyn.ids()[rows])
+            dyn.insert(arrivals)
+        return time.perf_counter() - started
+
+    def run_churn_rebuild() -> None:
+        positions = pts
+        for rows, arrivals in churn_plan:
+            if len(rows):
+                keep = np.ones(len(positions), dtype=bool)
+                keep[rows] = False
+                positions = positions[keep]
+            positions = np.vstack([positions, arrivals])
+            build_index(positions, radius=radius, backend="grid")
+
+    churn_inc_s = min(run_churn_incremental() for _ in range(max(1, repeats)))
+    churn_full_s = _best_of(repeats, run_churn_rebuild)
+
+    def per_step(total_s: float) -> float:
+        return round(total_s * 1e3 / n_steps, 4)
+
+    rows: List[Dict] = [
+        {"regime": "mobility", "arm": "incremental", "per_step_ms": per_step(mobility_inc_s)},
+        {"regime": "mobility", "arm": "rebuild", "per_step_ms": per_step(mobility_full_s)},
+        {"regime": "churn", "arm": "incremental", "per_step_ms": per_step(churn_inc_s)},
+        {"regime": "churn", "arm": "rebuild", "per_step_ms": per_step(churn_full_s)},
+    ]
+    return ExperimentResult(
+        experiment_id="S02",
+        title="Incremental index maintenance vs rebuild-per-step",
+        paper_reference="dynamics hot path (mobility maintenance)",
+        rows=rows,
+        headline={
+            "mobility_speedup_vs_rebuild": (
+                round(mobility_full_s / mobility_inc_s, 2) if mobility_inc_s > 0 else None
+            ),
+            "churn_speedup_vs_rebuild": (
+                round(churn_full_s / churn_inc_s, 2) if churn_inc_s > 0 else None
+            ),
+            "results_agree": bool(results_agree),
+        },
+        notes=[
+            "Wall-clock rows vary between reruns; only results_agree is deterministic. "
+            "Clocks cover per-step maintenance only — both strategies pay one un-timed "
+            "index build at deployment time.  The incremental advantage shrinks as "
+            "step_fraction grows (more boundary crossings to patch) and full rebuilds "
+            "win past a few percent of the radius per step.",
+        ],
+    )

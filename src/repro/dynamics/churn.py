@@ -1,0 +1,144 @@
+"""Node churn processes: failures, arrivals, correlated outages, radio spread.
+
+The churn layer produces *event schedules* — arrays of times (plus positions
+or regions) — that the workloads feed into
+:class:`repro.simulation.events.EventQueue`.  Keeping the sampling separate
+from the simulation loop means every schedule is drawn up front from one
+seeded generator, so a run is deterministic no matter how the event handlers
+interleave.
+
+* :class:`LifetimeChurn` — i.i.d. exponential node lifetimes plus a Poisson
+  arrival stream of fresh nodes (uniform positions), the standard birth–death
+  deployment model.
+* :class:`CorrelatedOutage` — a Poisson stream of disc-shaped outage regions
+  that knock out every node inside at once (weather cell, jammer, power
+  domain), the spatially *correlated* failure mode that i.i.d. lifetimes
+  cannot express.
+* :func:`heterogeneous_radii` — per-node radio ranges drawn around a base
+  radius (uniform or lognormal spread), for the H-series heterogeneous-radio
+  workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.primitives import Rect
+
+__all__ = ["LifetimeChurn", "CorrelatedOutage", "heterogeneous_radii"]
+
+
+@dataclass(frozen=True)
+class LifetimeChurn:
+    """Independent exponential lifetimes plus a Poisson arrival stream.
+
+    Attributes
+    ----------
+    mean_lifetime:
+        Mean of the exponential lifetime of every node (time units).
+    arrival_rate:
+        Expected number of fresh-node arrivals per unit time (0 disables
+        arrivals).
+    """
+
+    mean_lifetime: float
+    arrival_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_lifetime <= 0:
+            raise ValueError("mean_lifetime must be positive")
+        if self.arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+
+    def failure_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """I.i.d. exponential failure times for ``n`` nodes alive at time 0."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return rng.exponential(self.mean_lifetime, size=n)
+
+    def arrivals(
+        self, horizon: float, window: Rect, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Arrival schedule on ``[0, horizon]``: sorted times and uniform positions.
+
+        An arriving node's own lifetime is the caller's to sample (via
+        :meth:`failure_times`) so the draw order stays deterministic.
+        """
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        count = int(rng.poisson(self.arrival_rate * horizon)) if self.arrival_rate else 0
+        times = np.sort(rng.uniform(0.0, horizon, size=count))
+        return times, window.sample_uniform(count, rng)
+
+
+@dataclass(frozen=True)
+class CorrelatedOutage:
+    """Poisson stream of disc-shaped regions that fail all nodes inside.
+
+    Attributes
+    ----------
+    rate:
+        Expected number of outage events per unit time.
+    radius:
+        Radius of the outage disc (every alive node within it fails).
+    """
+
+    rate: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+
+    def outages(
+        self, horizon: float, window: Rect, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Outage schedule on ``[0, horizon]``: sorted times and disc centers."""
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        count = int(rng.poisson(self.rate * horizon)) if self.rate else 0
+        times = np.sort(rng.uniform(0.0, horizon, size=count))
+        return times, window.sample_uniform(count, rng)
+
+
+def heterogeneous_radii(
+    n: int,
+    base_radius: float,
+    spread: float,
+    rng: np.random.Generator,
+    distribution: str = "uniform",
+) -> np.ndarray:
+    """Per-node radio radii around ``base_radius``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    base_radius:
+        Nominal radio range.
+    spread:
+        Heterogeneity knob in ``[0, 1)``.  ``uniform`` draws radii uniformly
+        from ``[base·(1−spread), base·(1+spread)]``; ``lognormal`` multiplies
+        the base by ``exp(N(0, spread))`` clipped to the same interval (heavy
+        mid, no degenerate zero-range radios either way).  ``spread == 0``
+        returns the homogeneous deployment.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if base_radius <= 0:
+        raise ValueError("base_radius must be positive")
+    if not 0.0 <= spread < 1.0:
+        raise ValueError("spread must lie in [0, 1)")
+    if spread == 0.0:
+        return np.full(n, float(base_radius))
+    lo, hi = base_radius * (1.0 - spread), base_radius * (1.0 + spread)
+    if distribution == "uniform":
+        return rng.uniform(lo, hi, size=n)
+    if distribution == "lognormal":
+        return np.clip(base_radius * np.exp(rng.normal(0.0, spread, size=n)), lo, hi)
+    raise ValueError(f"unknown radius distribution {distribution!r}; known: uniform, lognormal")

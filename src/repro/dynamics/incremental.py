@@ -1,0 +1,549 @@
+"""Incremental spatial-index maintenance: moves, inserts and deletes.
+
+:class:`DynamicSpatialIndex` keeps neighbour queries answerable while a
+deployment evolves, *without* rebuilding a :func:`repro.geometry.index.build_index`
+structure from scratch on every change.  Nodes get stable integer ids (the
+row index at construction, then sequentially for arrivals), every query
+answers in id space, and the contract is exact equivalence: after any
+interleaving of :meth:`move` / :meth:`insert` / :meth:`delete`, every query
+returns byte-identically what a from-scratch rebuild over the surviving
+positions would return (property-tested over random update sequences on both
+backends).
+
+Backends mirror the static layer:
+
+* ``grid`` — **dirty-cell patching.**  Cell membership lives in a hash map of
+  sorted id arrays.  A move only touches the structure when the node actually
+  crosses a cell boundary, and then only the affected cells are re-grouped
+  (one vectorised pass over their pooled members); the untouched cells —
+  almost all of them for small per-step displacements — are never visited.
+  Queries reuse the static :class:`~repro.geometry.index.GridIndex` cell
+  geometry (exact keys, rational reach, boundary-slack guard rings) so the
+  candidate superset, and therefore the exact result, is identical.
+* ``kdtree`` — **rebuild-threshold fallback.**  cKDTrees cannot be patched,
+  so updates accumulate in a divergence buffer: moved/deleted ids are masked
+  out of base-tree answers and moved/inserted ids are checked exactly against
+  the shared closed-ball predicate.  When the buffer outgrows
+  ``rebuild_threshold`` × (alive nodes) the base tree is rebuilt and the
+  buffer resets.
+
+Both backends decide membership with the one shared
+:func:`~repro.geometry.index.within_ball` predicate, which is what makes the
+byte-identical contract possible at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.distributed.network import invalidate_neighbour_cache
+from repro.geometry.index import BACKENDS, GridIndex, KDTreeIndex, within_ball
+from repro.geometry.primitives import as_points
+
+__all__ = ["DynamicIndexStats", "DynamicSpatialIndex"]
+
+_EMPTY_IDS = np.zeros(0, dtype=np.int64)
+
+
+@dataclass
+class DynamicIndexStats:
+    """Maintenance accounting: what the incremental layer actually did.
+
+    ``cell_transfers`` counts grid nodes that crossed a cell boundary (the
+    only moves that touch the grid structure); ``rebuilds`` counts kd-tree
+    base rebuilds (the fallback the threshold is supposed to keep rare).
+    """
+
+    moves: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    cell_transfers: int = 0
+    rebuilds: int = 0
+
+
+def _check_radius(radius: float) -> None:
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+
+
+class DynamicSpatialIndex:
+    """A spatial index over a mutating point set, queried in stable-id space.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` initial positions; node ids are the row indices.
+    radius:
+        The query radius the index will mostly serve (grid cell size, as in
+        :func:`~repro.geometry.index.build_index`).
+    backend:
+        ``"grid"`` (dirty-cell patching) or ``"kdtree"`` (rebuild threshold).
+    cell_size:
+        Grid-only override of the cell size derived from ``radius``.
+    rebuild_threshold:
+        kd-tree-only: rebuild the base tree once the divergence buffer
+        exceeds this fraction of the alive population.
+
+    :meth:`positions` / :meth:`ids` return cached arrays that keep their
+    identity until the active set changes, so identity-keyed caches above
+    (e.g. the :class:`~repro.distributed.network.MessageNetwork` neighbour
+    table) stay valid between updates and are invalidated through
+    :func:`~repro.distributed.network.invalidate_neighbour_cache` when a move
+    rewrites the cached coordinates in place.  Treat both as read-only.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        radius: float | None = None,
+        backend: str = "grid",
+        cell_size: float | None = None,
+        rebuild_threshold: float = 0.25,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown spatial-index backend {backend!r}; known: {', '.join(BACKENDS)}"
+            )
+        if rebuild_threshold <= 0:
+            raise ValueError("rebuild_threshold must be positive")
+        pts = as_points(points)
+        if len(pts) and not np.isfinite(pts).all():
+            raise ValueError("positions must be finite")
+        self.backend = backend
+        self.rebuild_threshold = float(rebuild_threshold)
+        self.stats = DynamicIndexStats()
+
+        n = len(pts)
+        capacity = max(8, n)
+        self._points = np.zeros((capacity, 2), dtype=np.float64)
+        self._points[:n] = pts
+        self._alive = np.zeros(capacity, dtype=bool)
+        self._alive[:n] = True
+        self._dirty = np.zeros(capacity, dtype=bool)
+        self._size = n  # next fresh id
+        self._n_alive = n
+        self._deleted_buffer: List[int] = []
+        self._active_ids: np.ndarray | None = None
+        self._compact: np.ndarray | None = None
+
+        if backend == "grid":
+            size = cell_size if cell_size is not None else radius
+            if size is None or size <= 0:
+                size = 1.0  # any cell size answers radius-0 queries
+            self.cell_size = float(size)
+            # Geometry-only helper: reuses the static backend's exact cell
+            # keys, rational reach and boundary-slack logic verbatim, so the
+            # candidate supersets (hence the exact results) cannot drift.
+            self._geom = GridIndex(np.zeros((0, 2)), cell_size=self.cell_size)
+            self._keys = np.zeros((capacity, 2), dtype=np.int64)
+            # Float mirror of the exact integer keys (exact below 2**53):
+            # lets a move detect "same cell, nothing to do" with one float
+            # comparison instead of re-running the exact-key repair.
+            self._keys_f = np.zeros((capacity, 2), dtype=np.float64)
+            self._mirror_exact = True
+            self._cells: Dict[Tuple[int, int], np.ndarray] = {}
+            if n:
+                keys = self._checked_keys(pts)
+                self._keys[:n] = keys
+                self._keys_f[:n] = keys
+                if np.abs(keys).max() >= 2**53:
+                    self._mirror_exact = False
+                self._regroup_cells(drop=_EMPTY_IDS, add=np.arange(n, dtype=np.int64))
+        else:
+            self._exclude = np.zeros(capacity, dtype=bool)
+            self._delta = np.zeros(capacity, dtype=bool)
+            self._rebuild_base()
+
+    # -- id / position accessors ------------------------------------------------
+    def __len__(self) -> int:
+        return self._n_alive
+
+    def ids(self) -> np.ndarray:
+        """Alive node ids, ascending (cached; do not mutate)."""
+        if self._active_ids is None:
+            self._active_ids = np.nonzero(self._alive[: self._size])[0].astype(np.int64)
+        return self._active_ids
+
+    def positions(self) -> np.ndarray:
+        """Positions of the alive nodes in :meth:`ids` order (cached; do not mutate).
+
+        The array object is reused across :meth:`move` calls (rows are
+        rewritten in place) and replaced whenever the active set changes, so
+        its identity keys "same deployment" for caches layered above.
+        """
+        if self._compact is None:
+            self._compact = self._points[self.ids()].copy()
+        return self._compact
+
+    def is_alive(self, node_id: int) -> bool:
+        """Whether ``node_id`` refers to a currently alive node."""
+        node_id = int(node_id)
+        return 0 <= node_id < self._size and bool(self._alive[node_id])
+
+    def position_of(self, node_id: int) -> np.ndarray:
+        """Current position of one alive node."""
+        node_id = int(node_id)
+        if not (0 <= node_id < self._size) or not self._alive[node_id]:
+            raise ValueError(f"node id {node_id} is not alive")
+        return self._points[node_id].copy()
+
+    # -- updates ----------------------------------------------------------------
+    def _validate_ids(self, ids: Iterable[int]) -> np.ndarray:
+        if isinstance(ids, np.ndarray) and ids is self._active_ids:
+            return ids  # the index's own id array: trusted as-is
+        arr = np.asarray(list(ids) if not isinstance(ids, np.ndarray) else ids, dtype=np.int64)
+        arr = arr.reshape(-1)
+        if arr.size == 0:
+            return arr
+        if arr.min() < 0 or arr.max() >= self._size or not self._alive[arr].all():
+            raise ValueError("all ids must refer to alive nodes")
+        # Strictly-ascending input (the common bulk case) is duplicate-free
+        # without the O(n log n) unique.
+        if arr.size > 1 and not (arr[1:] > arr[:-1]).all():
+            if len(np.unique(arr)) != len(arr):
+                raise ValueError("duplicate ids in one update call")
+        return arr
+
+    def _validate_positions(self, positions: np.ndarray, count: int) -> np.ndarray:
+        pts = as_points(positions)
+        if len(pts) != count:
+            raise ValueError(f"expected {count} positions, got {len(pts)}")
+        if len(pts) and not np.isfinite(pts).all():
+            raise ValueError("positions must be finite")
+        return pts
+
+    def move(self, ids: Iterable[int], new_positions: np.ndarray) -> None:
+        """Relocate alive nodes; only structure touched by the moves is patched."""
+        ids = self._validate_ids(ids)
+        new = self._validate_positions(new_positions, len(ids))
+        if ids.size == 0:
+            return
+        # When every node is alive and the caller moves all of them (the
+        # mobility hot path), id arithmetic degenerates to whole-array slices.
+        full = ids is self._active_ids and self._n_alive == self._size
+        if self.backend == "grid":
+            self._grid_move(ids, new, full)
+        else:
+            self._exclude[ids] = True
+            self._delta[ids] = True
+        if full:
+            self._points[: self._size] = new
+            self._dirty[: self._size] = True
+        else:
+            self._points[ids] = new
+            self._dirty[ids] = True
+        self.stats.moves += len(ids)
+        if self._compact is not None:
+            # Rewrite the cached compact rows in place and tell identity-keyed
+            # caches above that this array's contents changed.
+            if ids is self._active_ids:
+                self._compact[:] = new
+            else:
+                self._compact[np.searchsorted(self.ids(), ids)] = new
+            invalidate_neighbour_cache(self._compact)
+        if self.backend == "kdtree":
+            self._maybe_rebuild()
+
+    def _grid_move(self, ids: np.ndarray, new: np.ndarray, full: bool = False) -> None:
+        """Patch only the cells of nodes that actually crossed a boundary.
+
+        The exact-key repair (:meth:`GridIndex._exact_keys`) differs from the
+        plain ``floor(x / cell_size)`` only where the computed quotient lands
+        exactly on an integer, so it is re-run on just those *suspect* rows
+        plus the rows whose plain key changed; everything else provably kept
+        its cell, costing one float comparison per moved node.
+        """
+        quot = new / self.cell_size
+        keys_f = np.floor(quot)
+        # One reduction guards both overflow and non-finite input: a NaN in
+        # the maximum poisons the comparison into raising too.
+        max_key = np.abs(keys_f).max(initial=0.0)
+        if not max_key < 2**62:
+            raise ValueError(
+                "point spread spans too many grid cells for this cell_size; "
+                "use a larger cell_size or the 'kdtree' backend"
+            )
+        old_keys_f = self._keys_f[: self._size] if full else self._keys_f[ids]
+        if max_key >= 2**53 or not self._mirror_exact:
+            # Beyond 2**53 the float key mirror is no longer exact: take the
+            # full exact path for the whole batch.
+            examine = np.ones(len(ids), dtype=bool)
+        else:
+            examine = ((keys_f != old_keys_f) | (quot == keys_f)).any(axis=1)
+        if examine.any():
+            exact = self._geom._exact_keys(new[examine], quot=quot[examine])
+            sub_ids = ids[examine]
+            crossed = (exact != self._keys[sub_ids]).any(axis=1)
+            if crossed.any():
+                movers = sub_ids[crossed]
+                new_keys = exact[crossed]
+                self._regroup_cells(drop=movers, add=movers, add_keys=new_keys)
+                self._keys[movers] = new_keys
+                self._keys_f[movers] = new_keys
+                if np.abs(new_keys).max() >= 2**53:
+                    self._mirror_exact = False
+                self.stats.cell_transfers += int(crossed.sum())
+
+    def insert(self, positions: np.ndarray) -> np.ndarray:
+        """Add new nodes; returns their freshly allocated ids."""
+        pts = as_points(positions)
+        pts = self._validate_positions(pts, len(pts))
+        count = len(pts)
+        if count == 0:
+            return _EMPTY_IDS.copy()
+        self._ensure_capacity(count)
+        new_ids = np.arange(self._size, self._size + count, dtype=np.int64)
+        self._points[new_ids] = pts
+        self._alive[new_ids] = True
+        self._dirty[new_ids] = True
+        self._size += count
+        self._n_alive += count
+        if self.backend == "grid":
+            keys = self._checked_keys(pts)
+            self._keys[new_ids] = keys
+            self._keys_f[new_ids] = keys
+            if np.abs(keys).max() >= 2**53:
+                self._mirror_exact = False
+            self._regroup_cells(drop=_EMPTY_IDS, add=new_ids, add_keys=keys)
+        else:
+            self._delta[new_ids] = True
+        self.stats.inserts += count
+        self._invalidate_compact()
+        if self.backend == "kdtree":
+            self._maybe_rebuild()
+        return new_ids
+
+    def delete(self, ids: Iterable[int]) -> None:
+        """Remove alive nodes (their ids are never reused)."""
+        ids = self._validate_ids(ids)
+        if ids.size == 0:
+            return
+        if self.backend == "grid":
+            self._regroup_cells(drop=ids, add=_EMPTY_IDS)
+        else:
+            self._exclude[ids] = True
+            self._delta[ids] = False
+        self._alive[ids] = False
+        self._dirty[ids] = False
+        self._n_alive -= len(ids)
+        self._deleted_buffer.extend(int(i) for i in ids)
+        self.stats.deletes += len(ids)
+        self._invalidate_compact()
+        if self.backend == "kdtree":
+            self._maybe_rebuild()
+
+    def consume_dirty(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Ids touched since the last call: ``(moved_or_inserted_alive, deleted)``.
+
+        The topology layer uses this to confine edge repair to the
+        neighbourhoods that can actually have changed.
+        """
+        dirty = np.nonzero(self._dirty[: self._size])[0].astype(np.int64)
+        deleted = np.asarray(sorted(set(self._deleted_buffer)), dtype=np.int64)
+        self._dirty[: self._size] = False
+        self._deleted_buffer = []
+        return dirty, deleted
+
+    def _invalidate_compact(self) -> None:
+        if self._compact is not None:
+            invalidate_neighbour_cache(self._compact)
+        self._compact = None
+        self._active_ids = None
+
+    def _ensure_capacity(self, extra: int) -> None:
+        need = self._size + extra
+        capacity = len(self._points)
+        if need <= capacity:
+            return
+        new_capacity = max(need, 2 * capacity)
+        for name in ("_points", "_alive", "_dirty", "_keys", "_keys_f", "_exclude", "_delta"):
+            old = getattr(self, name, None)
+            if old is None:
+                continue
+            shape = (new_capacity,) + old.shape[1:]
+            grown = np.zeros(shape, dtype=old.dtype)
+            grown[: self._size] = old[: self._size]
+            setattr(self, name, grown)
+
+    # -- grid backend -----------------------------------------------------------
+    def _checked_keys(self, pts: np.ndarray) -> np.ndarray:
+        """Exact cell keys with the static backend's overflow guard."""
+        quot = pts / self.cell_size
+        keys_f = np.floor(quot)
+        if len(pts) and (not np.isfinite(keys_f).all() or np.abs(keys_f).max() >= 2**62):
+            raise ValueError(
+                "point spread spans too many grid cells for this cell_size; "
+                "use a larger cell_size or the 'kdtree' backend"
+            )
+        return self._geom._exact_keys(pts, quot=quot)
+
+    def _regroup_cells(
+        self,
+        drop: np.ndarray,
+        add: np.ndarray,
+        add_keys: np.ndarray | None = None,
+    ) -> None:
+        """Re-derive membership of only the cells touched by one batch update.
+
+        ``drop`` ids leave their *current* cells (``self._keys`` must still
+        hold their old keys), ``add`` ids enter the cells of ``add_keys``
+        (default: their current keys).  All touched cells are pooled,
+        re-grouped with one lexsort and written back; cells outside the
+        touched set are never visited — the dirty-cell patch.
+        """
+        if add_keys is None:
+            add_keys = self._keys[add]
+        parts = []
+        if len(drop):
+            parts.append(self._keys[drop])
+        if len(add):
+            parts.append(add_keys)
+        if not parts:
+            return
+        pooled_keys = np.concatenate(parts)
+        # Row-dedup via lexsort + boundary diff (cheaper than unique(axis=0),
+        # which hashes a void view of every row).
+        order = np.lexsort((pooled_keys[:, 1], pooled_keys[:, 0]))
+        pooled_keys = pooled_keys[order]
+        if len(pooled_keys) > 1:
+            keep = np.concatenate([[True], np.diff(pooled_keys, axis=0).any(axis=1)])
+            touched = pooled_keys[keep]
+        else:
+            touched = pooled_keys
+        cells = list(zip(touched[:, 0].tolist(), touched[:, 1].tolist()))
+        pools = [self._cells.pop(cell, None) for cell in cells]
+        members = np.concatenate([p for p in pools if p is not None] or [_EMPTY_IDS])
+        if len(drop):
+            members = members[~np.isin(members, drop)]
+        all_ids = np.concatenate([members, add]) if len(add) else members
+        all_keys = (
+            np.concatenate([self._keys[members], add_keys]) if len(add) else self._keys[members]
+        )
+        if len(all_ids):
+            order = np.lexsort((all_ids, all_keys[:, 1], all_keys[:, 0]))
+            all_ids = all_ids[order]
+            all_keys = all_keys[order]
+            breaks = np.nonzero(np.diff(all_keys, axis=0).any(axis=1))[0] + 1
+            starts = np.concatenate([[0], breaks])
+            ends = np.concatenate([breaks, [len(all_ids)]])
+            kx = all_keys[:, 0].tolist()
+            ky = all_keys[:, 1].tolist()
+            store = self._cells
+            # Cell arrays are views into one sorted batch buffer: they are
+            # only ever read or wholesale replaced, never mutated in place.
+            for start, end in zip(starts.tolist(), ends.tolist()):
+                store[(kx[start], ky[start])] = all_ids[start:end]
+
+    def _grid_query_one(self, center: np.ndarray, radius: float) -> np.ndarray:
+        coords = center.reshape(1, 2)
+        key = self._geom._exact_keys(coords)
+        reach = self._geom._reach(radius)
+        lo, hi = self._geom._boundary_slack(coords, key, radius)
+        cx, cy = int(key[0, 0]), int(key[0, 1])
+        parts = []
+        for dx in range(-reach - int(lo[0, 0]), reach + int(hi[0, 0]) + 1):
+            row = cx + dx
+            for dy in range(-reach - int(lo[0, 1]), reach + int(hi[0, 1]) + 1):
+                arr = self._cells.get((row, cy + dy))
+                if arr is not None:
+                    parts.append(arr)
+        if not parts:
+            return _EMPTY_IDS.copy()
+        cand = np.concatenate(parts)
+        keep = within_ball(self._points[cand], center, radius)
+        return np.sort(cand[keep])
+
+    # -- kdtree backend ---------------------------------------------------------
+    def _rebuild_base(self) -> None:
+        self._base_ids = self.ids().copy()
+        self._base = KDTreeIndex(self._points[self._base_ids])
+        self._exclude[: self._size] = False
+        self._delta[: self._size] = False
+        self._delta_ids_cache: np.ndarray | None = _EMPTY_IDS
+
+    def _maybe_rebuild(self) -> None:
+        self._delta_ids_cache = None
+        pending = int(np.count_nonzero(self._exclude[: self._size])) + int(
+            np.count_nonzero(self._delta[: self._size])
+        )
+        if pending > self.rebuild_threshold * max(1, self._n_alive):
+            self._rebuild_base()
+            self.stats.rebuilds += 1
+
+    def _delta_ids(self) -> np.ndarray:
+        if self._delta_ids_cache is None:
+            self._delta_ids_cache = np.nonzero(self._delta[: self._size])[0].astype(np.int64)
+        return self._delta_ids_cache
+
+    def _kdtree_query_one(self, center: np.ndarray, radius: float) -> np.ndarray:
+        hits = self._base.query_radius(center, radius)
+        ids = self._base_ids[hits]
+        if ids.size:
+            ids = ids[~self._exclude[ids]]
+        delta_ids = self._delta_ids()
+        if delta_ids.size:
+            inside = within_ball(self._points[delta_ids], center, radius)
+            ids = np.concatenate([ids, delta_ids[inside]])
+        return np.sort(ids)
+
+    # -- queries (id space) -----------------------------------------------------
+    def _query_one(self, center: np.ndarray, radius: float) -> np.ndarray:
+        if self.backend == "grid":
+            return self._grid_query_one(center, radius)
+        return self._kdtree_query_one(center, radius)
+
+    def query_radius(self, center: Iterable[float], radius: float) -> np.ndarray:
+        """Ids of alive nodes within the exact closed ball, ascending."""
+        _check_radius(radius)
+        center = np.asarray(tuple(center), dtype=np.float64)
+        return self._query_one(center, radius)
+
+    def query_radius_many(self, centers: np.ndarray, radius: float) -> List[np.ndarray]:
+        """Per-center id arrays (loops the scalar query; centers stay modest here)."""
+        _check_radius(radius)
+        centers = as_points(centers)
+        return [self._query_one(c, radius) for c in centers]
+
+    def count_radius_many(self, centers: np.ndarray, radius: float) -> np.ndarray:
+        """Per-center neighbour counts."""
+        _check_radius(radius)
+        centers = as_points(centers)
+        return np.fromiter(
+            (len(self._query_one(c, radius)) for c in centers),
+            dtype=np.int64,
+            count=len(centers),
+        )
+
+    def neighbours_of(self, node_id: int, radius: float) -> np.ndarray:
+        """Ids within ``radius`` of the alive node ``node_id`` (self excluded)."""
+        result = self.query_radius(self.position_of(node_id), radius)
+        return result[result != int(node_id)]
+
+    def neighbour_lists(self, radius: float, include_self: bool = False) -> List[np.ndarray]:
+        """Neighbour id array per alive node, in :meth:`ids` order."""
+        _check_radius(radius)
+        out = []
+        for node_id in self.ids().tolist():
+            arr = self._query_one(self._points[node_id], radius)
+            if not include_self:
+                arr = arr[arr != node_id]
+            out.append(arr)
+        return out
+
+    def query_pairs(self, radius: float) -> np.ndarray:
+        """All alive id pairs within ``radius`` (``i < j``, lexicographic)."""
+        _check_radius(radius)
+        parts = []
+        for node_id in self.ids().tolist():
+            nbrs = self._query_one(self._points[node_id], radius)
+            nbrs = nbrs[nbrs > node_id]
+            if nbrs.size:
+                parts.append(
+                    np.column_stack([np.full(nbrs.size, node_id, dtype=np.int64), nbrs])
+                )
+        if not parts:
+            return np.zeros((0, 2), dtype=np.int64)
+        return np.concatenate(parts)

@@ -1,0 +1,260 @@
+"""Deterministic, seeded mobility models stepping all nodes vectorised.
+
+Three classic sensor/ad-hoc mobility models, all with the same surface: a
+model owns the current ``(n, 2)`` position array and :meth:`step` advances
+every node at once with numpy operations (no per-node Python loop).  All
+randomness flows through the generator handed to the constructor, so a model
+seeded the same way replays the same trajectory — the property the dynamics
+workloads rely on for byte-identical runner cache rows.
+
+* :class:`RandomWaypoint` — every node picks a uniform target in the window,
+  travels towards it at its own (uniformly drawn) speed, optionally pauses on
+  arrival, then picks a new target.  The standard MANET benchmark model.
+* :class:`RandomWalk` — billiard motion: constant per-node speed along a
+  heading that reflects specularly off the window walls, with an optional
+  Gaussian heading perturbation per step (``turn_std``).
+* :class:`Drift` — a parameterised constant drift field (wind/current) plus
+  per-step Gaussian jitter, reflected at the window boundary.  With zero
+  jitter it is a deterministic translation flow.
+
+Reflection is implemented by folding the infinite mirrored tiling back into
+the window (:func:`reflect_into`), so arbitrarily large per-step
+displacements stay inside the window in one vectorised pass.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.primitives import Rect, as_points
+
+__all__ = ["MobilityModel", "RandomWaypoint", "RandomWalk", "Drift", "reflect_into"]
+
+
+def _fold(coords: np.ndarray, lo: float, hi: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold 1-D coordinates into ``[lo, hi]`` by specular reflection.
+
+    Returns the folded coordinates and the parity of the number of
+    reflections applied (odd parity flips the direction of travel along this
+    axis — what a billiard heading update needs).
+    """
+    width = hi - lo
+    if width <= 0:
+        return np.full_like(coords, lo), np.zeros(coords.shape, dtype=bool)
+    t = (coords - lo) / width
+    k = np.floor(t)
+    frac = t - k
+    odd = (k.astype(np.int64) % 2) != 0
+    folded = lo + np.where(odd, 1.0 - frac, frac) * width
+    # Guard against the half-ULP overshoot of the arithmetic above.
+    return np.clip(folded, lo, hi), odd
+
+
+def reflect_into(points: np.ndarray, window: Rect) -> np.ndarray:
+    """Reflect points into ``window`` (specular, handles arbitrary overshoot)."""
+    pts = as_points(points).copy()
+    pts[:, 0], _ = _fold(pts[:, 0], window.xmin, window.xmax)
+    pts[:, 1], _ = _fold(pts[:, 1], window.ymin, window.ymax)
+    return pts
+
+
+class MobilityModel:
+    """Common surface of the mobility models.
+
+    Subclasses own ``self._positions`` and implement :meth:`_advance`.
+    :meth:`step` validates the time step, advances the state and returns a
+    *copy* of the new positions (callers hand it to
+    :meth:`~repro.dynamics.incremental.DynamicSpatialIndex.move`, which keeps
+    its own storage).
+    """
+
+    def __init__(self, positions: np.ndarray, window: Rect) -> None:
+        pts = as_points(positions)
+        if not np.isfinite(pts).all():
+            raise ValueError("initial positions must be finite")
+        if not window.contains(pts).all():
+            raise ValueError("initial positions must lie inside the window")
+        self.window = window
+        self._positions = pts.copy()
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current positions (copy; the model's state cannot be mutated through it)."""
+        return self._positions.copy()
+
+    def step(self, dt: float = 1.0) -> np.ndarray:
+        """Advance every node by ``dt`` time units; returns the new positions."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if len(self._positions):
+            self._advance(float(dt))
+        return self._positions.copy()
+
+    def _advance(self, dt: float) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RandomWaypoint(MobilityModel):
+    """Random-waypoint mobility: travel to a uniform target, pause, repeat.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` initial node positions inside ``window``.
+    window:
+        Movement area; targets are drawn uniformly from it.
+    speed_range:
+        ``(v_min, v_max)``; each leg's speed is drawn uniformly from it.
+    pause_time:
+        Dwell time at a reached target before the next leg starts.
+    rng:
+        Generator supplying all randomness (targets, speeds).
+
+    A node that reaches its target inside a step stops there for the rest of
+    the step (the residual travel budget is dropped); the classic formulation
+    does the same and it keeps the update one vectorised pass.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        window: Rect,
+        speed_range: Tuple[float, float] = (0.05, 0.2),
+        pause_time: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(positions, window)
+        v_min, v_max = float(speed_range[0]), float(speed_range[1])
+        if not (0 <= v_min <= v_max) or v_max <= 0:
+            raise ValueError("speed_range must satisfy 0 <= v_min <= v_max, v_max > 0")
+        if pause_time < 0:
+            raise ValueError("pause_time must be non-negative")
+        self.speed_range = (v_min, v_max)
+        self.pause_time = float(pause_time)
+        self._rng = rng or np.random.default_rng()
+        n = len(self._positions)
+        self._targets = window.sample_uniform(n, self._rng)
+        self._speeds = self._rng.uniform(v_min, v_max, size=n)
+        self._pause_left = np.zeros(n, dtype=np.float64)
+
+    def _advance(self, dt: float) -> None:
+        pos, targets = self._positions, self._targets
+        moving = self._pause_left <= 0
+        self._pause_left = np.maximum(self._pause_left - dt, 0.0)
+
+        delta = targets - pos
+        dist = np.hypot(delta[:, 0], delta[:, 1])
+        travel = np.where(moving, self._speeds * dt, 0.0)
+        arrived = travel >= dist
+        frac = np.where(arrived | (dist == 0), 1.0, travel / np.maximum(dist, 1e-300))
+        pos += frac[:, None] * delta
+
+        renew = arrived & moving
+        if renew.any():
+            idx = np.nonzero(renew)[0]
+            pos[idx] = targets[idx]  # land exactly on the target
+            self._targets[idx] = self.window.sample_uniform(len(idx), self._rng)
+            self._speeds[idx] = self._rng.uniform(*self.speed_range, size=len(idx))
+            self._pause_left[idx] = self.pause_time
+
+
+class RandomWalk(MobilityModel):
+    """Billiard random walk: constant speed, specular wall reflection.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` initial node positions inside ``window``.
+    window:
+        Movement area; nodes bounce off its walls.
+    speed:
+        Common speed (distance per unit time); a per-node ``(n,)`` array is
+        also accepted.
+    turn_std:
+        Standard deviation (radians) of the Gaussian heading perturbation
+        applied each step; 0 gives pure deterministic billiard motion after
+        the initial headings are drawn.
+    rng:
+        Generator supplying initial headings and turn noise.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        window: Rect,
+        speed: float | np.ndarray = 0.1,
+        turn_std: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(positions, window)
+        n = len(self._positions)
+        speeds = np.broadcast_to(np.asarray(speed, dtype=np.float64), (n,)).copy()
+        if (speeds < 0).any():
+            raise ValueError("speed must be non-negative")
+        if turn_std < 0:
+            raise ValueError("turn_std must be non-negative")
+        self._speeds = speeds
+        self.turn_std = float(turn_std)
+        self._rng = rng or np.random.default_rng()
+        self._headings = self._rng.uniform(0.0, 2 * np.pi, size=n)
+
+    def _advance(self, dt: float) -> None:
+        if self.turn_std > 0:
+            self._headings += self._rng.normal(0.0, self.turn_std, size=len(self._headings))
+        step = self._speeds * dt
+        raw_x = self._positions[:, 0] + step * np.cos(self._headings)
+        raw_y = self._positions[:, 1] + step * np.sin(self._headings)
+        self._positions[:, 0], flip_x = _fold(raw_x, self.window.xmin, self.window.xmax)
+        self._positions[:, 1], flip_y = _fold(raw_y, self.window.ymin, self.window.ymax)
+        # A reflection in x mirrors cos(θ), one in y mirrors sin(θ).
+        cos_h = np.where(flip_x, -np.cos(self._headings), np.cos(self._headings))
+        sin_h = np.where(flip_y, -np.sin(self._headings), np.sin(self._headings))
+        self._headings = np.arctan2(sin_h, cos_h)
+
+
+class Drift(MobilityModel):
+    """Constant drift field plus Gaussian jitter, reflected at the boundary.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` initial node positions inside ``window``.
+    window:
+        Movement area.
+    drift:
+        ``(dx, dy)`` displacement per unit time applied to every node (the
+        wind/current term).
+    jitter_std:
+        Per-axis standard deviation of the Brownian term per unit time; the
+        applied noise scales with ``sqrt(dt)`` as Brownian motion does.
+    rng:
+        Generator supplying the jitter.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        window: Rect,
+        drift: Tuple[float, float] = (0.05, 0.0),
+        jitter_std: float = 0.02,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(positions, window)
+        self.drift = np.asarray(drift, dtype=np.float64).reshape(2)
+        if jitter_std < 0:
+            raise ValueError("jitter_std must be non-negative")
+        self.jitter_std = float(jitter_std)
+        self._rng = rng or np.random.default_rng()
+
+    def _advance(self, dt: float) -> None:
+        moved = self._positions + self.drift * dt
+        if self.jitter_std > 0:
+            moved += self._rng.normal(
+                0.0, self.jitter_std * np.sqrt(dt), size=self._positions.shape
+            )
+        self._positions = reflect_into(moved, self.window)

@@ -25,6 +25,7 @@ factory the consumers go through.
 
 from __future__ import annotations
 
+import inspect
 from fractions import Fraction
 from typing import Iterable, List, Protocol, Tuple, runtime_checkable
 
@@ -32,6 +33,16 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.geometry.primitives import as_points
+
+#: ``cKDTree.query_ball_point(..., workers=-1)`` parallelises bulk queries
+#: across all cores (scipy >= 1.6); the guard keeps older scipy working.
+#: Only the *bulk* entry points pass it — thread fan-out on a single-center
+#: query costs more than it saves.
+_KDTREE_WORKERS = (
+    {"workers": -1}
+    if "workers" in inspect.signature(cKDTree.query_ball_point).parameters
+    else {}
+)
 
 __all__ = ["SpatialIndex", "GridIndex", "KDTreeIndex", "build_index", "within_ball", "BACKENDS"]
 
@@ -119,6 +130,10 @@ class SpatialIndex(Protocol):
 
     def neighbour_lists(self, radius: float, include_self: bool = False) -> List[np.ndarray]:
         """Neighbour array per stored point (self excluded unless requested)."""
+        ...
+
+    def query_nearest(self, centers: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the ``k`` nearest stored points per center, nearest first."""
         ...
 
 
@@ -491,6 +506,99 @@ class GridIndex(_IndexBase):
         """All pairs within ``radius`` (``i < j``, lexicographically ordered)."""
         return _pairs_from_lists(self.query_radius_many(self.points, radius))
 
+    # -- nearest-neighbour queries ---------------------------------------------
+    def _ring_cells(
+        self,
+        cx: int,
+        cy: int,
+        ring: int,
+        box_lo: Tuple[int, int],
+        box_hi: Tuple[int, int],
+    ) -> List[Tuple[int, int]]:
+        """Cells on the Chebyshev ring around ``(cx, cy)``, clipped to the
+        occupied bounding box (so far-away centers never walk empty rings)."""
+        if ring == 0:
+            if box_lo[0] <= cx <= box_hi[0] and box_lo[1] <= cy <= box_hi[1]:
+                return [(cx, cy)]
+            return []
+        cells: List[Tuple[int, int]] = []
+        xs = range(max(cx - ring, box_lo[0]), min(cx + ring, box_hi[0]) + 1)
+        for y in (cy - ring, cy + ring):
+            if box_lo[1] <= y <= box_hi[1]:
+                cells.extend((x, y) for x in xs)
+        ys = range(max(cy - ring + 1, box_lo[1]), min(cy + ring - 1, box_hi[1]) + 1)
+        for x in (cx - ring, cx + ring):
+            if box_lo[0] <= x <= box_hi[0]:
+                cells.extend((x, y) for y in ys)
+        return cells
+
+    def query_nearest(self, centers: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the ``k`` nearest stored points per center (``(q, k)``).
+
+        Expanding-ring search: cells are scanned in growing Chebyshev rings
+        around each center's cell.  Any point in an unscanned ring ``ρ + 1``
+        lies strictly beyond ``ρ·cell_size``, so once the k-th candidate
+        distance drops to that bound the answer is complete; one extra guard
+        ring absorbs the half-ULP windows of the bound arithmetic.  Exact
+        distance ties are broken by ascending point index (deterministic —
+        :class:`KDTreeIndex` inherits scipy's unspecified tie order instead,
+        a measure-zero difference for continuous inputs).  As for the KD-tree
+        backend, fewer than ``k`` stored points return ``min(k, n)`` columns
+        and an empty index raises.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        centers = as_points(centers)
+        if len(self) == 0:
+            raise ValueError("cannot run nearest-neighbour queries on an empty index")
+        k_eff = min(k, len(self))
+        out = np.empty((len(centers), k_eff), dtype=np.int64)
+        box_lo = (int(self._key_min[0]), int(self._key_min[1]))
+        box_hi = (
+            int(self._key_min[0] + self._spans[0]) - 1,
+            int(self._key_min[1] + self._spans[1]) - 1,
+        )
+        keys = self._exact_keys(centers)
+        for row, center in enumerate(centers):
+            cx, cy = int(keys[row, 0]), int(keys[row, 1])
+            # Chebyshev distance from the center's cell to the occupied box:
+            # rings below it hold no cells, rings beyond `last` none either.
+            start = max(
+                0, box_lo[0] - cx, cx - box_hi[0], box_lo[1] - cy, cy - box_hi[1]
+            )
+            last = max(
+                abs(cx - box_lo[0]),
+                abs(cx - box_hi[0]),
+                abs(cy - box_lo[1]),
+                abs(cy - box_hi[1]),
+            )
+            parts: List[np.ndarray] = []
+            count = 0
+            ring = start
+            guard_scanned = False
+            while ring <= last:
+                for cell in self._ring_cells(cx, cy, ring, box_lo, box_hi):
+                    arr = self._cell_slice(*cell)
+                    if arr.size:
+                        parts.append(arr)
+                        count += arr.size
+                if guard_scanned:
+                    break
+                if count >= k_eff:
+                    cand = np.concatenate(parts)
+                    diff = self.points[cand] - center
+                    dists = np.hypot(diff[:, 0], diff[:, 1])
+                    kth = np.partition(dists, k_eff - 1)[k_eff - 1]
+                    if kth <= ring * self.cell_size:
+                        guard_scanned = True  # one more ring, then done
+                ring += 1
+            cand = np.concatenate(parts)
+            diff = self.points[cand] - center
+            dists = np.hypot(diff[:, 0], diff[:, 1])
+            order = np.lexsort((cand, dists))
+            out[row] = cand[order[:k_eff]]
+        return out
+
 
 class KDTreeIndex(_IndexBase):
     """:class:`scipy.spatial.cKDTree` behind the :class:`SpatialIndex` surface.
@@ -515,8 +623,13 @@ class KDTreeIndex(_IndexBase):
             idx = idx[within_ball(self.points[idx], center, radius)]
         return np.sort(idx)
 
-    def _candidates(self, centers: np.ndarray, radius: float) -> List:
+    def _candidates(self, centers: np.ndarray, radius: float, parallel: bool = False) -> List:
         """Per-center candidate hit lists at the inflated radius.
+
+        ``parallel`` turns on scipy's ``workers=-1`` thread fan-out (bulk
+        callers only; a single-center query pays more in dispatch than it
+        gains).  Per-center hit *contents* are unaffected by the worker
+        count, and every hit still goes through the exact post-filter.
 
         ``cKDTree``'s squared-distance arithmetic overflows for coordinate
         spreads past ~1e154 and raises, even though the exact predicate is
@@ -524,8 +637,9 @@ class KDTreeIndex(_IndexBase):
         candidates there so both backends keep answering identically instead
         of one of them surfacing scipy's ValueError.
         """
+        workers = _KDTREE_WORKERS if parallel else {}
         try:
-            return self._tree.query_ball_point(centers, _candidate_radius(radius))
+            return self._tree.query_ball_point(centers, _candidate_radius(radius), **workers)
         except ValueError as err:
             if "overflow" not in str(err):
                 raise
@@ -546,7 +660,7 @@ class KDTreeIndex(_IndexBase):
             return []
         if self._tree is None:
             return [np.zeros(0, dtype=np.int64) for _ in range(len(centers))]
-        hits = self._candidates(centers, radius)
+        hits = self._candidates(centers, radius, parallel=len(centers) > 1)
         return [self._filter(h, center, radius) for center, h in zip(centers, hits)]
 
     def count_radius_many(self, centers: np.ndarray, radius: float) -> np.ndarray:
@@ -567,9 +681,12 @@ class KDTreeIndex(_IndexBase):
         centers = as_points(centers)
         if len(centers) == 0 or self._tree is None:
             return np.zeros(len(centers), dtype=np.int64)
+        workers = _KDTREE_WORKERS if len(centers) > 1 else {}
         try:
             upper = np.asarray(
-                self._tree.query_ball_point(centers, _candidate_radius(radius), return_length=True),
+                self._tree.query_ball_point(
+                    centers, _candidate_radius(radius), return_length=True, **workers
+                ),
                 dtype=np.int64,
             )
             if radius < _COUNT_FAST_PATH_MIN_RADIUS:
@@ -578,7 +695,7 @@ class KDTreeIndex(_IndexBase):
             else:
                 counts = np.asarray(
                     self._tree.query_ball_point(
-                        centers, radius * (1.0 - 1e-12), return_length=True
+                        centers, radius * (1.0 - 1e-12), return_length=True, **workers
                     ),
                     dtype=np.int64,
                 )
@@ -618,9 +735,9 @@ class KDTreeIndex(_IndexBase):
         """Indices of the ``k`` nearest stored points per center (``(q, k)``).
 
         Nearest first; when fewer than ``k`` points are stored the available
-        columns are returned (callers pad).  This is a KD-tree-only extension
-        used by the kNN graph builder — grids have no efficient nearest-point
-        query, which is exactly why the backend layer is pluggable.
+        columns are returned (callers pad).  Exact distance ties keep
+        scipy's unspecified order (:class:`GridIndex` breaks them by index
+        instead) — a measure-zero divergence for continuous inputs.
         """
         if k < 1:
             raise ValueError("k must be positive")

@@ -3,29 +3,47 @@
 Each point establishes undirected edges to the ``k`` points nearest to it
 (Häggström–Meester model): the edge {x, y} exists when y is among x's k
 nearest *or* x is among y's k nearest.  Neighbour queries go through the
-:class:`repro.geometry.index.KDTreeIndex` backend (nearest-point queries are
-the one operation the grid backend does not offer); ties (a measure-zero
-event for Poisson inputs) are broken by index order, matching the paper's
-remark that any tie-breaking rule is acceptable.
+:mod:`repro.geometry.index` backend layer — both backends now answer
+``query_nearest`` (the KD-tree natively, the grid via expanding-ring cell
+search), so the kNN builder is backend-pluggable like the UDG builder; ties
+(a measure-zero event for Poisson inputs) are broken by each backend's own
+rule, matching the paper's remark that any tie-breaking rule is acceptable.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry.index import KDTreeIndex
+from repro.geometry.index import build_index
 from repro.geometry.primitives import as_points
 from repro.graphs.base import GeometricGraph
 
 __all__ = ["knn_neighbour_indices", "knn_edges", "build_knn"]
 
 
-def knn_neighbour_indices(points: np.ndarray, k: int) -> np.ndarray:
+def _knn_cell_size(pts: np.ndarray, k: int) -> float:
+    """Grid cell size tuned to the expected kNN radius.
+
+    For roughly uniform density ``λ ≈ n / bbox_area`` the k-th neighbour sits
+    near ``sqrt((k + 1) / (π λ))``; a cell of that side keeps the expanding
+    ring search to a few rings.  Correctness never depends on this choice —
+    only ring count does — so degenerate bounding boxes just fall back to 1.
+    """
+    spans = pts.max(axis=0) - pts.min(axis=0)
+    area = float(spans[0] * spans[1])
+    if not np.isfinite(area) or area <= 0:
+        return 1.0
+    return float(np.sqrt((k + 1) * area / (np.pi * len(pts))))
+
+
+def knn_neighbour_indices(points: np.ndarray, k: int, backend: str = "kdtree") -> np.ndarray:
     """Indices of the k nearest neighbours of every point.
 
     Returns an ``(n, k)`` integer array; row i lists the k nearest points to
     point i (excluding i itself), nearest first.  When fewer than k other
     points exist, the available neighbours are followed by ``-1`` padding.
+    ``backend`` picks the spatial index (``kdtree`` default; ``grid`` uses
+    the expanding-ring search with index-order tie-breaking).
     """
     if k < 0:
         raise ValueError("k must be non-negative")
@@ -36,7 +54,7 @@ def knn_neighbour_indices(points: np.ndarray, k: int) -> np.ndarray:
     k_eff = min(k, n - 1)
     if k_eff == 0:
         return np.full((n, k), -1, dtype=np.int64)
-    index = KDTreeIndex(pts)
+    index = build_index(pts, backend=backend, cell_size=_knn_cell_size(pts, k_eff))
     # Query k_eff + 1 because the nearest hit is the point itself.
     idx = index.query_nearest(pts, k_eff + 1)
     neighbours = np.full((n, k), -1, dtype=np.int64)
@@ -47,10 +65,10 @@ def knn_neighbour_indices(points: np.ndarray, k: int) -> np.ndarray:
     return neighbours
 
 
-def knn_edges(points: np.ndarray, k: int) -> np.ndarray:
+def knn_edges(points: np.ndarray, k: int, backend: str = "kdtree") -> np.ndarray:
     """Undirected edge list of ``NN(2, k)`` on the given point set."""
     pts = as_points(points)
-    neighbours = knn_neighbour_indices(pts, k)
+    neighbours = knn_neighbour_indices(pts, k, backend=backend)
     if neighbours.size == 0:
         return np.zeros((0, 2), dtype=np.int64)
     sources = np.repeat(np.arange(len(pts), dtype=np.int64), neighbours.shape[1])
@@ -63,8 +81,10 @@ def knn_edges(points: np.ndarray, k: int) -> np.ndarray:
     return np.unique(pairs, axis=0)
 
 
-def build_knn(points: np.ndarray, k: int, name: str | None = None) -> GeometricGraph:
+def build_knn(
+    points: np.ndarray, k: int, name: str | None = None, backend: str = "kdtree"
+) -> GeometricGraph:
     """Build the undirected k-nearest-neighbour graph ``NN(2, k)``."""
     pts = as_points(points)
-    edges = knn_edges(pts, k)
+    edges = knn_edges(pts, k, backend=backend)
     return GeometricGraph(pts, edges, name=name or f"NN(k={k})")

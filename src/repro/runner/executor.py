@@ -97,6 +97,8 @@ def load_builtin_experiments() -> None:
     import repro.analysis.experiments  # noqa: F401  (registers E01–E12)
     import repro.analysis.ablations  # noqa: F401  (registers A01)
     import repro.analysis.spatial_bench  # noqa: F401  (registers S01)
+    import repro.dynamics.workloads  # noqa: F401  (registers M01/F01/H01)
+    import repro.dynamics.bench  # noqa: F401  (registers S02)
 
 
 def make_jobs(

@@ -75,6 +75,57 @@ class ResultStore:
     def failures(self, experiment_id: Optional[str] = None) -> List[Dict[str, Any]]:
         return self.records(experiment_id=experiment_id, status="failed")
 
+    def result_rows(
+        self, experiment_id: Optional[str] = None, status: Optional[str] = "ok"
+    ) -> List[Dict[str, Any]]:
+        """Flat export rows: one dict per stored *result-table* row.
+
+        Each row of each record's ``result.rows`` is merged with the record's
+        parameters (prefixed ``param_``) plus ``experiment_id`` and ``key``,
+        so sweeps become one flat table.  Records whose results carry no rows
+        contribute their headline instead (prefixed ``headline_``).  This is
+        the zero-dependency backing of :meth:`to_dataframe` and of the table
+        renderers in :mod:`repro.analysis.tables`.
+        """
+        out: List[Dict[str, Any]] = []
+        for record in self.records(experiment_id=experiment_id, status=status):
+            base: Dict[str, Any] = {
+                "experiment_id": record.get("experiment_id"),
+                "key": record.get("key"),
+            }
+            for name, value in (record.get("params") or {}).items():
+                base[f"param_{name}"] = value
+            result = record.get("result") or {}
+            rows = result.get("rows") if isinstance(result, dict) else None
+            if rows:
+                for row in rows:
+                    out.append({**base, **row})
+            else:
+                headline = result.get("headline", {}) if isinstance(result, dict) else {}
+                out.append({**base, **{f"headline_{k}": v for k, v in headline.items()}})
+        return out
+
+    def to_dataframe(
+        self, experiment_id: Optional[str] = None, status: Optional[str] = "ok"
+    ) -> "Any":
+        """The :meth:`result_rows` export as a :class:`pandas.DataFrame`.
+
+        pandas is an *optional* dependency: the library never imports it at
+        module scope, and this method raises a helpful ``ImportError`` when
+        it is missing (``result_rows`` plus
+        :func:`repro.analysis.tables.format_table` are the zero-dependency
+        alternative).
+        """
+        try:
+            import pandas as pd
+        except ImportError as err:
+            raise ImportError(
+                "ResultStore.to_dataframe() needs the optional pandas dependency; "
+                "install pandas, or use ResultStore.result_rows() with "
+                "repro.analysis.tables.format_table for a plain-text table"
+            ) from err
+        return pd.DataFrame(self.result_rows(experiment_id=experiment_id, status=status))
+
     def __len__(self) -> int:
         return len(self._ensure_loaded())
 

@@ -46,3 +46,31 @@ class TestMarkdown:
 
     def test_empty(self):
         assert to_markdown([]) == "(no rows)"
+
+
+class TestStoreTable:
+    def test_renders_stored_rows_with_params(self, tmp_path):
+        from repro.analysis.tables import store_table
+        from repro.runner.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        store.put(
+            {
+                "key": "k",
+                "experiment_id": "E01",
+                "status": "ok",
+                "params": {"seed": 3},
+                "result": {"rows": [{"x": 1.25}], "headline": {}},
+            }
+        )
+        text = store_table(store, "E01")
+        lines = text.splitlines()
+        assert lines[0] == "E01"
+        assert "param_seed" in lines[1] and "x" in lines[1]
+        assert "1.25" in text
+
+    def test_empty_store_renders_no_rows(self, tmp_path):
+        from repro.analysis.tables import store_table
+        from repro.runner.store import ResultStore
+
+        assert "(no rows)" in store_table(ResultStore(tmp_path), "E01")

@@ -162,3 +162,86 @@ class TestMessageNetwork:
         assert (1, 0, 0) in seen
         # In round 2 node 1 received the ping sent in round 1.
         assert (2, 1, 1) in seen
+
+
+class TestNeighbourTableCache:
+    def setup_method(self):
+        from repro.distributed.network import clear_neighbour_cache
+
+        clear_neighbour_cache()
+
+    def test_same_array_and_radius_share_the_table(self, rng):
+        pts = rng.uniform(0, 4, size=(30, 2))
+        a = MessageNetwork(pts, radio_range=1.0)
+        b = MessageNetwork(pts, radio_range=1.0)
+        assert a._neighbours is b._neighbours
+
+    def test_repeated_distributed_build_hits_the_cache(self, rng):
+        from unittest import mock
+
+        from repro.core.tiles_udg import UDGTileSpec
+        from repro.distributed import network as network_module
+        from repro.distributed.construct import distributed_build
+        from repro.geometry.primitives import Rect
+
+        spec = UDGTileSpec.default()
+        window = Rect(0, 0, 2 * spec.tile_side, 2 * spec.tile_side)
+        pts = window.sample_uniform(120, rng)
+        with mock.patch.object(
+            network_module, "build_index", wraps=network_module.build_index
+        ) as spy:
+            distributed_build(pts, spec, window)
+            assert spy.call_count == 1
+            distributed_build(pts, spec, window)
+            assert spy.call_count == 1  # second build reused the cached table
+
+    def test_different_radius_or_backend_is_a_separate_entry(self, rng):
+        pts = rng.uniform(0, 4, size=(20, 2))
+        a = MessageNetwork(pts, radio_range=1.0)
+        b = MessageNetwork(pts, radio_range=2.0)
+        assert a._neighbours is not b._neighbours
+        c = MessageNetwork(pts, radio_range=1.0, index_backend="kdtree")
+        assert a._neighbours is not c._neighbours
+        # Contents still agree backend-to-backend.
+        for x, y in zip(a._neighbours, c._neighbours):
+            assert np.array_equal(x, y)
+
+    def test_equal_but_distinct_array_misses_without_stale_answers(self, rng):
+        pts = rng.uniform(0, 4, size=(20, 2))
+        a = MessageNetwork(pts, radio_range=1.0)
+        b = MessageNetwork(pts.copy(), radio_range=1.0)
+        assert a._neighbours is not b._neighbours
+        for x, y in zip(a._neighbours, b._neighbours):
+            assert np.array_equal(x, y)
+
+    def test_invalidate_after_in_place_mutation(self, rng):
+        from repro.distributed.network import invalidate_neighbour_cache
+        from repro.geometry.index import build_index
+
+        pts = rng.uniform(0, 4, size=(25, 2))
+        stale = MessageNetwork(pts, radio_range=1.0)._neighbours
+        pts[:5] = rng.uniform(0, 4, size=(5, 2))  # in-place mutation
+        invalidate_neighbour_cache(pts)
+        fresh = MessageNetwork(pts, radio_range=1.0)._neighbours
+        assert fresh is not stale
+        expected = build_index(pts, radius=1.0).neighbour_lists(1.0)
+        for got, ref in zip(fresh, expected):
+            assert np.array_equal(got, ref)
+
+    def test_use_cache_false_bypasses(self, rng):
+        pts = rng.uniform(0, 4, size=(15, 2))
+        a = MessageNetwork(pts, radio_range=1.0, use_cache=False)
+        b = MessageNetwork(pts, radio_range=1.0, use_cache=False)
+        assert a._neighbours is not b._neighbours
+
+    def test_dead_array_entry_is_dropped(self, rng):
+        from repro.distributed.network import _NEIGHBOUR_CACHE
+
+        pts = rng.uniform(0, 4, size=(10, 2))
+        MessageNetwork(pts, radio_range=1.0)
+        assert len(_NEIGHBOUR_CACHE) == 1
+        del pts
+        import gc
+
+        gc.collect()
+        assert len(_NEIGHBOUR_CACHE) == 0

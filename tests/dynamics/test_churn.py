@@ -1,0 +1,84 @@
+"""Tests for the churn processes and heterogeneous radio radii."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.churn import CorrelatedOutage, LifetimeChurn, heterogeneous_radii
+from repro.geometry.primitives import Rect
+
+WINDOW = Rect(0, 0, 8, 8)
+
+
+class TestLifetimeChurn:
+    def test_failure_times_positive_and_deterministic(self):
+        churn = LifetimeChurn(mean_lifetime=5.0)
+        a = churn.failure_times(200, np.random.default_rng(1))
+        b = churn.failure_times(200, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+        assert (a > 0).all()
+        assert a.mean() == pytest.approx(5.0, rel=0.3)
+
+    def test_arrivals_sorted_inside_horizon_and_window(self):
+        churn = LifetimeChurn(mean_lifetime=5.0, arrival_rate=3.0)
+        times, positions = churn.arrivals(10.0, WINDOW, np.random.default_rng(2))
+        assert len(times) == len(positions)
+        assert (np.diff(times) >= 0).all()
+        assert ((times >= 0) & (times <= 10.0)).all()
+        assert WINDOW.contains(positions).all()
+        assert len(times) == pytest.approx(30, abs=20)
+
+    def test_zero_arrival_rate_yields_no_arrivals(self):
+        times, positions = LifetimeChurn(5.0).arrivals(10.0, WINDOW, np.random.default_rng(3))
+        assert len(times) == 0 and len(positions) == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LifetimeChurn(mean_lifetime=0.0)
+        with pytest.raises(ValueError):
+            LifetimeChurn(mean_lifetime=1.0, arrival_rate=-1.0)
+        with pytest.raises(ValueError):
+            LifetimeChurn(1.0).failure_times(-1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            LifetimeChurn(1.0).arrivals(-1.0, WINDOW, np.random.default_rng(0))
+
+
+class TestCorrelatedOutage:
+    def test_outages_sorted_and_contained(self):
+        outage = CorrelatedOutage(rate=1.0, radius=2.0)
+        times, centers = outage.outages(12.0, WINDOW, np.random.default_rng(4))
+        assert len(times) == len(centers)
+        assert (np.diff(times) >= 0).all()
+        assert WINDOW.contains(centers).all()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelatedOutage(rate=-1.0, radius=1.0)
+        with pytest.raises(ValueError):
+            CorrelatedOutage(rate=1.0, radius=0.0)
+
+
+class TestHeterogeneousRadii:
+    def test_uniform_spread_bounds(self):
+        radii = heterogeneous_radii(500, 2.0, 0.3, np.random.default_rng(5))
+        assert radii.shape == (500,)
+        assert (radii >= 2.0 * 0.7).all() and (radii <= 2.0 * 1.3).all()
+        assert radii.std() > 0
+
+    def test_lognormal_clipped_to_same_bounds(self):
+        radii = heterogeneous_radii(500, 2.0, 0.3, np.random.default_rng(6), "lognormal")
+        assert (radii >= 2.0 * 0.7).all() and (radii <= 2.0 * 1.3).all()
+
+    def test_zero_spread_is_homogeneous(self):
+        radii = heterogeneous_radii(10, 1.5, 0.0, np.random.default_rng(7))
+        assert np.array_equal(radii, np.full(10, 1.5))
+
+    def test_invalid_parameters_rejected(self):
+        rng = np.random.default_rng(8)
+        with pytest.raises(ValueError):
+            heterogeneous_radii(-1, 1.0, 0.1, rng)
+        with pytest.raises(ValueError):
+            heterogeneous_radii(5, 0.0, 0.1, rng)
+        with pytest.raises(ValueError):
+            heterogeneous_radii(5, 1.0, 1.0, rng)
+        with pytest.raises(ValueError, match="unknown radius distribution"):
+            heterogeneous_radii(5, 1.0, 0.1, rng, "cauchy")

@@ -1,0 +1,149 @@
+"""Tests for the mobility models: determinism, containment, reflection."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.mobility import Drift, RandomWalk, RandomWaypoint, reflect_into
+from repro.geometry.primitives import Rect
+
+WINDOW = Rect(0, 0, 10, 10)
+
+
+def _points(rng, n=40):
+    return WINDOW.sample_uniform(n, rng)
+
+
+MODELS = {
+    "waypoint": lambda pts, rng: RandomWaypoint(pts, WINDOW, speed_range=(0.1, 0.3), rng=rng),
+    "walk": lambda pts, rng: RandomWalk(pts, WINDOW, speed=0.2, turn_std=0.1, rng=rng),
+    "drift": lambda pts, rng: Drift(pts, WINDOW, drift=(0.2, 0.1), jitter_std=0.05, rng=rng),
+}
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_same_seed_replays_identical_trajectory(self, name):
+        pts = _points(np.random.default_rng(1))
+        runs = []
+        for _ in range(2):
+            model = MODELS[name](pts, np.random.default_rng(7))
+            runs.append([model.step(0.5).copy() for _ in range(10)])
+        for a, b in zip(*runs):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_positions_stay_inside_window(self, name):
+        pts = _points(np.random.default_rng(2))
+        model = MODELS[name](pts, np.random.default_rng(3))
+        for _ in range(30):
+            stepped = model.step(2.0)  # large dt: reflection must still hold
+            assert WINDOW.contains(stepped).all()
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_step_returns_copy_and_vectorised_shape(self, name):
+        pts = _points(np.random.default_rng(4))
+        model = MODELS[name](pts, np.random.default_rng(5))
+        out = model.step(1.0)
+        assert out.shape == pts.shape
+        out[:] = -1  # mutating the returned array must not corrupt the model
+        assert WINDOW.contains(model.positions).all()
+
+    def test_invalid_inputs_rejected(self):
+        pts = _points(np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            RandomWaypoint(pts, WINDOW, speed_range=(0.5, 0.1))
+        with pytest.raises(ValueError):
+            RandomWaypoint(pts, WINDOW, pause_time=-1.0)
+        with pytest.raises(ValueError):
+            RandomWalk(pts, WINDOW, speed=-0.1)
+        with pytest.raises(ValueError):
+            RandomWalk(pts, WINDOW, turn_std=-0.1)
+        with pytest.raises(ValueError):
+            Drift(pts, WINDOW, jitter_std=-1.0)
+        with pytest.raises(ValueError):
+            MODELS["walk"](pts, np.random.default_rng(0)).step(0.0)
+        with pytest.raises(ValueError):
+            RandomWalk(np.array([[20.0, 20.0]]), WINDOW)  # outside the window
+
+    def test_empty_point_set_steps_trivially(self):
+        model = RandomWalk(np.zeros((0, 2)), WINDOW)
+        assert model.step(1.0).shape == (0, 2)
+
+
+class TestWaypoint:
+    def test_displacement_bounded_by_speed(self):
+        pts = _points(np.random.default_rng(8))
+        model = RandomWaypoint(pts, WINDOW, speed_range=(0.1, 0.3), rng=np.random.default_rng(9))
+        previous = model.positions
+        for _ in range(20):
+            current = model.step(1.0)
+            moved = np.linalg.norm(current - previous, axis=1)
+            assert (moved <= 0.3 + 1e-12).all()
+            previous = current
+
+    def test_pause_holds_nodes_at_reached_targets(self):
+        pts = np.array([[5.0, 5.0]])
+        model = RandomWaypoint(
+            pts, WINDOW, speed_range=(100.0, 100.0), pause_time=3.0, rng=np.random.default_rng(1)
+        )
+        arrived = model.step(1.0)  # reaches its target in one step
+        for _ in range(3):  # pause_time=3 at dt=1: held for three steps
+            held = model.step(1.0)
+            assert np.array_equal(arrived, held)
+        assert not np.array_equal(model.step(1.0), held)  # pause expired
+
+
+class TestWalkAndDrift:
+    def test_billiard_reflection_reverses_the_heading(self):
+        # A node aimed straight at the right wall must come back along -x.
+        model = RandomWalk(np.array([[9.0, 5.0]]), WINDOW, speed=2.0, turn_std=0.0)
+        model._headings[:] = 0.0  # travel along +x
+        out = model.step(1.0)  # 11.0 folds to 9.0
+        assert np.allclose(out, [[9.0, 5.0]])
+        out = model.step(1.0)  # heading flipped: now moving along -x
+        assert np.allclose(out, [[7.0, 5.0]])
+
+    def test_constant_speed_per_step(self):
+        pts = _points(np.random.default_rng(10), n=5)
+        model = RandomWalk(pts, WINDOW, speed=0.4, turn_std=0.0, rng=np.random.default_rng(11))
+        previous = model.positions
+        for _ in range(10):
+            current = model.step(1.0)
+            moved = np.linalg.norm(current - previous, axis=1)
+            # Reflection can shorten the apparent displacement, never lengthen.
+            assert (moved <= 0.4 + 1e-12).all()
+            previous = current
+
+    def test_zero_jitter_drift_translates_exactly(self):
+        pts = np.array([[1.0, 1.0], [2.0, 3.0]])
+        model = Drift(pts, WINDOW, drift=(0.5, 0.25), jitter_std=0.0)
+        out = model.step(2.0)
+        assert np.allclose(out, pts + [1.0, 0.5])
+
+    def test_drift_reflects_at_the_wall(self):
+        pts = np.array([[9.5, 5.0]])
+        model = Drift(pts, WINDOW, drift=(1.0, 0.0), jitter_std=0.0)
+        out = model.step(1.0)  # 10.5 folds back to 9.5
+        assert np.allclose(out, [[9.5, 5.0]])
+        out = model.step(1.0)  # heading is not tracked: drift keeps folding
+        assert WINDOW.contains(out).all()
+
+
+class TestReflectInto:
+    def test_large_overshoot_folds_back(self):
+        pts = np.array([[25.3, -13.0], [-0.5, 10.5]])
+        folded = reflect_into(pts, WINDOW)
+        assert WINDOW.contains(folded).all()
+        # One explicit value: 25.3 over [0, 10] folds to 5.3 (two reflections).
+        assert np.isclose(folded[0, 0], 5.3)
+        assert np.isclose(folded[1, 0], 0.5)
+        assert np.isclose(folded[1, 1], 9.5)
+
+    def test_interior_points_unchanged(self):
+        pts = np.array([[0.0, 0.0], [10.0, 10.0], [3.3, 7.7]])
+        assert np.array_equal(reflect_into(pts, WINDOW), pts)
+
+    def test_degenerate_window_collapses(self):
+        thin = Rect(2, 0, 2, 5)
+        folded = reflect_into(np.array([[7.0, 2.0]]), thin)
+        assert folded[0, 0] == 2.0

@@ -1,0 +1,132 @@
+"""Tests for incremental edge-diff maintenance (TopologyTracker)."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.incremental import DynamicSpatialIndex
+from repro.dynamics.topology import EdgeDiff, KnnTopologyTracker, TopologyTracker
+from repro.geometry.index import BACKENDS
+from repro.graphs.knn import knn_edges
+from repro.graphs.udg import udg_edges
+
+RADIUS = 1.2
+
+
+def _edge_set(edges: np.ndarray) -> set:
+    return {(int(a), int(b)) for a, b in edges}
+
+
+def _apply(diff: EdgeDiff, edges: set) -> set:
+    out = (edges - _edge_set(diff.removed)) | _edge_set(diff.added)
+    return out
+
+
+class TestTopologyTracker:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_diffs_replay_to_full_recompute(self, backend, rng):
+        pts = rng.uniform(0, 8, size=(80, 2))
+        dyn = DynamicSpatialIndex(pts, radius=RADIUS, backend=backend)
+        tracker = TopologyTracker(dyn, RADIUS)
+        replayed = _edge_set(tracker.edges())
+        assert replayed == _edge_set(udg_edges(pts, RADIUS))
+        for step in range(10):
+            ids = dyn.ids()
+            movers = rng.choice(ids, size=min(15, len(ids)), replace=False)
+            rows = np.searchsorted(ids, movers)
+            dyn.move(movers, dyn.positions()[rows] + rng.normal(0, 0.5, size=(len(movers), 2)))
+            if step % 2 == 0:
+                dyn.insert(rng.uniform(0, 8, size=(3, 2)))
+            if step % 3 == 1:
+                dyn.delete(rng.choice(dyn.ids(), size=4, replace=False))
+            diff = tracker.update()
+            replayed = _apply(diff, replayed)
+            # The maintained set, the replayed diffs and a from-scratch
+            # recompute over the survivors must all coincide.
+            assert replayed == _edge_set(tracker.edges())
+            assert tracker.matches_recompute()
+            ids = dyn.ids()
+            expected = {
+                (int(ids[a]), int(ids[b])) for a, b in udg_edges(dyn.positions(), RADIUS)
+            }
+            assert replayed == expected
+
+    def test_no_updates_yield_empty_diff(self, rng):
+        dyn = DynamicSpatialIndex(rng.uniform(0, 5, size=(20, 2)), radius=RADIUS)
+        tracker = TopologyTracker(dyn, RADIUS)
+        diff = tracker.update()
+        assert diff.n_added == 0 and diff.n_removed == 0 and diff.churn == 0
+
+    def test_deleting_a_node_removes_exactly_its_edges(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [10.0, 10.0]])
+        dyn = DynamicSpatialIndex(pts, radius=1.0)
+        tracker = TopologyTracker(dyn, 1.0)
+        assert _edge_set(tracker.edges()) == {(0, 1), (1, 2)}
+        dyn.delete([1])
+        diff = tracker.update()
+        assert _edge_set(diff.removed) == {(0, 1), (1, 2)}
+        assert diff.n_added == 0
+        assert tracker.n_edges == 0
+
+    def test_move_creates_and_breaks_edges(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]])
+        dyn = DynamicSpatialIndex(pts, radius=1.0)
+        tracker = TopologyTracker(dyn, 1.0)
+        dyn.move([2], np.array([[2.0, 0.0]]))  # now adjacent to node 1
+        diff = tracker.update()
+        assert _edge_set(diff.added) == {(1, 2)}
+        dyn.move([1], np.array([[9.0, 9.0]]))  # leaves both neighbourhoods
+        diff = tracker.update()
+        assert _edge_set(diff.removed) == {(0, 1), (1, 2)}
+
+    def test_radius_zero_matches_udg_convention(self):
+        # udg_edges at radius 0 is empty even for coincident points.
+        pts = np.array([[1.0, 1.0], [1.0, 1.0]])
+        dyn = DynamicSpatialIndex(pts, radius=0.0)
+        tracker = TopologyTracker(dyn, 0.0)
+        assert tracker.n_edges == 0
+        dyn.move([0], np.array([[2.0, 2.0]]))
+        assert tracker.update().churn == 0
+        assert tracker.matches_recompute()
+
+    def test_graph_remaps_ids_to_compact_rows(self, rng):
+        pts = rng.uniform(0, 5, size=(25, 2))
+        dyn = DynamicSpatialIndex(pts, radius=RADIUS)
+        tracker = TopologyTracker(dyn, RADIUS)
+        dyn.delete([0, 5, 6])
+        tracker.update()
+        graph = tracker.graph()
+        assert graph.n_nodes == 22
+        assert np.array_equal(graph.points, dyn.positions())
+        expected = udg_edges(dyn.positions(), RADIUS)
+        assert _edge_set(graph.edges) == _edge_set(expected)
+
+    def test_negative_radius_rejected(self, rng):
+        dyn = DynamicSpatialIndex(rng.uniform(0, 2, size=(3, 2)), radius=1.0)
+        with pytest.raises(ValueError):
+            TopologyTracker(dyn, -1.0)
+
+
+class TestKnnTopologyTracker:
+    def test_recompute_diff_matches_static_builder(self, rng):
+        pts = rng.uniform(0, 6, size=(40, 2))
+        dyn = DynamicSpatialIndex(pts, radius=1.0)
+        tracker = KnnTopologyTracker(dyn, k=3)
+        assert _edge_set(tracker.edges()) == _edge_set(knn_edges(pts, 3))
+        replayed = _edge_set(tracker.edges())
+        for _ in range(4):
+            ids = dyn.ids()
+            movers = rng.choice(ids, size=8, replace=False)
+            rows = np.searchsorted(ids, movers)
+            dyn.move(movers, dyn.positions()[rows] + rng.normal(0, 0.6, size=(8, 2)))
+            dyn.delete(rng.choice(dyn.ids(), size=2, replace=False))
+            replayed = _apply(tracker.update(), replayed)
+            ids = dyn.ids()
+            expected = {
+                (int(ids[a]), int(ids[b])) for a, b in knn_edges(dyn.positions(), 3)
+            }
+            assert replayed == expected
+
+    def test_invalid_k_rejected(self, rng):
+        dyn = DynamicSpatialIndex(rng.uniform(0, 2, size=(5, 2)), radius=1.0)
+        with pytest.raises(ValueError):
+            KnnTopologyTracker(dyn, k=0)

@@ -258,6 +258,77 @@ class TestGridInternals:
                     call()
 
 
+class TestQueryNearest:
+    def test_backends_agree_with_brute_force(self, rng):
+        pts = rng.uniform(0, 10, size=(200, 2))
+        centers = rng.uniform(-3, 13, size=(60, 2))  # includes off-grid centers
+        grid = GridIndex(pts, cell_size=0.7)
+        tree = KDTreeIndex(pts)
+        for k in (1, 3, 10, 200, 350):
+            got_grid = grid.query_nearest(centers, k)
+            got_tree = tree.query_nearest(centers, k)
+            assert got_grid.shape == got_tree.shape == (60, min(k, 200))
+            assert np.array_equal(got_grid, got_tree)
+            for row, center in enumerate(centers):
+                diff = pts - center
+                dists = np.hypot(diff[:, 0], diff[:, 1])
+                expected = np.lexsort((np.arange(len(pts)), dists))[: min(k, 200)]
+                assert np.array_equal(got_grid[row], expected)
+
+    def test_grid_cell_size_does_not_change_the_answer(self, rng):
+        pts = rng.uniform(0, 5, size=(50, 2))
+        centers = rng.uniform(0, 5, size=(10, 2))
+        reference = GridIndex(pts, cell_size=1.0).query_nearest(centers, 4)
+        for cell_size in (0.1, 0.37, 2.5, 50.0):
+            assert np.array_equal(
+                GridIndex(pts, cell_size=cell_size).query_nearest(centers, 4), reference
+            )
+
+    def test_grid_breaks_exact_ties_by_index(self):
+        # Four points at distance exactly 1 from the center: the grid backend
+        # promises ascending-index order among equidistant points.
+        pts = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0], [0.0, -1.0], [3.0, 3.0]])
+        grid = GridIndex(pts, cell_size=1.0)
+        assert grid.query_nearest(np.array([[0.0, 0.0]]), 4).tolist() == [[0, 1, 2, 3]]
+
+    def test_k_larger_than_population_returns_all_columns(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        for backend in BACKENDS:
+            index = build_index(pts, radius=1.0, backend=backend)
+            assert index.query_nearest(np.array([[0.2, 0.0]]), 5).tolist() == [[0, 1]]
+
+    def test_far_away_center_terminates_and_is_correct(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.5]])
+        grid = GridIndex(pts, cell_size=0.5)
+        tree = KDTreeIndex(pts)
+        center = np.array([[5000.0, -4000.0]])
+        assert np.array_equal(grid.query_nearest(center, 2), tree.query_nearest(center, 2))
+
+    def test_single_point_and_coincident_points(self):
+        grid = GridIndex(np.array([[2.0, 2.0]]), cell_size=1.0)
+        assert grid.query_nearest(np.array([[2.0, 2.0]]), 1).tolist() == [[0]]
+        coincident = GridIndex(np.array([[1.0, 1.0], [1.0, 1.0]]), cell_size=1.0)
+        assert coincident.query_nearest(np.array([[1.0, 1.0]]), 2).tolist() == [[0, 1]]
+
+    def test_empty_index_and_bad_k_raise(self):
+        for backend in BACKENDS:
+            empty = build_index(np.zeros((0, 2)), radius=1.0, backend=backend)
+            with pytest.raises(ValueError):
+                empty.query_nearest(np.array([[0.0, 0.0]]), 1)
+            index = build_index(np.zeros((2, 2)), radius=1.0, backend=backend)
+            with pytest.raises(ValueError):
+                index.query_nearest(np.array([[0.0, 0.0]]), 0)
+
+    def test_knn_graph_builders_accept_both_backends(self, rng):
+        from repro.graphs.knn import knn_edges, knn_neighbour_indices
+
+        pts = rng.uniform(0, 6, size=(70, 2))
+        assert np.array_equal(
+            knn_neighbour_indices(pts, 4), knn_neighbour_indices(pts, 4, backend="grid")
+        )
+        assert np.array_equal(knn_edges(pts, 4), knn_edges(pts, 4, backend="grid"))
+
+
 class TestFactory:
     def test_backend_dispatch(self):
         pts = np.array([[0.0, 0.0], [2.0, 0.0]])

@@ -68,3 +68,63 @@ class TestResultStore:
         stored = store.put(_record(params={"xs": (1, 2)}, result={"v": np.float64(2.5)}))
         assert stored["params"]["xs"] == [1, 2]
         assert stored["result"]["v"] == 2.5
+
+
+class TestExport:
+    def _seed(self, store):
+        store.put(
+            _record(
+                key="a",
+                experiment_id="E01",
+                params={"trials": 10, "seed": 1},
+                result={"rows": [{"x": 1, "y": 2.0}, {"x": 2, "y": 3.5}], "headline": {"h": 1.0}},
+            )
+        )
+        store.put(
+            _record(
+                key="b",
+                experiment_id="E02",
+                params={"seed": 2},
+                result={"rows": [], "headline": {"slope": 0.5}},
+            )
+        )
+        store.put(_record(key="c", experiment_id="E01", status="failed", error="boom"))
+
+    def test_result_rows_flatten_params_and_rows(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._seed(store)
+        rows = store.result_rows()
+        assert len(rows) == 3  # two E01 table rows + one E02 headline row
+        e01 = [r for r in rows if r["experiment_id"] == "E01"]
+        assert e01[0]["param_trials"] == 10 and e01[0]["x"] == 1
+        e02 = [r for r in rows if r["experiment_id"] == "E02"]
+        assert e02[0]["headline_slope"] == 0.5
+        # Failed records are excluded by the default status filter…
+        assert not any(r["key"] == "c" for r in rows)
+        # …and included when asked for.
+        assert any(r["key"] == "c" for r in store.result_rows(status=None))
+
+    def test_result_rows_filter_by_experiment(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._seed(store)
+        assert all(r["experiment_id"] == "E01" for r in store.result_rows("E01"))
+        assert store.result_rows("E99") == []
+
+    def test_to_dataframe_roundtrip(self, tmp_path):
+        pd = pytest.importorskip("pandas")
+        store = ResultStore(tmp_path)
+        self._seed(store)
+        frame = store.to_dataframe("E01")
+        assert isinstance(frame, pd.DataFrame)
+        assert len(frame) == 2
+        assert frame["param_trials"].tolist() == [10, 10]
+        assert frame["y"].tolist() == [2.0, 3.5]
+
+    def test_to_dataframe_without_pandas_raises_helpfully(self, tmp_path, monkeypatch):
+        import sys
+
+        monkeypatch.setitem(sys.modules, "pandas", None)  # forces ImportError
+        store = ResultStore(tmp_path)
+        self._seed(store)
+        with pytest.raises(ImportError, match="optional pandas"):
+            store.to_dataframe()
