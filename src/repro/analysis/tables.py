@@ -1,17 +1,17 @@
-"""Plain-text and markdown table formatting for the benchmark printers.
+"""Plain-text, markdown and LaTeX table formatting for the benchmark printers.
 
 The runner's JSON-lines store is the single source of benchmark numbers;
-:func:`store_table` renders any experiment's stored rows on demand (it
-replaced the old side-channel ``benchmarks/results/<id>.txt`` emitter), and
-``ResultStore.to_dataframe`` provides the same export as a pandas DataFrame
-when pandas is installed.
+:func:`store_table` renders any experiment's stored rows on demand in any of
+the three formats (it replaced the old side-channel
+``benchmarks/results/<id>.txt`` emitter), and ``ResultStore.to_dataframe``
+provides the same export as a pandas DataFrame when pandas is installed.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "to_markdown", "store_table"]
+__all__ = ["format_table", "to_markdown", "to_latex", "store_table"]
 
 
 def _format_value(value, float_format: str) -> str:
@@ -63,16 +63,90 @@ def format_table(
     return "\n".join(lines)
 
 
-def store_table(store, experiment_id: str, float_format: str = ".4g") -> str:
-    """Plain-text table of one experiment's stored result rows.
+def store_table(
+    store, experiment_id: str, float_format: str = ".4g", fmt: str = "text"
+) -> str:
+    """Render one experiment's stored result rows as a table.
 
     ``store`` is a :class:`repro.runner.store.ResultStore` (duck-typed: any
     object with ``result_rows``).  Sweeps render as one flat table with the
     parameters as ``param_*`` columns; an experiment with no stored rows
-    renders its headline columns instead.
+    renders its headline columns instead.  ``fmt`` picks the renderer:
+    ``"text"`` (aligned plain text, the default), ``"markdown"`` or
+    ``"latex"`` (a self-contained ``tabular`` for EXPERIMENTS.md appendices
+    and papers).
     """
     rows = store.result_rows(experiment_id=experiment_id)
-    return format_table(rows, float_format=float_format, title=experiment_id)
+    if fmt == "text":
+        return format_table(rows, float_format=float_format, title=experiment_id)
+    if fmt == "markdown":
+        return to_markdown(rows, float_format=float_format)
+    if fmt == "latex":
+        return to_latex(rows, float_format=float_format, caption=experiment_id)
+    raise ValueError(f"unknown table format {fmt!r}; known: text, markdown, latex")
+
+
+#: LaTeX active characters and their text-mode escapes.
+_LATEX_SPECIALS = {
+    "\\": r"\textbackslash{}",
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+}
+
+
+def _latex_escape(text: str) -> str:
+    return "".join(_LATEX_SPECIALS.get(ch, ch) for ch in text)
+
+
+def to_latex(
+    rows: Sequence[Mapping],
+    columns: Sequence[str] | None = None,
+    float_format: str = ".4g",
+    caption: str | None = None,
+    label: str | None = None,
+) -> str:
+    """Render rows as a self-contained LaTeX ``tabular``.
+
+    Values and headers are escaped for text mode; only core LaTeX is emitted
+    (``\\hline`` rules, no package dependencies).  With ``caption`` or
+    ``label`` the tabular is wrapped in a ``table`` float.
+    """
+    rows = list(rows)
+    if not rows:
+        return "% (no rows)"
+    cols = list(columns) if columns else _collect_columns(rows)
+    lines = [
+        r"\begin{tabular}{" + "l" * len(cols) + "}",
+        r"\hline",
+        " & ".join(_latex_escape(col) for col in cols) + r" \\",
+        r"\hline",
+    ]
+    for row in rows:
+        lines.append(
+            " & ".join(
+                _latex_escape(_format_value(row.get(col, ""), float_format)) for col in cols
+            )
+            + r" \\"
+        )
+    lines.append(r"\hline")
+    lines.append(r"\end{tabular}")
+    if caption is None and label is None:
+        return "\n".join(lines)
+    wrapped = [r"\begin{table}[htbp]", r"\centering"]
+    wrapped.extend(lines)
+    if caption is not None:
+        wrapped.append(r"\caption{" + _latex_escape(caption) + "}")
+    if label is not None:
+        wrapped.append(r"\label{" + label + "}")
+    wrapped.append(r"\end{table}")
+    return "\n".join(wrapped)
 
 
 def to_markdown(

@@ -15,12 +15,18 @@ that algorithm faithfully as a synchronous message-passing computation:
   (tile identification, region identification, leader election, handshake
   connection), producing the same overlay as the centralized builder, which
   the integration tests verify.
+* :mod:`repro.distributed.repair` — the diff-driven repair engine: given the
+  dirty-id stream of a dynamic deployment, re-runs election/classification
+  only in the tiles the diff touched and splices the overlay edges of the
+  affected tile pairs, equal to a from-scratch ``distributed_build`` at a
+  cost proportional to the diff.
 """
 
 from repro.distributed.messages import Message
 from repro.distributed.network import MessageNetwork, NetworkStats
 from repro.distributed.leader_election import elect_leader_distributed
 from repro.distributed.construct import DistributedBuildResult, distributed_build
+from repro.distributed.repair import DistributedRepairEngine, RepairReport, repair_build
 
 __all__ = [
     "Message",
@@ -29,4 +35,7 @@ __all__ = [
     "elect_leader_distributed",
     "DistributedBuildResult",
     "distributed_build",
+    "DistributedRepairEngine",
+    "RepairReport",
+    "repair_build",
 ]

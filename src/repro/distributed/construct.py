@@ -39,12 +39,106 @@ from repro.core.goodness import TileClassification
 from repro.core.overlay import OverlayGraph
 from repro.core.tiles_base import TileSpec
 from repro.core.tiling import TileIndex, Tiling
-from repro.distributed.leader_election import elect_leader_distributed
+from repro.distributed.leader_election import elect_leader_distributed, election_key
 from repro.distributed.messages import Message
 from repro.distributed.network import MessageNetwork, NetworkStats
 from repro.geometry.primitives import Rect, as_points
 
-__all__ = ["DistributedBuildResult", "distributed_build"]
+__all__ = [
+    "DistributedBuildResult",
+    "distributed_build",
+    "region_members_of_tile",
+    "elect_tile_leaders",
+    "tile_goodness",
+    "cross_tile_edges",
+]
+
+
+# -- pure per-tile decision helpers -------------------------------------------
+# The repair engine (repro.distributed.repair) re-runs exactly these decisions
+# in only the tiles a diff touched; sharing one implementation is what makes
+# "repair equals rebuild" a structural property rather than a coincidence.
+
+
+def region_members_of_tile(
+    points: np.ndarray, member_idx: np.ndarray, center: np.ndarray, spec: TileSpec
+) -> Dict[str, List[int]]:
+    """Region membership of one tile: name → member node ids (ascending).
+
+    ``points`` is any array indexable by the ids in ``member_idx`` (the global
+    coordinate array here, the id-indexed buffer of a dynamic index in the
+    repair engine).  Regions may overlap — a node can serve two relay roles.
+    """
+    local = points[member_idx] - center
+    masks = spec.classify_points(local)
+    return {
+        name: [int(member_idx[i]) for i in np.nonzero(mask)[0]] for name, mask in masks.items()
+    }
+
+
+def elect_tile_leaders(
+    points: np.ndarray, region_members: Dict[str, List[int]], center: np.ndarray, spec: TileSpec
+) -> Dict[str, int]:
+    """Deterministic leader of every non-empty region of one tile.
+
+    The election key is ``(distance to the region anchor, node id)`` — the
+    exact rule the message-passing election converges to, so the distributed
+    run, the repair engine and the centralized classifier all pick the same
+    nodes.
+    """
+    leaders: Dict[str, int] = {}
+    for name, members in region_members.items():
+        if not members:
+            continue
+        anchor = center + spec.region_anchor(name)
+        leaders[name] = min(members, key=lambda m: election_key(points, m, anchor))
+    return leaders
+
+
+def tile_goodness(
+    spec: TileSpec, tile_leaders: Dict[str, int], n_members: int, cap: int | None
+) -> Tuple[bool, Dict[str, int]]:
+    """Goodness decision of one tile: ``(is_good, present relay leaders)``.
+
+    A tile is good when its representative region elected a leader, every
+    relay region is occupied and the occupancy cap (NN-SENS) holds.  The
+    present-relay mapping is returned even for bad tiles — the handshake
+    phase messages them before the decision is known.
+    """
+    rep_region = spec.representative_region
+    if rep_region not in tile_leaders:
+        return False, {}
+    relay_regions = tuple(name for name in spec.region_names if name != rep_region)
+    present = {name: tile_leaders[name] for name in relay_regions if name in tile_leaders}
+    over_cap = cap is not None and n_members > cap
+    good = len(present) == len(relay_regions) and not over_cap
+    return good, present
+
+
+def cross_tile_edges(
+    spec: TileSpec,
+    direction: str,
+    rep_a: int,
+    relays_a: Dict[str, int],
+    rep_b: int,
+    relays_b: Dict[str, int],
+) -> Tuple[List[Tuple[int, int]], Tuple[int, int]]:
+    """Overlay edges of one good tile pair, plus the border-handshake endpoints.
+
+    ``a`` is the tile owning ``direction`` (right/top), ``b`` its neighbour.
+    Returns the ``(min, max)`` edge tuples along the relay path
+    ``rep_a – chain(a) – chain(b) reversed – rep_b`` (consecutive duplicates
+    skipped) and the two outermost relays whose border handshake precedes the
+    splice.
+    """
+    facing = spec.facing_direction(direction)
+    own_chain = [rep_a] + [relays_a[region] for region in spec.relay_chain(direction)]
+    other_chain = [relays_b[region] for region in reversed(spec.relay_chain(facing))] + [rep_b]
+    path = own_chain + other_chain
+    edges = [
+        (min(u, v), max(u, v)) for u, v in zip(path[:-1], path[1:]) if u != v
+    ]
+    return edges, (own_chain[-1], other_chain[0])
 
 
 @dataclass
@@ -137,14 +231,10 @@ def distributed_build(
 
     # -- Steps 1 & 2: local tile + region identification --------------------------
     groups = tiling.group_points_by_tile(pts)
-    region_members: Dict[TileIndex, Dict[str, List[int]]] = {}
-    for tile, member_idx in groups.items():
-        center = tiling.tile_center(tile)
-        local = pts[member_idx] - center
-        masks = spec.classify_points(local)
-        region_members[tile] = {
-            name: [int(member_idx[i]) for i in np.nonzero(mask)[0]] for name, mask in masks.items()
-        }
+    region_members: Dict[TileIndex, Dict[str, List[int]]] = {
+        tile: region_members_of_tile(pts, member_idx, tiling.tile_center(tile), spec)
+        for tile, member_idx in groups.items()
+    }
 
     # -- Step 3: leader election per non-empty region -------------------------------
     # All regions elect in parallel: every candidate broadcasts its key to the
@@ -154,11 +244,8 @@ def distributed_build(
     # round regardless of the number of tiles — this is what property P4 is
     # about.  (elect_leader_distributed implements the same protocol for a
     # single region and is unit-tested separately.)
-    from repro.distributed.leader_election import election_key
-
     leaders: Dict[TileIndex, Dict[str, int]] = {}
     for tile, regions in region_members.items():
-        center = tiling.tile_center(tile)
         for name, members in regions.items():
             if len(members) < 2:
                 continue
@@ -168,18 +255,10 @@ def distributed_build(
                 )
     network.deliver_round()
     for tile, regions in region_members.items():
-        center = tiling.tile_center(tile)
-        tile_leaders: Dict[str, int] = {}
-        for name, members in regions.items():
-            if not members:
-                continue
-            anchor = center + spec.region_anchor(name)
-            tile_leaders[name] = min(members, key=lambda m: election_key(pts, m, anchor))
-        leaders[tile] = tile_leaders
+        leaders[tile] = elect_tile_leaders(pts, regions, tiling.tile_center(tile), spec)
 
     # -- Step 4a: representative ↔ relay handshake, goodness decision ----------------
     rep_region = spec.representative_region
-    relay_regions = tuple(name for name in spec.region_names if name != rep_region)
     cap = spec.max_points_per_tile(k)
 
     representatives: Dict[TileIndex, int] = {}
@@ -193,7 +272,7 @@ def distributed_build(
         if rep_region not in tile_leaders:
             continue
         rep = tile_leaders[rep_region]
-        present_relays = {name: tile_leaders[name] for name in relay_regions if name in tile_leaders}
+        _, present_relays = tile_goodness(spec, tile_leaders, len(groups.get(tile, ())), cap)
         for relay in present_relays.values():
             if relay != rep:
                 network.send(Message(rep, relay, "connect-request", {"tile": tile}))
@@ -202,21 +281,19 @@ def distributed_build(
         if rep_region not in tile_leaders:
             continue
         rep = tile_leaders[rep_region]
-        present_relays = {name: tile_leaders[name] for name in relay_regions if name in tile_leaders}
+        _, present_relays = tile_goodness(spec, tile_leaders, len(groups.get(tile, ())), cap)
         for relay in present_relays.values():
             if relay != rep:
                 network.send(Message(relay, rep, "connect-ack", {"tile": tile}))
     network.deliver_round()
 
     for tile, tile_leaders in leaders.items():
-        if rep_region not in tile_leaders:
-            continue
-        rep = tile_leaders[rep_region]
-        present_relays = {name: tile_leaders[name] for name in relay_regions if name in tile_leaders}
-        over_cap = cap is not None and len(groups.get(tile, ())) > cap
-        is_good = (len(present_relays) == len(relay_regions)) and not over_cap
+        is_good, present_relays = tile_goodness(
+            spec, tile_leaders, len(groups.get(tile, ())), cap
+        )
         if not is_good:
             continue
+        rep = tile_leaders[rep_region]
         good_tiles.append(tile)
         representatives[tile] = rep
         relays[tile] = dict(present_relays)
@@ -234,23 +311,19 @@ def distributed_build(
             neighbour = neighbours.get(direction)
             if neighbour is None or neighbour not in good_set:
                 continue
-            facing = spec.facing_direction(direction)
-            own_chain = [representatives[tile]] + [
-                relays[tile][region] for region in spec.relay_chain(direction)
-            ]
-            other_chain = [
-                relays[neighbour][region] for region in reversed(spec.relay_chain(facing))
-            ] + [representatives[neighbour]]
+            pair_edges, (a, b) = cross_tile_edges(
+                spec,
+                direction,
+                representatives[tile],
+                relays[tile],
+                representatives[neighbour],
+                relays[neighbour],
+            )
             # Border handshake between the two outermost relays (2 messages).
-            a, b = own_chain[-1], other_chain[0]
             if a != b:
                 network.send(Message(a, b, "border-request", {"tile": tile, "direction": direction}))
                 network.send(Message(b, a, "border-ack", {"tile": neighbour}))
-            path = own_chain + other_chain
-            for u, v in zip(path[:-1], path[1:]):
-                if u == v:
-                    continue
-                edges.add((min(u, v), max(u, v)))
+            edges.update(pair_edges)
     network.deliver_round()
 
     edge_array = (

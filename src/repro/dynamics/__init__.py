@@ -10,14 +10,19 @@ like?"; this subsystem answers "what happens to it over time?".
 * :mod:`repro.dynamics.incremental` — :class:`DynamicSpatialIndex`: point
   moves/inserts/deletes answered without full rebuilds (dirty-cell patching
   on the grid backend, a rebuild-threshold divergence buffer on the KD-tree
-  backend), byte-identical to a from-scratch ``build_index``.
+  backend), byte-identical to a from-scratch ``build_index``; bulk queries
+  are vectorised straight off the patched structures.
 * :mod:`repro.dynamics.topology` — per-timestep UDG/kNN edge *diffs*
-  (:class:`TopologyTracker`), so downstream metrics and repair consume deltas
-  instead of recomputing graphs.
+  (:class:`TopologyTracker`; :class:`KnnTopologyTracker` bounds each
+  update's affected set by the current kNN radii), so downstream metrics and
+  the :class:`repro.distributed.repair.DistributedRepairEngine` consume
+  deltas instead of recomputing graphs.
 * :mod:`repro.dynamics.workloads` — the registered scenario workloads
-  ``M01`` (mobility), ``F01`` (failure), ``H01`` (heterogeneous radii).
-* :mod:`repro.dynamics.bench` — the registered ``S02`` maintenance benchmark
-  (incremental vs rebuild-per-step).
+  ``M01`` (mobility), ``M02`` (mobile distributed build through the repair
+  engine), ``F01`` (failure), ``H01`` (heterogeneous radii).
+* :mod:`repro.dynamics.bench` — the registered maintenance benchmarks
+  ``S02`` (incremental vs rebuild-per-step) and ``S03`` (repair fast paths
+  vs their naive baselines).
 """
 
 from repro.dynamics.churn import CorrelatedOutage, LifetimeChurn, heterogeneous_radii

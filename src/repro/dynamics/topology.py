@@ -14,10 +14,14 @@ the whole graph; :meth:`TopologyTracker.graph` materialises a
 picture.
 
 :class:`KnnTopologyTracker` provides the same diff surface for the ``NN(2,
-k)`` graph.  kNN edges do *not* have the bounded locality of the unit disk
-(one arrival can displace the k-th neighbour of nodes at any distance within
-the current kNN radius), so it recomputes and diffs — the honest baseline the
-UDG tracker is incremental against.
+k)`` graph.  kNN edges do *not* have the unit disk's fixed-radius locality,
+but each node's *current* kNN radius (the distance to its k-th neighbour)
+bounds how far away a change can matter: a node's neighbour list can only
+change when a changed point's old or new position lands inside that ball.
+The tracker exploits exactly that — it re-queries only the affected nodes
+and splices the undirected edge set through directed-support bookkeeping,
+falling back to recompute-and-diff when the step touched so many nodes that
+the locality bound would visit everything anyway.
 
 Edges travel in stable *node-id* space (pairs ``(i, j)``, ``i < j``,
 lexicographic), encoded internally as single int64 keys so diffs are set
@@ -30,9 +34,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Dict, List, Set, Tuple
+
 from repro.dynamics.incremental import DynamicSpatialIndex
+from repro.geometry.index import build_index
 from repro.graphs.base import GeometricGraph
-from repro.graphs.knn import knn_edges
+from repro.graphs.knn import _knn_cell_size, knn_edges, knn_neighbour_indices
 
 __all__ = ["EdgeDiff", "TopologyTracker", "KnnTopologyTracker"]
 
@@ -120,15 +127,31 @@ class TopologyTracker:
         """Current ``(m, 2)`` edge array (id space, lexicographic)."""
         return _decode(self._edge_keys)
 
-    def update(self) -> EdgeDiff:
+    def update(
+        self, dirty: np.ndarray | None = None, deleted: np.ndarray | None = None
+    ) -> EdgeDiff:
         """Repair the edge set after index updates; returns what changed.
 
         Only edges incident to a dirty (moved/inserted) or deleted node are
-        re-examined: the dirty nodes' closed balls are re-queried and every
-        stale incident edge is dropped.  Edges between two untouched nodes
-        are provably unchanged and never visited.
+        re-examined: the dirty nodes' closed balls are re-queried with one
+        bulk query and every stale incident edge is dropped.  Edges between
+        two untouched nodes are provably unchanged and never visited.
+
+        With no arguments the tracker consumes the index's own dirty stream;
+        pass an already-consumed ``(dirty, deleted)`` pair explicitly when
+        another consumer (e.g. the
+        :class:`~repro.distributed.repair.DistributedRepairEngine`) shares
+        the same stream.  Passing only one of the two is rejected — it would
+        silently drop the other half of the diff.
         """
-        dirty, deleted = self.index.consume_dirty()
+        if (dirty is None) != (deleted is None):
+            raise ValueError(
+                "pass both dirty and deleted (one consumed stream), or neither"
+            )
+        if dirty is None:
+            dirty, deleted = self.index.consume_dirty()
+        dirty = np.asarray(dirty, dtype=np.int64).reshape(-1)
+        deleted = np.asarray(deleted, dtype=np.int64).reshape(-1)
         if dirty.size == 0 and deleted.size == 0:
             return EdgeDiff(_EMPTY_EDGES.copy(), _EMPTY_EDGES.copy())
         alive = self.index.ids()
@@ -139,9 +162,12 @@ class TopologyTracker:
         incident = np.isin(current // _ENC, affected) | np.isin(current % _ENC, affected)
 
         parts = []
-        if self.radius > 0:
-            for node_id in dirty.tolist():
-                nbrs = self.index.neighbours_of(node_id, self.radius)
+        if self.radius > 0 and dirty.size:
+            centers = self.index.id_positions()[dirty]
+            for node_id, nbrs in zip(
+                dirty.tolist(), self.index.query_radius_many(centers, self.radius)
+            ):
+                nbrs = nbrs[nbrs != node_id]
                 if nbrs.size:
                     lo = np.minimum(nbrs, node_id)
                     hi = np.maximum(nbrs, node_id)
@@ -177,30 +203,185 @@ class TopologyTracker:
         )
 
 
-class KnnTopologyTracker:
-    """Per-step ``NN(2, k)`` edge diffs by recompute-and-diff.
+def _in_sorted(arr: np.ndarray, value: int) -> bool:
+    """Membership probe on a sorted id array."""
+    pos = int(np.searchsorted(arr, value))
+    return pos < len(arr) and int(arr[pos]) == value
 
-    The kNN graph lacks the unit disk's bounded edge locality, so this
-    tracker recomputes the edge set each :meth:`update` and reports the
-    delta — same :class:`EdgeDiff` surface, honest about the cost.
+
+class KnnTopologyTracker:
+    """Per-step ``NN(2, k)`` edge diffs, repaired through a kNN-radius bound.
+
+    The undirected ``NN(2, k)`` edge {i, j} exists when either endpoint lists
+    the other among its k nearest.  The tracker maintains the *directed*
+    lists per node and derives the locality of each update from them: node
+    ``j``'s list — the k nearest points, all within ``r_j`` = j's current
+    k-th-neighbour distance — can only change when some changed point's old
+    or new position lies within ``r_j`` of ``j`` (a point that stays outside
+    the ball was not, and cannot become, one of the k nearest, so the point
+    set within the ball, hence its k smallest distances, is untouched).
+    :meth:`update` therefore:
+
+    1. finds the affected nodes with one bulk radius query at
+       ``R = max_j r_j`` around every changed position, filtered per
+       candidate against its own ``r_j``,
+    2. re-queries the k nearest of just those nodes against a fresh static
+       index over the surviving positions (the index build is cheap C code;
+       the per-node queries were the recompute bottleneck), and
+    3. splices the undirected edge set: a dropped directed edge ``i → t``
+       only removes {i, t} when the reverse support ``t → i`` is gone too.
+
+    Two regimes still recompute from scratch (and count in
+    ``full_recomputes``): steps that touch more than ``recompute_fraction``
+    of the alive nodes (e.g. all-nodes mobility — the locality machinery
+    would visit everything anyway), and steps that change the effective
+    ``k`` (arrivals/failures around ``n = k + 1``, where every list changes
+    length).  Exact distance ties keep the backend's own tie order, as for
+    the static builder — a measure-zero divergence for continuous inputs.
     """
 
-    def __init__(self, index: DynamicSpatialIndex, k: int, backend: str = "kdtree") -> None:
+    def __init__(
+        self,
+        index: DynamicSpatialIndex,
+        k: int,
+        backend: str = "kdtree",
+        recompute_fraction: float = 0.25,
+    ) -> None:
         if k < 1:
             raise ValueError("k must be positive")
+        if recompute_fraction <= 0:
+            raise ValueError("recompute_fraction must be positive")
         self.index = index
         self.k = int(k)
         self.backend = backend
+        self.recompute_fraction = float(recompute_fraction)
+        #: Nodes whose directed lists were repaired / full recompute count.
+        self.repaired_nodes = 0
+        self.full_recomputes = 0
         index.consume_dirty()
-        self._edge_keys = self._recompute()
+        self._lists: Dict[int, np.ndarray] = {}  # node id → directed targets, ascending
+        self._kdist: Dict[int, float] = {}  # node id → k-th-neighbour distance
+        self._pos: Dict[int, Tuple[float, float]] = {}  # last-seen positions
+        self._k_eff = 0
+        self._edge_keys = self._rebuild_all()
 
-    def _recompute(self) -> np.ndarray:
+    # -- full recompute ---------------------------------------------------------
+    def _rebuild_all(self) -> np.ndarray:
         ids = self.index.ids()
-        if len(ids) == 0:
+        n = len(ids)
+        self._lists, self._kdist, self._pos = {}, {}, {}
+        self._k_eff = min(self.k, max(n - 1, 0))
+        if n == 0:
             return _EMPTY_KEYS.copy()
-        compact_edges = knn_edges(self.index.positions(), self.k, backend=self.backend)
-        return _encode(ids[compact_edges]) if len(compact_edges) else _EMPTY_KEYS.copy()
+        if ids[-1] >= _ENC:
+            raise ValueError("node ids past 2**31 cannot be edge-encoded")
+        positions = self.index.positions()
+        for i, node in enumerate(ids.tolist()):
+            self._pos[node] = (float(positions[i, 0]), float(positions[i, 1]))
+        if self._k_eff == 0:
+            for node in ids.tolist():
+                self._lists[node] = _EMPTY_KEYS.copy()
+                self._kdist[node] = 0.0
+            return _EMPTY_KEYS.copy()
+        rows = knn_neighbour_indices(positions, self.k, backend=self.backend)
+        for i, node in enumerate(ids.tolist()):
+            row = rows[i]
+            row = row[row >= 0]
+            diff = positions[row[-1]] - positions[i]
+            self._kdist[node] = float(np.hypot(diff[0], diff[1]))
+            self._lists[node] = np.sort(ids[row])
+        src = np.repeat(np.arange(n, dtype=np.int64), rows.shape[1])
+        tgt = rows.ravel()
+        valid = tgt >= 0
+        a, b = ids[src[valid]], ids[tgt[valid]]
+        return np.unique(np.minimum(a, b) * _ENC + np.maximum(a, b))
 
+    # -- incremental repair ------------------------------------------------------
+    def _repair(self, dirty: np.ndarray, deleted: np.ndarray) -> np.ndarray:
+        ids = self.index.ids()
+        if ids.size and ids[-1] >= _ENC:
+            raise ValueError("node ids past 2**31 cannot be edge-encoded")
+        pts_by_id = self.index.id_positions()
+        k_eff = self._k_eff
+
+        changed_centers: List[Tuple[float, float]] = []
+        affected: Set[int] = set()
+        removed_candidates: List[Tuple[int, int]] = []  # directed (i, t) drops
+        for node in deleted.tolist():
+            old = self._pos.pop(node, None)
+            if old is not None:
+                changed_centers.append(old)
+            old_list = self._lists.pop(node, None)
+            self._kdist.pop(node, None)
+            if old_list is not None:
+                removed_candidates.extend((node, int(t)) for t in old_list.tolist())
+        new_positions = pts_by_id[dirty]
+        for i, node in enumerate(dirty.tolist()):
+            affected.add(node)
+            old = self._pos.get(node)
+            if old is not None:
+                changed_centers.append(old)
+            current = (float(new_positions[i, 0]), float(new_positions[i, 1]))
+            self._pos[node] = current
+            changed_centers.append(current)
+
+        # Affected set: every node whose current kNN ball a changed position
+        # entered or left.  One bulk query at the largest ball radius, then a
+        # per-candidate cut against its own radius.
+        reach = max(self._kdist.values(), default=0.0)
+        centers = np.asarray(changed_centers, dtype=np.float64).reshape(-1, 2)
+        for center, candidates in zip(centers, self.index.query_radius_many(centers, reach)):
+            if candidates.size == 0:
+                continue
+            offsets = pts_by_id[candidates] - center
+            distances = np.hypot(offsets[:, 0], offsets[:, 1])
+            radii = np.fromiter(
+                (self._kdist.get(j, np.inf) for j in candidates.tolist()),
+                dtype=np.float64,
+                count=len(candidates),
+            )
+            affected.update(int(j) for j in candidates[distances <= radii].tolist())
+
+        aff = np.fromiter(sorted(affected), dtype=np.int64, count=len(affected))
+        positions = self.index.positions()
+        rows = np.searchsorted(ids, aff)
+        static = build_index(
+            positions, backend=self.backend, cell_size=_knn_cell_size(positions, k_eff)
+        )
+        nearest = static.query_nearest(positions[rows], k_eff + 1)
+        added_keys: Set[int] = set()
+        for a_i, node in enumerate(aff.tolist()):
+            row = nearest[a_i]
+            row = row[row != rows[a_i]][:k_eff]
+            diff = positions[row[-1]] - positions[rows[a_i]]
+            targets = np.sort(ids[row])
+            old_list = self._lists.get(node, _EMPTY_KEYS)
+            for t in np.setdiff1d(targets, old_list, assume_unique=True).tolist():
+                added_keys.add(int(min(node, t) * _ENC + max(node, t)))
+            for t in np.setdiff1d(old_list, targets, assume_unique=True).tolist():
+                removed_candidates.append((node, int(t)))
+            self._lists[node] = targets
+            self._kdist[node] = float(np.hypot(diff[0], diff[1]))
+        self.repaired_nodes += len(aff)
+
+        # A dropped directed edge only breaks the undirected edge when the
+        # (post-repair) reverse support is gone too.
+        removed_keys: Set[int] = set()
+        for i, t in removed_candidates:
+            reverse = self._lists.get(t)
+            if reverse is None or not _in_sorted(reverse, i):
+                removed_keys.add(int(min(i, t) * _ENC + max(i, t)))
+        removed_keys -= added_keys
+        fresh = self._edge_keys
+        if removed_keys:
+            drop = np.fromiter(sorted(removed_keys), dtype=np.int64, count=len(removed_keys))
+            fresh = np.setdiff1d(fresh, drop, assume_unique=True)
+        if added_keys:
+            grow = np.fromiter(sorted(added_keys), dtype=np.int64, count=len(added_keys))
+            fresh = np.union1d(fresh, grow)
+        return fresh
+
+    # -- diff surface ------------------------------------------------------------
     @property
     def n_edges(self) -> int:
         return len(self._edge_keys)
@@ -209,10 +390,31 @@ class KnnTopologyTracker:
         return _decode(self._edge_keys)
 
     def update(self) -> EdgeDiff:
-        """Recompute the kNN edge set and report the delta since last time."""
-        self.index.consume_dirty()  # no locality to exploit; diff covers everything
-        fresh = self._recompute()
-        added = np.setdiff1d(fresh, self._edge_keys, assume_unique=True)
-        removed = np.setdiff1d(self._edge_keys, fresh, assume_unique=True)
+        """Repair the kNN edge set and report the delta since last time."""
+        dirty, deleted = self.index.consume_dirty()
+        if dirty.size == 0 and deleted.size == 0:
+            return EdgeDiff(_EMPTY_EDGES.copy(), _EMPTY_EDGES.copy())
+        old_keys = self._edge_keys
+        n_alive = len(self.index)
+        k_eff = min(self.k, max(n_alive - 1, 0))
+        n_changed = int(dirty.size + deleted.size)
+        if k_eff != self._k_eff or k_eff == 0 or (
+            n_changed > self.recompute_fraction * max(1, n_alive)
+        ):
+            self.full_recomputes += 1
+            fresh = self._rebuild_all()
+        else:
+            fresh = self._repair(dirty, deleted)
+        added = np.setdiff1d(fresh, old_keys, assume_unique=True)
+        removed = np.setdiff1d(old_keys, fresh, assume_unique=True)
         self._edge_keys = fresh
         return EdgeDiff(_decode(added), _decode(removed))
+
+    def matches_recompute(self) -> bool:
+        """Whether the maintained edge set equals a from-scratch recompute."""
+        ids = self.index.ids()
+        if len(ids) == 0:
+            return len(self._edge_keys) == 0
+        compact_edges = knn_edges(self.index.positions(), self.k, backend=self.backend)
+        expected = _encode(ids[compact_edges]) if len(compact_edges) else _EMPTY_KEYS
+        return np.array_equal(self._edge_keys, expected)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import inspect
 from fractions import Fraction
-from typing import Iterable, List, Protocol, Tuple, runtime_checkable
+from typing import Iterable, List, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -173,17 +173,27 @@ class _IndexBase:
         return _strip_self(self.query_radius_many(self.points, radius), include_self)
 
 
-def _pairs_from_lists(lists: List[np.ndarray]) -> np.ndarray:
-    """Canonical ``(m, 2)`` pair array from per-point neighbour lists."""
+def _pairs_from_lists(
+    lists: List[np.ndarray], sources: np.ndarray | None = None
+) -> np.ndarray:
+    """Canonical ``(m, 2)`` pair array from per-point neighbour lists.
+
+    ``sources`` optionally relabels the list owners (ascending — e.g. the
+    stable node ids of the dynamic layer, whose lists are already in id
+    space); the default is the positional indices.
+    """
     n = len(lists)
     counts = np.fromiter((len(a) for a in lists), dtype=np.int64, count=n)
     total = int(counts.sum())
     if total == 0:
         return np.zeros((0, 2), dtype=np.int64)
-    sources = np.repeat(np.arange(n, dtype=np.int64), counts)
+    owners = (
+        np.arange(n, dtype=np.int64) if sources is None else np.asarray(sources, dtype=np.int64)
+    )
+    src = np.repeat(owners, counts)
     targets = np.concatenate(lists)
-    keep = targets > sources  # each unordered pair once, smaller index first
-    pairs = np.column_stack([sources[keep], targets[keep]])
+    keep = targets > src  # each unordered pair once, smaller index first
+    pairs = np.column_stack([src[keep], targets[keep]])
     # Sources ascend by construction and per-list targets are sorted, so the
     # rows are already in (i, j)-lexicographic order.
     return pairs
@@ -249,6 +259,85 @@ class GridIndex(_IndexBase):
             self._cell_ids = np.zeros(0, dtype=np.int64)
             self._starts = np.zeros(0, dtype=np.int64)
             self._counts = np.zeros(0, dtype=np.int64)
+
+    @classmethod
+    def from_cell_table(
+        cls,
+        points: np.ndarray,
+        cell_size: float,
+        cell_keys: np.ndarray,
+        cell_members: Sequence[np.ndarray],
+    ) -> "GridIndex":
+        """Adopt an externally maintained cell table instead of deriving one.
+
+        The dynamic layer (:class:`repro.dynamics.incremental.DynamicSpatialIndex`)
+        keeps cell membership current by *patching* — a hash map of sorted
+        member-id arrays touched only where nodes cross cell boundaries.  This
+        constructor wraps such a table in a :class:`GridIndex` without
+        re-bucketing anything, so the vectorised bulk machinery
+        (:meth:`_matches` and everything built on it) runs over a patched
+        table exactly as it would over a from-scratch build.
+
+        The returned view answers *centers-in, candidates-out* queries only
+        (``query_radius``, ``query_radius_many``, ``count_radius_many`` and
+        the ``_matches`` engine underneath them).  Whole-index derived
+        queries — ``query_pairs``, ``neighbour_lists``, ``query_nearest``,
+        ``len`` — are undefined on an adopted view: they would iterate the
+        raw ``points`` buffer, whose dead/spare rows are not part of the
+        indexed set.  The dynamic layer exposes its own id-space versions of
+        those surfaces instead.
+
+        Parameters
+        ----------
+        points:
+            Coordinate array indexable by the ids stored in ``cell_members``.
+            It is adopted *by reference* (no copy, no validation) and may hold
+            extra rows — ids never referenced by a cell are never candidates.
+        cell_size:
+            The cell side the keys were derived with (must match the exact
+            :meth:`_exact_keys` convention, as the dynamic layer guarantees).
+        cell_keys:
+            ``(m, 2)`` integer keys of the occupied cells, duplicate-free.
+        cell_members:
+            One sorted id array per row of ``cell_keys``.
+
+        Raises
+        ------
+        ValueError
+            When the occupied-cell bounding box overflows the packed-key
+            representation (callers fall back to scalar queries).
+        """
+        index = cls.__new__(cls)
+        index.points = points
+        index.cell_size = float(cell_size)
+        keys = np.asarray(cell_keys, dtype=np.int64).reshape(-1, 2)
+        if len(keys) == 0:
+            index._key_min = np.zeros(2, dtype=np.int64)
+            index._spans = np.ones(2, dtype=np.int64)
+            index._order = np.zeros(0, dtype=np.int64)
+            index._cell_ids = np.zeros(0, dtype=np.int64)
+            index._starts = np.zeros(0, dtype=np.int64)
+            index._counts = np.zeros(0, dtype=np.int64)
+            return index
+        index._key_min = keys.min(axis=0)
+        index._spans = keys.max(axis=0) - index._key_min + 1
+        if int(index._spans[0]) * int(index._spans[1]) >= 2**62:
+            raise ValueError(
+                "occupied cells span too large a bounding box for the packed "
+                "cell table; fall back to scalar queries"
+            )
+        packed = (keys[:, 0] - index._key_min[0]) * index._spans[1] + (
+            keys[:, 1] - index._key_min[1]
+        )
+        order = np.argsort(packed, kind="stable")
+        counts = np.fromiter(
+            (len(cell_members[i]) for i in order.tolist()), dtype=np.int64, count=len(keys)
+        )
+        index._cell_ids = packed[order]
+        index._counts = counts
+        index._starts = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.int64)
+        index._order = np.concatenate([cell_members[i] for i in order.tolist()])
+        return index
 
     # -- cell accessors -----------------------------------------------------------
     #: On x86 ``np.longdouble`` carries a 64-bit mantissa, so a key below 2¹¹

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import sys
 import time
 from typing import Any, Dict, List, Tuple
 
@@ -101,6 +102,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--store", default=DEFAULT_STORE_DIR, help="result-store directory")
     p_run.add_argument(
         "--force", action="store_true", help="ignore cached results and recompute every job"
+    )
+    p_run.add_argument(
+        "--progress-log",
+        dest="progress_log",
+        default=None,
+        metavar="DEST",
+        help="append timestamped job-level progress lines to DEST ('-' for stderr); "
+        "wall clock stays on this side channel, never in the store",
     )
 
     sub.add_parser("list", help="list registered experiments")
@@ -203,6 +212,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             store=store,
             resume=not args.force,
             progress=_report_progress,
+            progress_log=(
+                sys.stderr if args.progress_log == "-" else args.progress_log
+            ),
         )
         elapsed = time.perf_counter() - started
         print(

@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import hashlib
 import pathlib
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, IO, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -97,8 +98,8 @@ def load_builtin_experiments() -> None:
     import repro.analysis.experiments  # noqa: F401  (registers E01–E12)
     import repro.analysis.ablations  # noqa: F401  (registers A01)
     import repro.analysis.spatial_bench  # noqa: F401  (registers S01)
-    import repro.dynamics.workloads  # noqa: F401  (registers M01/F01/H01)
-    import repro.dynamics.bench  # noqa: F401  (registers S02)
+    import repro.dynamics.workloads  # noqa: F401  (registers M01/M02/F01/H01)
+    import repro.dynamics.bench  # noqa: F401  (registers S02/S03)
 
 
 def make_jobs(
@@ -159,6 +160,40 @@ def _execute(payload: Tuple[str, Dict[str, Any]]) -> Dict[str, Any]:
     return record
 
 
+class _ProgressLogger:
+    """Job-level progress lines on a side channel (stderr or a file).
+
+    The wall clock deliberately lives *here* and nowhere else: stored records
+    must stay byte-identical across reruns and worker counts (the runner's
+    determinism contract), so timings are logged out-of-band instead of being
+    written into the store.
+    """
+
+    def __init__(self, destination: Union[IO[str], str, pathlib.Path], total: int) -> None:
+        self._owns_stream = isinstance(destination, (str, pathlib.Path))
+        self._stream: IO[str] = (
+            open(destination, "a", encoding="utf-8") if self._owns_stream else destination
+        )
+        self._total = total
+        self._done = 0
+        self._started = time.perf_counter()
+
+    def __call__(self, outcome: JobOutcome) -> None:
+        self._done += 1
+        elapsed = time.perf_counter() - self._started
+        line = (
+            f"[{time.strftime('%H:%M:%S')}] {self._done}/{self._total} "
+            f"{outcome.job.experiment_id}[{outcome.job.key[:10]}] "
+            f"{outcome.status} t+{elapsed:.2f}s"
+        )
+        self._stream.write(line + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+
 def run_jobs(
     jobs: Iterable[Job],
     *,
@@ -166,6 +201,7 @@ def run_jobs(
     store: Union[ResultStore, str, pathlib.Path, None] = None,
     resume: bool = True,
     progress: Optional[Callable[[JobOutcome], None]] = None,
+    progress_log: Union[IO[str], str, pathlib.Path, None] = None,
 ) -> RunReport:
     """Execute ``jobs``, reusing and filling ``store`` when one is given.
 
@@ -173,6 +209,13 @@ def run_jobs(
     registered only in the current process runnable); larger values fan out
     over a ``ProcessPoolExecutor``.  Failures are captured per job — the batch
     always completes and the report carries the error text of each failure.
+
+    ``progress_log`` is an optional *side channel* for job-level progress: a
+    writable text stream (e.g. ``sys.stderr``) or a path opened in append
+    mode.  One timestamped line is appended per outcome (including cache
+    hits), with the batch-relative elapsed wall clock.  Stored records are
+    unaffected — timings never enter the store, so resumed and parallel runs
+    remain byte-identical.
     """
     ordered: List[Job] = []
     seen = set()
@@ -182,36 +225,45 @@ def run_jobs(
             ordered.append(job)
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
+    logger = _ProgressLogger(progress_log, len(ordered)) if progress_log is not None else None
 
-    outcomes: Dict[str, JobOutcome] = {}
-    pending: List[Job] = []
-    for job in ordered:
-        cached = store.get(job.key) if (store is not None and resume) else None
-        if cached is not None and cached.get("status") == "ok":
-            outcome = JobOutcome(job, "cached", cached)
-            outcomes[job.key] = outcome
-            if progress is not None:
-                progress(outcome)
-        else:
-            pending.append(job)
-
-    def _finish(job: Job, record: Dict[str, Any]) -> None:
-        if store is not None:
-            record = store.put(record)
-        outcome = JobOutcome(job, record["status"], record)
-        outcomes[job.key] = outcome
+    def _notify(outcome: JobOutcome) -> None:
+        if logger is not None:
+            logger(outcome)
         if progress is not None:
             progress(outcome)
 
-    payloads = [(job.experiment_id, dict(job.params)) for job in pending]
-    if len(pending) <= 1 or n_jobs <= 1:
-        for job, payload in zip(pending, payloads):
-            _finish(job, _execute(payload))
-    else:
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(pending))) as pool:
-            # map() preserves submission order, so store rows are written in
-            # job order no matter which worker finishes first.
-            for job, record in zip(pending, pool.map(_execute, payloads, chunksize=1)):
-                _finish(job, record)
+    try:
+        outcomes: Dict[str, JobOutcome] = {}
+        pending: List[Job] = []
+        for job in ordered:
+            cached = store.get(job.key) if (store is not None and resume) else None
+            if cached is not None and cached.get("status") == "ok":
+                outcome = JobOutcome(job, "cached", cached)
+                outcomes[job.key] = outcome
+                _notify(outcome)
+            else:
+                pending.append(job)
+
+        def _finish(job: Job, record: Dict[str, Any]) -> None:
+            if store is not None:
+                record = store.put(record)
+            outcome = JobOutcome(job, record["status"], record)
+            outcomes[job.key] = outcome
+            _notify(outcome)
+
+        payloads = [(job.experiment_id, dict(job.params)) for job in pending]
+        if len(pending) <= 1 or n_jobs <= 1:
+            for job, payload in zip(pending, payloads):
+                _finish(job, _execute(payload))
+        else:
+            with ProcessPoolExecutor(max_workers=min(n_jobs, len(pending))) as pool:
+                # map() preserves submission order, so store rows are written in
+                # job order no matter which worker finishes first.
+                for job, record in zip(pending, pool.map(_execute, payloads, chunksize=1)):
+                    _finish(job, record)
+    finally:
+        if logger is not None:
+            logger.close()
 
     return RunReport([outcomes[job.key] for job in ordered])

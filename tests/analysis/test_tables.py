@@ -1,6 +1,8 @@
 """Tests for the table formatters."""
 
-from repro.analysis.tables import format_table, to_markdown
+import pytest
+
+from repro.analysis.tables import format_table, to_latex, to_markdown
 
 
 class TestFormatTable:
@@ -48,6 +50,38 @@ class TestMarkdown:
         assert to_markdown([]) == "(no rows)"
 
 
+class TestLatex:
+    def test_tabular_structure(self):
+        rows = [{"col": 1, "name": "a"}, {"col": 2, "name": "b"}]
+        tex = to_latex(rows)
+        lines = tex.splitlines()
+        assert lines[0] == r"\begin{tabular}{ll}"
+        assert lines[2] == r"col & name \\"
+        assert r"1 & a \\" in lines
+        assert lines[-1] == r"\end{tabular}"
+        assert tex.count(r"\hline") == 3
+
+    def test_special_characters_escaped(self):
+        tex = to_latex([{"param_x": "50%", "note": "a_b & c#d"}])
+        assert r"param\_x" in tex
+        assert r"50\%" in tex
+        assert r"a\_b \& c\#d" in tex
+
+    def test_caption_and_label_wrap_in_table_float(self):
+        tex = to_latex([{"x": 1}], caption="S03 results", label="tab:s03")
+        assert tex.startswith(r"\begin{table}[htbp]")
+        assert r"\caption{S03 results}" in tex
+        assert r"\label{tab:s03}" in tex
+        assert tex.endswith(r"\end{table}")
+
+    def test_value_formatting_matches_text_renderer(self):
+        tex = to_latex([{"x": 0.123456789, "ok": True, "bad": float("nan")}], float_format=".3g")
+        assert "0.123" in tex and "yes" in tex and "nan" in tex
+
+    def test_empty(self):
+        assert to_latex([]) == "% (no rows)"
+
+
 class TestStoreTable:
     def test_renders_stored_rows_with_params(self, tmp_path):
         from repro.analysis.tables import store_table
@@ -74,3 +108,25 @@ class TestStoreTable:
         from repro.runner.store import ResultStore
 
         assert "(no rows)" in store_table(ResultStore(tmp_path), "E01")
+
+    def test_markdown_and_latex_formats(self, tmp_path):
+        from repro.analysis.tables import store_table
+        from repro.runner.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        store.put(
+            {
+                "key": "k",
+                "experiment_id": "E01",
+                "status": "ok",
+                "params": {"seed": 3},
+                "result": {"rows": [{"x": 1.25}], "headline": {}},
+            }
+        )
+        md = store_table(store, "E01", fmt="markdown")
+        assert md.splitlines()[0].startswith("| ") and "param_seed" in md.splitlines()[0]
+        tex = store_table(store, "E01", fmt="latex")
+        assert r"\begin{tabular}" in tex and r"param\_seed" in tex
+        assert r"\caption{E01}" in tex
+        with pytest.raises(ValueError, match="unknown table format"):
+            store_table(store, "E01", fmt="html")

@@ -1,20 +1,25 @@
-"""Tests for the M01/F01/H01 dynamic workloads and the S02 bench experiment."""
+"""Tests for the M01/M02/F01/H01 dynamic workloads and the S02/S03 benches."""
 
 import json
 
 import numpy as np
 import pytest
 
-from repro.dynamics.bench import experiment_s02_incremental_maintenance
+from repro.dynamics.bench import (
+    experiment_s02_incremental_maintenance,
+    experiment_s03_repair_fast_path,
+)
 from repro.dynamics.workloads import (
     experiment_f01_failure,
     experiment_h01_heterogeneous,
     experiment_m01_mobility,
+    experiment_m02_mobile_distributed_build,
 )
 from repro.runner import make_jobs, run_jobs
 from repro.runner.serialize import result_to_payload
 
 TINY_M01 = dict(intensity=2.0, window_side=8.0, n_steps=5, n_pairs=8, seed=77)
+TINY_M02 = dict(intensity=3.0, window_side=8.0, n_steps=5, seed=80)
 TINY_F01 = dict(intensity=3.0, window_side=8.0, horizon=12.0, observe_every=4.0, n_events=80, seed=78)
 TINY_H01 = dict(intensity=3.0, window_side=8.0, n_steps=5, seed=79)
 
@@ -54,6 +59,47 @@ class TestM01:
             experiment_m01_mobility(n_steps=0)
         with pytest.raises(ValueError, match="unknown mobility model"):
             experiment_m01_mobility(model="teleport")
+
+
+class TestM02:
+    def test_small_run_shape_and_consistency(self):
+        result = experiment_m02_mobile_distributed_build(**TINY_M02)
+        assert len(result.rows) == 5
+        assert result.headline["repair_consistent"] is True
+        assert result.headline["repair_messages_total"] >= 0
+        assert result.headline["rebuild_messages_per_step"] > 0
+        assert 0.0 <= result.headline["mean_good_fraction"] <= 1.0
+        churn = sum(r["overlay_churn"] for r in result.rows)
+        assert result.headline["total_overlay_churn"] == churn
+        json.dumps(result_to_payload(result), allow_nan=False)
+
+    def test_deterministic_per_seed(self):
+        a = experiment_m02_mobile_distributed_build(**TINY_M02)
+        b = experiment_m02_mobile_distributed_build(**TINY_M02)
+        assert a.rows == b.rows and a.headline == b.headline
+
+    def test_churn_free_run_is_consistent(self):
+        result = experiment_m02_mobile_distributed_build(churn_count=0, **TINY_M02)
+        assert result.headline["repair_consistent"] is True
+        assert all(row["n_alive"] == result.rows[0]["n_alive"] for row in result.rows)
+
+    def test_degenerate_deployment_yields_null_headline(self):
+        result = experiment_m02_mobile_distributed_build(
+            intensity=0.0, window_side=5.0, n_steps=3, seed=1
+        )
+        assert result.headline["repair_consistent"] is None
+        assert any("degenerate" in note for note in result.notes)
+        json.dumps(result_to_payload(result), allow_nan=False)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            experiment_m02_mobile_distributed_build(move_fraction=0.0)
+        with pytest.raises(ValueError):
+            experiment_m02_mobile_distributed_build(move_fraction=1.5)
+        with pytest.raises(ValueError):
+            experiment_m02_mobile_distributed_build(churn_count=-1)
+        with pytest.raises(ValueError):
+            experiment_m02_mobile_distributed_build(n_steps=0)
 
 
 class TestF01:
@@ -137,18 +183,44 @@ class TestS02:
             experiment_s02_incremental_maintenance(step_fraction=0.0)
 
 
+class TestS03:
+    def test_small_run_agrees_on_both_arms(self):
+        result = experiment_s03_repair_fast_path(
+            n_points=400, n_centers=800, n_steps=3, repeats=1, seed=6
+        )
+        assert result.headline["bulk_results_agree"] is True
+        assert result.headline["repair_results_agree"] is True
+        assert isinstance(result.headline["bulk_speedup_grid"], float)
+        assert isinstance(result.headline["bulk_speedup_kdtree"], float)
+        assert isinstance(result.headline["repair_speedup_vs_rebuild"], float)
+        assert {row["arm"] for row in result.rows} == {"bulk", "repair"}
+        json.dumps(result_to_payload(result), allow_nan=False)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            experiment_s03_repair_fast_path(n_centers=0)
+        with pytest.raises(ValueError):
+            experiment_s03_repair_fast_path(move_fraction=0.0)
+        with pytest.raises(ValueError):
+            experiment_s03_repair_fast_path(churn_count=-1)
+
+
 class TestRunnerIntegration:
     def test_workloads_ride_the_executor_and_store(self, tmp_path):
-        jobs = make_jobs("M01", [TINY_M01]) + make_jobs("H01", [TINY_H01])
+        jobs = (
+            make_jobs("M01", [TINY_M01])
+            + make_jobs("M02", [TINY_M02])
+            + make_jobs("H01", [TINY_H01])
+        )
         report = run_jobs(jobs, store=tmp_path / "store")
-        assert report.all_ok and report.n_ok == 2
+        assert report.all_ok and report.n_ok == 3
         # Second run resumes from the store without recomputing.
         report = run_jobs(jobs, store=tmp_path / "store")
-        assert report.n_cached == 2
+        assert report.n_cached == 3
 
     def test_registered_ids_resolvable(self):
         from repro.runner import REGISTRY, load_builtin_experiments
 
         load_builtin_experiments()
-        for eid in ("M01", "F01", "H01", "S02"):
+        for eid in ("M01", "M02", "F01", "H01", "S02", "S03"):
             assert eid in REGISTRY

@@ -107,6 +107,32 @@ class TestRunJobs:
         assert ResultStore(tmp_path / "s").records()
 
 
+class TestProgressLog:
+    def test_logs_one_line_per_outcome_including_cache_hits(self, toy_experiment, tmp_path):
+        jobs = make_jobs(toy_experiment.experiment_id, grid(x=[1, 2], seed=[5]))
+        log_path = tmp_path / "progress.log"
+        run_jobs(jobs, store=ResultStore(tmp_path / "s"), progress_log=log_path)
+        lines = log_path.read_text().splitlines()
+        assert len(lines) == 2
+        assert lines[0].split("] ")[1].startswith(f"1/2 {toy_experiment.experiment_id}[")
+        assert all(" ok t+" in line for line in lines)
+        # Resumed rerun appends cache-hit lines to the same file.
+        run_jobs(jobs, store=ResultStore(tmp_path / "s"), progress_log=log_path)
+        lines = log_path.read_text().splitlines()
+        assert len(lines) == 4
+        assert all(" cached t+" in line for line in lines[2:])
+
+    def test_accepts_open_streams_and_logs_failures(self, toy_experiment, tmp_path):
+        import io
+
+        stream = io.StringIO()
+        jobs = make_jobs(toy_experiment.experiment_id, [{"fail": True}])
+        report = run_jobs(jobs, progress_log=stream)
+        assert report.n_failed == 1
+        assert " failed t+" in stream.getvalue()
+        stream.write("still open\n")  # run_jobs must not close caller-owned streams
+
+
 class TestDeterminism:
     """The ISSUE's determinism contract for the runner."""
 
@@ -117,6 +143,15 @@ class TestDeterminism:
         path_a = (tmp_path / "a" / f"{toy_experiment.experiment_id}.jsonl").read_bytes()
         path_b = (tmp_path / "b" / f"{toy_experiment.experiment_id}.jsonl").read_bytes()
         assert path_a == path_b
+
+    def test_progress_log_does_not_perturb_store_bytes(self, toy_experiment, tmp_path):
+        jobs = make_jobs(toy_experiment.experiment_id, grid(x=[1, 2], seed=[5]))
+        run_jobs(jobs, store=ResultStore(tmp_path / "plain"))
+        run_jobs(jobs, store=ResultStore(tmp_path / "logged"), progress_log=tmp_path / "log.txt")
+        name = f"{toy_experiment.experiment_id}.jsonl"
+        assert (tmp_path / "plain" / name).read_bytes() == (
+            tmp_path / "logged" / name
+        ).read_bytes()
 
     def test_worker_count_does_not_change_results(self, tmp_path):
         # Real registered experiment (E11, tiny parameters) so the jobs are
