@@ -9,6 +9,7 @@ provides the same export as a pandas DataFrame when pandas is installed.
 
 from __future__ import annotations
 
+import pathlib
 from typing import Iterable, Mapping, Sequence
 
 __all__ = ["format_table", "to_markdown", "to_latex", "store_table"]
@@ -69,14 +70,23 @@ def store_table(
     """Render one experiment's stored result rows as a table.
 
     ``store`` is a :class:`repro.runner.store.ResultStore` (duck-typed: any
-    object with ``result_rows``).  Sweeps render as one flat table with the
-    parameters as ``param_*`` columns; an experiment with no stored rows
-    renders its headline columns instead.  ``fmt`` picks the renderer:
+    object with ``result_rows``), or a bare path — a string/``Path`` is
+    opened through the ``ResultStore`` interface, which dispatches on the
+    path (directory → JSON lines, ``*.sqlite`` → SQLite), so rendering never
+    cares which backend a campaign used.  Sweeps render as one flat table
+    with the parameters as ``param_*`` columns; an experiment with no stored
+    rows renders its headline columns instead.  ``fmt`` picks the renderer:
     ``"text"`` (aligned plain text, the default), ``"markdown"`` or
     ``"latex"`` (a self-contained ``tabular`` for EXPERIMENTS.md appendices
     and papers).
     """
-    rows = store.result_rows(experiment_id=experiment_id)
+    if isinstance(store, (str, pathlib.Path)):
+        from repro.runner.store import ResultStore
+
+        with ResultStore(store) as opened:
+            rows = opened.result_rows(experiment_id=experiment_id)
+    else:
+        rows = store.result_rows(experiment_id=experiment_id)
     if fmt == "text":
         return format_table(rows, float_format=float_format, title=experiment_id)
     if fmt == "markdown":

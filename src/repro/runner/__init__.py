@@ -10,9 +10,17 @@ py_experimenter model: an experiment is a pure function of its parameter row.
   cartesian parameter sweep.
 * :mod:`repro.runner.executor` — ``make_jobs`` (SeedSequence-spawned per-job
   seeds) and ``run_jobs`` (ProcessPoolExecutor fan-out, resume, failure log).
-* :mod:`repro.runner.store` — append-only JSON-lines cache keyed by
-  ``(experiment_id, params)``.
-* :mod:`repro.runner.cli` — ``python -m repro.runner run E01 --jobs 8``.
+* :mod:`repro.runner.store` — the abstract latest-wins ``ResultStore``
+  contract plus the append-only JSON-lines backend (``JsonlStore``), keyed by
+  ``(experiment_id, params)``; ``ResultStore(path)`` dispatches on the path.
+* :mod:`repro.runner.sqlite_store` — the SQLite/WAL backend
+  (``SqliteStore``): one file, concurrent writers, same semantics.
+* :mod:`repro.runner.queue` — pull-worker job queue on the SQLite backend
+  (``JobQueue`` lease protocol + ``run_worker`` drain loop).
+* :mod:`repro.runner.sweep` — TOML sweep configurations
+  (``load_sweep("sweep.toml")`` → jobs).
+* :mod:`repro.runner.cli` — ``python -m repro.runner run E01 --jobs 8``,
+  ``... sweep sweep.toml [--enqueue]``, ``... worker --store x.sqlite``.
 """
 
 from repro.runner.executor import (
@@ -24,26 +32,44 @@ from repro.runner.executor import (
     run_jobs,
 )
 from repro.runner.grid import grid
+from repro.runner.queue import JobQueue, QueuedJob, WorkerReport, run_worker
 from repro.runner.registry import REGISTRY, Experiment, ExperimentRegistry, get_experiment, register
 from repro.runner.serialize import canonical_json, jsonify, params_key
-from repro.runner.store import DEFAULT_STORE_DIR, ResultStore
+from repro.runner.sqlite_store import SqliteStore
+from repro.runner.store import (
+    DEFAULT_STORE_DIR,
+    JsonlStore,
+    ResultStore,
+    StoreCorruptionWarning,
+)
+from repro.runner.sweep import ExperimentSweep, SweepConfig, load_sweep
 
 __all__ = [
     "DEFAULT_STORE_DIR",
     "Experiment",
     "ExperimentRegistry",
+    "ExperimentSweep",
     "Job",
     "JobOutcome",
+    "JobQueue",
+    "JsonlStore",
+    "QueuedJob",
     "REGISTRY",
     "ResultStore",
     "RunReport",
+    "SqliteStore",
+    "StoreCorruptionWarning",
+    "SweepConfig",
+    "WorkerReport",
     "canonical_json",
     "get_experiment",
     "grid",
     "jsonify",
     "load_builtin_experiments",
+    "load_sweep",
     "make_jobs",
     "params_key",
     "register",
     "run_jobs",
+    "run_worker",
 ]

@@ -6,11 +6,18 @@ Examples::
     python -m repro.runner run E01 E04 --jobs 8 --trials 500
     python -m repro.runner run E01 --grid "seed=1,2,3" --set "intensities=[5,10,20]"
     python -m repro.runner show E01
+    python -m repro.runner sweep examples/sweep.toml
+    python -m repro.runner sweep examples/sweep.toml --enqueue
+    python -m repro.runner worker --store campaign.sqlite
 
 ``run`` resolves each experiment through the registry, expands ``--grid``
 axes into a parameter sweep, executes through the parallel executor and
-persists every row to the JSON-lines store (``runner_cache/`` by default), so
-a second invocation with the same parameters is a pure cache hit.
+persists every row to the result store (``runner_cache/`` by default; a
+``*.sqlite`` path selects the SQLite/WAL backend), so a second invocation
+with the same parameters is a pure cache hit.  ``sweep`` does the same from
+a reviewable TOML file; with ``--enqueue`` it only fills the SQLite job
+queue, and any number of ``worker`` processes — on any machine sharing the
+file — pull, lease, execute and store the open jobs.
 """
 
 from __future__ import annotations
@@ -19,13 +26,22 @@ import argparse
 import ast
 import sys
 import time
-from typing import Any, Dict, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
-from repro.runner.executor import JobOutcome, load_builtin_experiments, make_jobs, run_jobs
+from repro.runner.executor import (
+    Job,
+    JobOutcome,
+    load_builtin_experiments,
+    make_jobs,
+    run_jobs,
+)
 from repro.runner.grid import grid
+from repro.runner.queue import JobQueue, run_worker
 from repro.runner.registry import REGISTRY
+from repro.runner.sqlite_store import SqliteStore
 from repro.runner.store import DEFAULT_STORE_DIR, ResultStore
+from repro.runner.sweep import load_sweep
 
 __all__ = ["main"]
 
@@ -99,7 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="KEY=V1,V2,...",
         help='sweep one parameter over several values, e.g. --grid "seed=1,2,3"',
     )
-    p_run.add_argument("--store", default=DEFAULT_STORE_DIR, help="result-store directory")
+    p_run.add_argument(
+        "--store",
+        default=DEFAULT_STORE_DIR,
+        help="result store: a directory (JSON lines) or a *.sqlite file (SQLite/WAL)",
+    )
     p_run.add_argument(
         "--force", action="store_true", help="ignore cached results and recompute every job"
     )
@@ -116,7 +136,72 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_show = sub.add_parser("show", help="print stored results")
     p_show.add_argument("experiments", nargs="*", metavar="ID", help="restrict to these ids")
-    p_show.add_argument("--store", default=DEFAULT_STORE_DIR, help="result-store directory")
+    p_show.add_argument(
+        "--store", default=DEFAULT_STORE_DIR, help="result store (directory or *.sqlite file)"
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run (or enqueue) a campaign described by a TOML sweep file"
+    )
+    p_sweep.add_argument("config", metavar="SWEEP.toml", help="TOML sweep configuration file")
+    p_sweep.add_argument(
+        "--store",
+        default=None,
+        help="override the file's [runner] store (directory or *.sqlite file)",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=None, help="override the file's [runner] jobs"
+    )
+    p_sweep.add_argument(
+        "--seed", type=int, default=None, help="override the file's [runner] seed"
+    )
+    p_sweep.add_argument(
+        "--enqueue",
+        action="store_true",
+        help="fill the SQLite job queue instead of executing; drain with `worker`",
+    )
+    p_sweep.add_argument(
+        "--force", action="store_true", help="ignore cached results and recompute every job"
+    )
+    p_sweep.add_argument(
+        "--progress-log",
+        dest="progress_log",
+        default=None,
+        metavar="DEST",
+        help="append timestamped job-level progress lines to DEST ('-' for stderr)",
+    )
+
+    p_worker = sub.add_parser(
+        "worker", help="pull-worker: claim, lease and execute open jobs from a SQLite queue"
+    )
+    p_worker.add_argument(
+        "--store", required=True, help="SQLite store file carrying the job queue"
+    )
+    p_worker.add_argument(
+        "--worker-id", default=None, help="worker identity (default: hostname:pid)"
+    )
+    p_worker.add_argument(
+        "--lease",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="claim lease; a worker silent this long forfeits its job (default: 60)",
+    )
+    p_worker.add_argument(
+        "--poll",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="idle re-poll interval while other workers hold claims (default: 1)",
+    )
+    p_worker.add_argument(
+        "--max-jobs", type=int, default=None, help="stop after this many jobs (default: drain)"
+    )
+    p_worker.add_argument(
+        "--wait",
+        action="store_true",
+        help="keep polling after the queue drains (a standing worker)",
+    )
     return parser
 
 
@@ -169,6 +254,44 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_progress(outcome: JobOutcome) -> None:
+    line = f"  {outcome.job.experiment_id}[{outcome.job.key[:10]}] {outcome.status}"
+    if outcome.status == "failed":
+        error = outcome.record.get("error", "").strip().splitlines()
+        line += f" — {error[-1] if error else 'unknown error'}"
+    print(line, flush=True)
+
+
+def _run_batch(
+    eid: str,
+    jobs: List[Job],
+    *,
+    n_jobs: int,
+    store: ResultStore,
+    resume: bool,
+    progress_log: Optional[str],
+) -> bool:
+    """Execute one experiment's jobs with the standard progress report."""
+    experiment = REGISTRY.get(eid)
+    print(f"{eid} — {experiment.title} ({len(jobs)} job(s), --jobs {n_jobs})")
+    started = time.perf_counter()
+    report = run_jobs(
+        jobs,
+        n_jobs=n_jobs,
+        store=store,
+        resume=resume,
+        progress=_report_progress,
+        progress_log=sys.stderr if progress_log == "-" else progress_log,
+    )
+    elapsed = time.perf_counter() - started
+    print(
+        f"{eid}: {report.n_ok} ran, {report.n_cached} cached, "
+        f"{report.n_failed} failed in {elapsed:.1f}s "
+        f"→ {store.path_for(eid)}"
+    )
+    return report.all_ok
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     ids, unknown = _resolve_ids(args.experiments)
     if unknown:
@@ -180,13 +303,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
     overrides = dict(args.overrides)
     axes = dict(args.grid_axes)
     store = ResultStore(args.store)
-
-    def _report_progress(outcome: JobOutcome) -> None:
-        line = f"  {outcome.job.experiment_id}[{outcome.job.key[:10]}] {outcome.status}"
-        if outcome.status == "failed":
-            error = outcome.record.get("error", "").strip().splitlines()
-            line += f" — {error[-1] if error else 'unknown error'}"
-        print(line, flush=True)
 
     exit_code = 0
     for eid in ids:
@@ -204,27 +320,115 @@ def _cmd_run(args: argparse.Namespace) -> int:
         param_sets = [{**applicable, **point} for point in grid(sweep_axes)]
 
         jobs = make_jobs(eid, param_sets, base_seed=args.seed)
-        print(f"{eid} — {experiment.title} ({len(jobs)} job(s), --jobs {args.jobs})")
-        started = time.perf_counter()
-        report = run_jobs(
+        if not _run_batch(
+            eid,
             jobs,
             n_jobs=args.jobs,
             store=store,
             resume=not args.force,
-            progress=_report_progress,
-            progress_log=(
-                sys.stderr if args.progress_log == "-" else args.progress_log
-            ),
-        )
-        elapsed = time.perf_counter() - started
-        print(
-            f"{eid}: {report.n_ok} ran, {report.n_cached} cached, "
-            f"{report.n_failed} failed in {elapsed:.1f}s "
-            f"→ {store.path_for(eid)}"
-        )
-        if not report.all_ok:
+            progress_log=args.progress_log,
+        ):
             exit_code = 1
     return exit_code
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        config = load_sweep(args.config)
+    except (OSError, ValueError, ImportError) as err:
+        print(f"error: {err}")
+        return 2
+    store_root = args.store or config.store or DEFAULT_STORE_DIR
+    base_seed = args.seed if args.seed is not None else config.seed
+    n_jobs = args.jobs or config.jobs or 1
+
+    unknown = [s.experiment_id for s in config.experiments if s.experiment_id not in REGISTRY]
+    if unknown:
+        print(
+            f"error: unknown experiment id(s) {', '.join(unknown)} in {args.config}; "
+            f"registered: {', '.join(REGISTRY.ids())}"
+        )
+        return 2
+
+    if args.enqueue:
+        if args.force:
+            # Workers decide cached-vs-run against the store at claim time;
+            # an enqueue cannot carry a recompute order, so reject loudly
+            # rather than let --force silently do nothing.
+            print(
+                "error: --force only applies to the direct run mode; to recompute an "
+                "enqueued sweep, point [runner] store (or --store) at a fresh file"
+            )
+            return 2
+        store = ResultStore(store_root)
+        if not isinstance(store, SqliteStore):
+            print(
+                f"error: --enqueue needs the SQLite backend; store {store_root!r} is a "
+                "JSON-lines directory (name a *.sqlite file in [runner] store or --store)"
+            )
+            return 2
+        try:
+            jobs = config.make_all_jobs(base_seed=base_seed)
+        except TypeError as err:
+            print(f"error: {err}")
+            return 2
+        with JobQueue(store.path) as queue:
+            new = queue.enqueue(jobs)
+            counts = queue.counts()
+        print(
+            f"enqueued {new} new job(s) ({len(jobs) - new} already queued) → {store.path}; "
+            f"queue: {counts['open']} open, {counts['claimed']} claimed, "
+            f"{counts['done']} done, {counts['failed']} failed"
+        )
+        print(f"drain with: python -m repro.runner worker --store {store.path}")
+        return 0
+
+    store = ResultStore(store_root)
+    exit_code = 0
+    for sweep in config.experiments:
+        try:
+            jobs = make_jobs(sweep.experiment_id, sweep.param_sets(), base_seed=base_seed)
+        except TypeError as err:
+            print(f"error: {err}")
+            return 2
+        if not _run_batch(
+            sweep.experiment_id,
+            jobs,
+            n_jobs=n_jobs,
+            store=store,
+            resume=not args.force,
+            progress_log=args.progress_log,
+        ):
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if not isinstance(store, SqliteStore):
+        print(
+            f"error: the worker queue lives in the SQLite backend; {args.store!r} is a "
+            "JSON-lines directory (use the *.sqlite file the sweep was enqueued into)"
+        )
+        return 2
+
+    def _progress(job: Job, status: str) -> None:
+        print(f"  {job.experiment_id}[{job.key[:10]}] {status}", flush=True)
+
+    report = run_worker(
+        store,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease,
+        poll_seconds=args.poll,
+        max_jobs=args.max_jobs,
+        wait=args.wait,
+        progress=_progress,
+    )
+    print(
+        f"worker {report.worker}: {report.n_ok} ran, {report.n_cached} cached, "
+        f"{report.n_failed} failed → {store.path}"
+    )
+    return 0 if report.n_failed == 0 else 1
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -234,4 +438,8 @@ def main(argv: List[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "show":
         return _cmd_show(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     return _cmd_run(args)

@@ -225,6 +225,11 @@ def run_jobs(
             ordered.append(job)
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
+    if store is not None and resume:
+        # Another process (or another store instance on the same root) may
+        # have appended records since this store's index was cached; resume
+        # decisions must see them or completed jobs silently re-run.
+        store.refresh()
     logger = _ProgressLogger(progress_log, len(ordered)) if progress_log is not None else None
 
     def _notify(outcome: JobOutcome) -> None:

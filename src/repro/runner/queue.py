@@ -1,0 +1,372 @@
+"""Pull-worker job queue on the SQLite backend (py_experimenter-style).
+
+Instead of pushing payloads at a process pool, a sweep is *enqueued* into a
+``jobs`` table living in the same SQLite file as the
+:class:`~repro.runner.sqlite_store.SqliteStore` records, and any number of
+workers — across processes or machines sharing the file — *pull* open jobs
+from it:
+
+* :meth:`JobQueue.claim` atomically (``BEGIN IMMEDIATE``) flips the oldest
+  claimable job to ``claimed``, stamping the worker id and a lease deadline.
+  A job is claimable when it is ``open``, or ``claimed`` but its lease has
+  expired — a worker that died mid-job loses its lease and the job is
+  re-opened for the next claimant, so a killed machine costs one lease
+  period, never the sweep.
+* While executing, the worker heartbeats (:meth:`JobQueue.heartbeat`) to
+  extend its lease; a worker that discovers its lease was stolen stops
+  touching the job's queue row.
+* :meth:`JobQueue.complete` closes the job (``done`` / ``failed``), guarded
+  by the worker id so a stale claimant cannot clobber the reclaimer's state.
+
+Seeds are resolved at *enqueue* time (:func:`repro.runner.executor.make_jobs`
+runs before the queue ever sees a job), so the records produced by any number
+of workers in any interleaving are byte-identical to a serial run — at worst
+an expired-lease job is executed twice, producing the same canonical record
+twice, which latest-wins storage collapses.
+
+:func:`run_worker` is the drain loop behind ``python -m repro.runner worker``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.runner.executor import Job, _execute
+from repro.runner.serialize import canonical_json
+from repro.runner.sqlite_store import SqliteStore, connect
+from repro.runner.store import ResultStore
+
+__all__ = ["JobQueue", "QueuedJob", "WorkerReport", "run_worker", "default_worker_id"]
+
+#: Queue-row lifecycle states.
+OPEN, CLAIMED, DONE, FAILED = "open", "claimed", "done", "failed"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_order     INTEGER PRIMARY KEY AUTOINCREMENT,
+    key           TEXT NOT NULL UNIQUE,
+    experiment_id TEXT NOT NULL,
+    params        TEXT NOT NULL,
+    status        TEXT NOT NULL DEFAULT 'open',
+    worker        TEXT,
+    lease_expires REAL,
+    attempts      INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status, job_order);
+"""
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class QueuedJob:
+    """One claimed queue row: the job plus its claim bookkeeping."""
+
+    job: Job
+    worker: str
+    lease_expires: float
+    attempts: int
+
+
+class JobQueue:
+    """Lease-based job queue in a SQLite/WAL file (shared with the store).
+
+    All methods take an optional ``now`` (seconds, ``time.time`` scale) so
+    lease arithmetic is testable without sleeping; production callers leave
+    it to default to the wall clock.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._conn = connect(self.path)
+        self._conn.executescript(_SCHEMA)
+        self._lock = threading.Lock()  # one connection per instance; serialise its use
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- filling ------------------------------------------------------------
+    def enqueue(self, jobs: Iterable[Job], *, reopen_failed: bool = True) -> int:
+        """Insert ``jobs`` (in order) as ``open``; returns how many were new.
+
+        Keys already queued are left untouched — except ``failed`` ones,
+        which are re-opened by default so re-enqueueing a sweep retries its
+        failures (mirroring the executor's resume semantics, where only an
+        ``ok`` record satisfies a job).
+        """
+        jobs = list(jobs)
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                new = 0
+                for job in jobs:
+                    cursor = self._conn.execute(
+                        "INSERT OR IGNORE INTO jobs (key, experiment_id, params) "
+                        "VALUES (?, ?, ?)",
+                        (job.key, job.experiment_id, canonical_json(dict(job.params))),
+                    )
+                    new += cursor.rowcount
+                    if cursor.rowcount == 0 and reopen_failed:
+                        self._conn.execute(
+                            "UPDATE jobs SET status = ?, worker = NULL, lease_expires = NULL "
+                            "WHERE key = ? AND status = ?",
+                            (OPEN, job.key, FAILED),
+                        )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return new
+
+    # -- claiming ------------------------------------------------------------
+    def claim(
+        self, worker: str, *, lease_seconds: float = 60.0, now: Optional[float] = None
+    ) -> Optional[QueuedJob]:
+        """Atomically claim the oldest claimable job, or return ``None``.
+
+        Claimable: ``open``, or ``claimed`` with an expired lease (the
+        previous claimant stopped heartbeating — crashed, killed, or
+        partitioned — so the job is taken over).
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT job_order, key, experiment_id, params, attempts FROM jobs "
+                    "WHERE status = ? OR (status = ? AND lease_expires < ?) "
+                    "ORDER BY job_order LIMIT 1",
+                    (OPEN, CLAIMED, now),
+                ).fetchone()
+                if row is None:
+                    self._conn.execute("COMMIT")
+                    return None
+                job_order, key, experiment_id, params_json, attempts = row
+                expires = now + lease_seconds
+                self._conn.execute(
+                    "UPDATE jobs SET status = ?, worker = ?, lease_expires = ?, "
+                    "attempts = attempts + 1 WHERE job_order = ?",
+                    (CLAIMED, worker, expires, job_order),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        job = Job(experiment_id, json.loads(params_json), key)
+        return QueuedJob(job=job, worker=worker, lease_expires=expires, attempts=attempts + 1)
+
+    def heartbeat(
+        self, key: str, worker: str, *, lease_seconds: float = 60.0, now: Optional[float] = None
+    ) -> bool:
+        """Extend the lease on ``key`` if ``worker`` still holds it.
+
+        Returns ``False`` when the lease was lost (expired and reclaimed, or
+        the job was closed) — the caller must stop reporting on this job.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET lease_expires = ? WHERE key = ? AND worker = ? AND status = ?",
+                (now + lease_seconds, key, worker, CLAIMED),
+            )
+        return cursor.rowcount == 1
+
+    def complete(self, key: str, worker: str, *, status: str = DONE) -> bool:
+        """Close ``key`` as ``done``/``failed`` if ``worker`` still holds it."""
+        if status not in (DONE, FAILED):
+            raise ValueError(f"complete() status must be {DONE!r} or {FAILED!r}, got {status!r}")
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET status = ?, lease_expires = NULL WHERE key = ? "
+                "AND worker = ? AND status = ?",
+                (status, key, worker, CLAIMED),
+            )
+        return cursor.rowcount == 1
+
+    def release(self, key: str, worker: str) -> bool:
+        """Hand ``key`` back to the queue (``open``) if ``worker`` holds it."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET status = ?, worker = NULL, lease_expires = NULL "
+                "WHERE key = ? AND worker = ? AND status = ?",
+                (OPEN, key, worker, CLAIMED),
+            )
+        return cursor.rowcount == 1
+
+    def reopen_expired(self, *, now: Optional[float] = None) -> int:
+        """Flip every expired ``claimed`` job back to ``open``; returns count.
+
+        :meth:`claim` already treats expired leases as claimable, so this is
+        not needed for progress — it exists so operators (and tests) can
+        observe takeover explicitly, e.g. before reading :meth:`counts`.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET status = ?, worker = NULL, lease_expires = NULL "
+                "WHERE status = ? AND lease_expires < ?",
+                (OPEN, CLAIMED, now),
+            )
+        return cursor.rowcount
+
+    # -- introspection --------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Row count per status (always has all four states as keys)."""
+        out = {status: 0 for status in (OPEN, CLAIMED, DONE, FAILED)}
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) FROM jobs GROUP BY status"
+            ).fetchall()
+        out.update(dict(rows))
+        return out
+
+    def unfinished(self) -> int:
+        """Jobs not yet ``done``/``failed`` (open or claimed by someone)."""
+        counts = self.counts()
+        return counts[OPEN] + counts[CLAIMED]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Full queue dump in job order (for ``show``-style inspection)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, experiment_id, status, worker, lease_expires, attempts "
+                "FROM jobs ORDER BY job_order"
+            ).fetchall()
+        names = ("key", "experiment_id", "status", "worker", "lease_expires", "attempts")
+        return [dict(zip(names, row)) for row in rows]
+
+
+class _LeaseHeartbeat(threading.Thread):
+    """Extends a job's lease on its own connection while the job executes."""
+
+    def __init__(self, path: pathlib.Path, key: str, worker: str, lease_seconds: float) -> None:
+        super().__init__(daemon=True, name=f"lease-heartbeat[{key[:10]}]")
+        self._path = path
+        self._key = key
+        self._worker = worker
+        self._lease_seconds = lease_seconds
+        # Not named _stop: threading.Thread has an internal _stop() method.
+        self._halt = threading.Event()
+        self.lost = False
+
+    def run(self) -> None:
+        interval = max(self._lease_seconds / 3.0, 0.05)
+        queue = JobQueue(self._path)
+        try:
+            while not self._halt.wait(interval):
+                if not queue.heartbeat(self._key, self._worker, lease_seconds=self._lease_seconds):
+                    self.lost = True
+                    return
+        finally:
+            queue.close()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join()
+
+
+@dataclass
+class WorkerReport:
+    """What one :func:`run_worker` drain accomplished."""
+
+    worker: str
+    n_ok: int = 0
+    n_cached: int = 0
+    n_failed: int = 0
+    keys: List[str] = field(default_factory=list)
+
+    @property
+    def n_jobs(self) -> int:
+        return self.n_ok + self.n_cached + self.n_failed
+
+
+def run_worker(
+    store: Union[SqliteStore, str, pathlib.Path],
+    *,
+    worker_id: Optional[str] = None,
+    lease_seconds: float = 60.0,
+    poll_seconds: float = 1.0,
+    max_jobs: Optional[int] = None,
+    wait: bool = False,
+    progress: Optional[Any] = None,
+) -> WorkerReport:
+    """Pull-worker drain loop: claim → execute → store → complete, repeat.
+
+    Runs until the queue is drained (no ``open`` jobs and no outstanding
+    claims — claims held by *other* live workers are waited out, since their
+    death would re-open jobs), until ``max_jobs`` jobs were processed, or
+    forever when ``wait=True`` (a standing worker that idles at
+    ``poll_seconds`` cadence once the queue empties, picking up jobs enqueued
+    later).
+
+    Results go through the normal store path: a job whose key already has an
+    ``ok`` record is completed as cached without re-running, every other
+    claim executes in-process and appends its canonical record before the
+    queue row closes.  Crash ordering is safe: the record is stored *before*
+    ``complete``, so a worker dying in between re-runs one job (same bytes)
+    rather than losing one.
+    """
+    if not isinstance(store, SqliteStore):
+        resolved = ResultStore(store)
+        if not isinstance(resolved, SqliteStore):
+            raise ValueError(
+                f"the pull-worker queue needs the SQLite store backend; {store!r} "
+                "resolves to a JSON-lines directory store (use a *.sqlite path)"
+            )
+        store = resolved
+    worker = worker_id or default_worker_id()
+    report = WorkerReport(worker=worker)
+    queue = JobQueue(store.path)
+    try:
+        while max_jobs is None or report.n_jobs < max_jobs:
+            claim = queue.claim(worker, lease_seconds=lease_seconds)
+            if claim is None:
+                if not wait and queue.unfinished() == 0:
+                    break
+                time.sleep(poll_seconds)
+                continue
+            job = claim.job
+            store.refresh()
+            cached = store.get(job.key)
+            if cached is not None and cached.get("status") == "ok":
+                queue.complete(job.key, worker, status=DONE)
+                report.n_cached += 1
+                report.keys.append(job.key)
+                if progress is not None:
+                    progress(job, "cached")
+                continue
+            heartbeat = _LeaseHeartbeat(store.path, job.key, worker, lease_seconds)
+            heartbeat.start()
+            try:
+                record = _execute((job.experiment_id, dict(job.params)))
+            finally:
+                heartbeat.stop()
+            store.put(record)
+            status = DONE if record["status"] == "ok" else FAILED
+            if not heartbeat.lost:
+                queue.complete(job.key, worker, status=status)
+            if record["status"] == "ok":
+                report.n_ok += 1
+            else:
+                report.n_failed += 1
+            report.keys.append(job.key)
+            if progress is not None:
+                progress(job, record["status"])
+    finally:
+        queue.close()
+    return report

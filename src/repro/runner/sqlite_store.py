@@ -1,0 +1,147 @@
+"""SQLite result-store backend: one WAL-mode file, safe concurrent writers.
+
+:class:`SqliteStore` implements the :class:`repro.runner.store.ResultStore`
+contract on a single SQLite database file.  Records land in an append-only
+``records`` log table (monotonic ``seq``, canonical-JSON payload), mirroring
+the JSON-lines semantics exactly: a rerun appends a fresh row and the latest
+row per key wins.  WAL journal mode lets many processes append concurrently —
+readers never block writers — which is what the pull-worker protocol in
+:mod:`repro.runner.queue` builds on (its ``jobs`` table lives in the same
+file, so one path names a whole campaign: queue plus results).
+
+Determinism: record payloads are canonical JSON with no timestamps, and the
+latest-wins index is materialised in *key* order — independent of which
+worker committed first — so ``result_rows()`` of a queue drained by N
+concurrent workers is byte-identical to the single-process run of the same
+sweep.
+
+The in-memory index refreshes incrementally: the log is append-only, so
+``refresh()`` only fetches rows with ``seq`` beyond the last one seen.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sqlite3
+from typing import Any, Dict, Mapping, Union
+
+from repro.runner.store import ResultStore
+
+__all__ = ["SqliteStore", "connect"]
+
+#: SQLite busy timeout — how long a writer waits for a competing writer's
+#: transaction before giving up (milliseconds).
+BUSY_TIMEOUT_MS = 30_000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    seq           INTEGER PRIMARY KEY AUTOINCREMENT,
+    key           TEXT NOT NULL,
+    experiment_id TEXT NOT NULL,
+    status        TEXT NOT NULL,
+    record        TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_records_key ON records(key, seq);
+"""
+
+
+def connect(path: Union[str, pathlib.Path]) -> sqlite3.Connection:
+    """Open ``path`` with the store's concurrency settings applied.
+
+    WAL journal mode (concurrent readers + one serialised writer without
+    blocking), ``synchronous=NORMAL`` (WAL-safe durability) and a generous
+    busy timeout so competing writers queue instead of raising.  Used by both
+    the record store and the job queue so every connection to a campaign file
+    behaves identically.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    conn = sqlite3.connect(str(path), timeout=BUSY_TIMEOUT_MS / 1000, isolation_level=None)
+    conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    return conn
+
+
+class SqliteStore(ResultStore):
+    """Append-only latest-wins record store on one SQLite/WAL file."""
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        super().__init__(root)
+        self._conn: sqlite3.Connection | None = None
+        self._index: Dict[str, Dict[str, Any]] | None = None
+        self._last_seq = 0
+        self._needs_sort = False
+
+    @property
+    def path(self) -> pathlib.Path:
+        """The database file (``root`` is a file for this backend)."""
+        return self.root
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self._conn = connect(self.root)
+            self._conn.executescript(_SCHEMA)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- loading ------------------------------------------------------------
+    def _ingest_new_rows(self) -> None:
+        """Merge rows appended since ``_last_seq`` into the cached index."""
+        assert self._index is not None
+        rows = self._connection().execute(
+            "SELECT seq, record FROM records WHERE seq > ? ORDER BY seq", (self._last_seq,)
+        ).fetchall()
+        if not rows:
+            return
+        for seq, payload in rows:
+            record = json.loads(payload)
+            self._index[record["key"]] = record
+            self._last_seq = seq
+        self._needs_sort = True
+
+    def _current_index(self) -> Dict[str, Dict[str, Any]]:
+        if self._index is None:
+            self._index = {}
+            self._last_seq = 0
+            self._ingest_new_rows()
+        if self._needs_sort:
+            # Key order, not commit order: N concurrent writers and one serial
+            # writer must expose identical iteration order (the byte-identity
+            # contract of result_rows()).  Sorted lazily at read time so a
+            # worker draining a large queue doesn't re-sort on every put.
+            self._index = dict(sorted(self._index.items()))
+            self._needs_sort = False
+        return self._index
+
+    def refresh(self) -> None:
+        if self._index is None:
+            return  # nothing cached yet; the next query loads from scratch
+        self._ingest_new_rows()
+
+    def path_for(self, experiment_id: str) -> pathlib.Path:
+        return self.root
+
+    # -- writes -------------------------------------------------------------
+    def put(self, record: Mapping[str, Any]) -> Dict[str, Any]:
+        line, normalised = self._encode_record(record)
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.execute(
+                "INSERT INTO records (key, experiment_id, status, record) VALUES (?, ?, ?, ?)",
+                (normalised["key"], normalised["experiment_id"], normalised["status"], line),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        if self._index is not None:
+            self._ingest_new_rows()
+            return self._index.get(normalised["key"], normalised)
+        return normalised

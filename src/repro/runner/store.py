@@ -1,70 +1,157 @@
-"""Append-only JSON-lines result store with resume-on-rerun semantics.
+"""Result-store contract and the append-only JSON-lines backend.
 
-One ``<experiment_id>.jsonl`` file per experiment under the store root; each
-line is one canonical-JSON record::
+:class:`ResultStore` is the abstract store interface of the runner: a
+latest-wins mapping from job key to record, shared by every backend.
 
     {"key": ..., "experiment_id": ..., "params": {...},
      "status": "ok" | "failed", "result": {...} | "error": "..."}
 
 Records are keyed by :func:`repro.runner.serialize.params_key` over
-``(experiment_id, params)``.  The store is append-only — a rerun of a failed
+``(experiment_id, params)``.  Stores are append-only — a rerun of a failed
 or forced job appends a fresh record and the *latest* record for a key wins —
-so the files double as a failure log.  Because records are canonical JSON and
-contain no timestamps, identical runs produce byte-identical rows regardless
-of worker count or scheduling.
+so the backing files double as a failure log.  Because records are canonical
+JSON and contain no timestamps, identical runs produce byte-identical rows
+regardless of worker count or scheduling.
+
+Two backends implement the contract:
+
+* :class:`JsonlStore` — one ``<experiment_id>.jsonl`` file per experiment
+  under a store-root *directory*; zero dependencies, human-greppable, the
+  default.  Appends are single ``O_APPEND`` writes so concurrent processes
+  never interleave partial lines.
+* :class:`repro.runner.sqlite_store.SqliteStore` — one SQLite file in WAL
+  mode; safe concurrent writers, and the backend that carries the pull-worker
+  job queue (:mod:`repro.runner.queue`).
+
+Like :class:`pathlib.Path`, instantiating the abstract class dispatches on
+the root: a directory (or a path without a SQLite suffix) gives a
+:class:`JsonlStore`, a ``*.sqlite`` / ``*.sqlite3`` / ``*.db`` path — or an
+existing file bearing the SQLite magic header — gives a ``SqliteStore``.
+``ResultStore("runner_cache")`` and ``ResultStore("sweep.sqlite")`` therefore
+both do the right thing, and every consumer (executor, CLI, analysis tables)
+selects the backend purely through the path it was handed.
 """
 
 from __future__ import annotations
 
+import abc
 import json
+import os
 import pathlib
-from typing import Any, Dict, List, Mapping, Optional, Union
+import warnings
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.runner.serialize import canonical_json
 
-__all__ = ["ResultStore", "DEFAULT_STORE_DIR"]
+__all__ = [
+    "ResultStore",
+    "JsonlStore",
+    "StoreCorruptionWarning",
+    "DEFAULT_STORE_DIR",
+]
 
 #: Default cache directory of the CLI (git-ignored).
 DEFAULT_STORE_DIR = "runner_cache"
 
+#: File suffixes that select the SQLite backend when dispatching on a path.
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
 
-class ResultStore:
-    """JSON-lines store rooted at a directory, lazily indexed in memory."""
+#: First bytes of every SQLite database file.
+_SQLITE_MAGIC = b"SQLite format 3\x00"
 
-    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+
+class StoreCorruptionWarning(UserWarning):
+    """A store file held an undecodable line (e.g. a torn, crash-interrupted
+    append); the line was skipped and the rest of the file was loaded."""
+
+
+def _is_sqlite_root(root: Union[str, pathlib.Path]) -> bool:
+    path = pathlib.Path(root)
+    if path.suffix.lower() in _SQLITE_SUFFIXES:
+        return True
+    if path.is_file():
+        with path.open("rb") as fh:
+            return fh.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC
+    return False
+
+
+class ResultStore(abc.ABC):
+    """Abstract latest-wins result store; instantiation dispatches by root.
+
+    Subclasses implement the storage primitives (``_current_index``, ``put``,
+    ``refresh``, ``path_for``); every query helper is shared so the two
+    backends cannot drift apart semantically.
+    """
+
+    def __new__(cls, root: Union[str, pathlib.Path] = DEFAULT_STORE_DIR, *args, **kwargs):
+        if cls is ResultStore:
+            if _is_sqlite_root(root):
+                from repro.runner.sqlite_store import SqliteStore
+
+                cls = SqliteStore
+            else:
+                cls = JsonlStore
+        return object.__new__(cls)
+
+    def __init__(self, root: Union[str, pathlib.Path] = DEFAULT_STORE_DIR) -> None:
         self.root = pathlib.Path(root)
-        self._index: Optional[Dict[str, Dict[str, Any]]] = None
 
-    # -- loading ------------------------------------------------------------
-    def _ensure_loaded(self) -> Dict[str, Dict[str, Any]]:
-        if self._index is None:
-            index: Dict[str, Dict[str, Any]] = {}
-            if self.root.is_dir():
-                for path in sorted(self.root.glob("*.jsonl")):
-                    with path.open("r", encoding="utf-8") as fh:
-                        for line in fh:
-                            line = line.strip()
-                            if not line:
-                                continue
-                            record = json.loads(line)
-                            index[record["key"]] = record
-            self._index = index
-        return self._index
+    # -- storage primitives (backend-specific) -------------------------------
+    @abc.abstractmethod
+    def _current_index(self) -> Dict[str, Dict[str, Any]]:
+        """The latest-wins ``key -> record`` mapping, loading lazily."""
 
+    @abc.abstractmethod
+    def refresh(self) -> None:
+        """Pick up records appended by *other* processes or store instances.
+
+        The index is cached for query speed; ``refresh()`` revalidates it
+        against the backing storage (mtime/size for JSON lines, the append
+        log's sequence number for SQLite) so resume decisions never act on a
+        stale view.
+        """
+
+    @abc.abstractmethod
+    def put(self, record: Mapping[str, Any]) -> Dict[str, Any]:
+        """Append ``record`` (must carry key / experiment_id / status).
+
+        Returns the normalised (JSON round-tripped) record that the index now
+        holds for the key.
+        """
+
+    @abc.abstractmethod
     def path_for(self, experiment_id: str) -> pathlib.Path:
-        return self.root / f"{experiment_id}.jsonl"
+        """Where records of ``experiment_id`` live (file path, for messages)."""
 
-    # -- queries ------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (connections, fds).  Idempotent."""
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- shared record validation/normalisation ------------------------------
+    @staticmethod
+    def _encode_record(record: Mapping[str, Any]) -> Tuple[str, Dict[str, Any]]:
+        for field in ("key", "experiment_id", "status"):
+            if field not in record:
+                raise ValueError(f"store record is missing the {field!r} field")
+        line = canonical_json(record, strict=False)
+        return line, json.loads(line)
+
+    # -- queries -------------------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Latest record for ``key``, or ``None``."""
-        return self._ensure_loaded().get(key)
+        return self._current_index().get(key)
 
     def records(
         self, experiment_id: Optional[str] = None, status: Optional[str] = None
     ) -> List[Dict[str, Any]]:
         """Current (latest-wins) records, optionally filtered."""
         out = []
-        for record in self._ensure_loaded().values():
+        for record in self._current_index().values():
             if experiment_id is not None and record.get("experiment_id") != experiment_id:
                 continue
             if status is not None and record.get("status") != status:
@@ -127,26 +214,129 @@ class ResultStore:
         return pd.DataFrame(self.result_rows(experiment_id=experiment_id, status=status))
 
     def __len__(self) -> int:
-        return len(self._ensure_loaded())
+        return len(self._current_index())
 
     def __contains__(self, key: object) -> bool:
-        return key in self._ensure_loaded()
+        return key in self._current_index()
+
+
+class JsonlStore(ResultStore):
+    """JSON-lines store rooted at a directory, lazily indexed in memory.
+
+    The in-memory index is kept per file together with the ``(mtime_ns,
+    size)`` of the file it was read from, so :meth:`refresh` re-reads only
+    files another writer actually changed.  Appends go through a single
+    ``os.write`` on an ``O_APPEND`` descriptor: the kernel serialises
+    concurrent appends at the file offset, so parallel writers never
+    interleave partial lines and a record is either fully on disk or absent.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path] = DEFAULT_STORE_DIR) -> None:
+        super().__init__(root)
+        self._file_indexes: Dict[pathlib.Path, Dict[str, Dict[str, Any]]] = {}
+        self._file_stats: Dict[pathlib.Path, Tuple[int, int]] = {}
+        self._index: Optional[Dict[str, Dict[str, Any]]] = None
+
+    # -- loading ------------------------------------------------------------
+    @staticmethod
+    def _read_file(path: pathlib.Path) -> Dict[str, Dict[str, Any]]:
+        """Latest-wins index of one ``.jsonl`` file, skipping corrupt lines.
+
+        A crash between the ``O_APPEND`` write being issued and completing can
+        leave a torn trailing line; such a line must cost at most its own
+        record, not brick the whole store, so undecodable lines are skipped
+        with a :class:`StoreCorruptionWarning` naming the file and line.
+        """
+        index: Dict[str, Dict[str, Any]] = {}
+        with path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    warnings.warn(
+                        f"{path}:{lineno}: skipping corrupt store line "
+                        f"(torn append from a crashed writer?)",
+                        StoreCorruptionWarning,
+                        stacklevel=3,
+                    )
+                    continue
+                index[record["key"]] = record
+        return index
+
+    def _merge_index(self) -> None:
+        merged: Dict[str, Dict[str, Any]] = {}
+        for path in sorted(self._file_indexes):
+            merged.update(self._file_indexes[path])
+        self._index = merged
+
+    def _current_index(self) -> Dict[str, Dict[str, Any]]:
+        if self._index is None:
+            self._file_indexes = {}
+            self._file_stats = {}
+            if self.root.is_dir():
+                for path in sorted(self.root.glob("*.jsonl")):
+                    stat = path.stat()
+                    self._file_indexes[path] = self._read_file(path)
+                    self._file_stats[path] = (stat.st_mtime_ns, stat.st_size)
+            self._merge_index()
+        return self._index
+
+    def refresh(self) -> None:
+        if self._index is None:
+            return  # nothing cached yet; the next query loads from scratch
+        on_disk: Dict[pathlib.Path, Tuple[int, int]] = {}
+        if self.root.is_dir():
+            for path in self.root.glob("*.jsonl"):
+                stat = path.stat()
+                on_disk[path] = (stat.st_mtime_ns, stat.st_size)
+        if on_disk == self._file_stats:
+            return
+        for path in set(self._file_indexes) - set(on_disk):
+            del self._file_indexes[path]
+            del self._file_stats[path]
+        for path, stat in on_disk.items():
+            if self._file_stats.get(path) != stat:
+                self._file_indexes[path] = self._read_file(path)
+                self._file_stats[path] = stat
+        self._merge_index()
+
+    def path_for(self, experiment_id: str) -> pathlib.Path:
+        return self.root / f"{experiment_id}.jsonl"
 
     # -- writes -------------------------------------------------------------
     def put(self, record: Mapping[str, Any]) -> Dict[str, Any]:
-        """Append ``record`` (must carry key / experiment_id / status).
-
-        Returns the normalised (JSON round-tripped) record that the index now
-        holds for the key.
-        """
-        for field in ("key", "experiment_id", "status"):
-            if field not in record:
-                raise ValueError(f"store record is missing the {field!r} field")
-        line = canonical_json(record, strict=False)
+        line, normalised = self._encode_record(record)
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(record["experiment_id"])
-        with path.open("a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-        normalised: Dict[str, Any] = json.loads(line)
-        self._ensure_loaded()[normalised["key"]] = normalised
+        path = self.path_for(normalised["experiment_id"])
+        payload = (line + "\n").encode("utf-8")
+        # One O_APPEND write per record: appends from concurrent processes are
+        # serialised by the kernel at the (atomically advanced) end offset, so
+        # lines never interleave, and a killed writer loses at most its own
+        # in-flight record instead of corrupting a shared buffer.
+        fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            # A crashed writer can leave the file without a trailing newline
+            # (a torn line); start on a fresh line so this record does not get
+            # glued onto the corrupt fragment.  Another process appending in
+            # between is harmless — its line is terminated, so the extra
+            # newline only creates a blank line, which the loader skips.
+            if hasattr(os, "pread"):
+                size = os.fstat(fd).st_size
+                if size and os.pread(fd, 1, size - 1) != b"\n":
+                    payload = b"\n" + payload
+            written = os.write(fd, payload)
+            while written < len(payload):  # practically unreachable on regular files
+                written += os.write(fd, payload[written:])
+        finally:
+            os.close(fd)
+        self._current_index()[normalised["key"]] = normalised
+        self._file_indexes.setdefault(path, {})[normalised["key"]] = normalised
+        # Do NOT cache a post-write stat: it could cover a concurrent writer's
+        # append that is absent from the local index, and refresh() would then
+        # skip the file forever.  Dropping the stat makes the next refresh()
+        # re-read this file — the safe direction.
+        self._file_stats.pop(path, None)
         return normalised

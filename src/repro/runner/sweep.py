@@ -1,0 +1,171 @@
+"""TOML sweep configurations: a campaign as a reviewable artifact.
+
+A sweep file replaces shell history as the record of a large campaign: it
+names the store (and thereby the backend), the base seed, and per experiment
+the pinned parameters and grid axes.  Format::
+
+    [runner]
+    store = "campaign.sqlite"   # directory -> JSON lines, *.sqlite -> SQLite
+    seed = 42                   # base seed; per-job seeds spawn from it
+    jobs = 4                    # default worker-process count for `sweep`
+
+    [experiments.E01]
+    trials = 200                # top-level value  -> pinned parameter
+    [experiments.E01.grid]
+    intensity = [5.0, 10.0]     # grid.* value     -> sweep axis (a list)
+
+    [experiments.M01]
+    n_steps = 5
+    [experiments.M01.grid]
+    seed = [1, 2, 3]            # an explicit seed axis overrides base-seed
+                                # spawning for those jobs
+
+The pin/axis split is positional, so a *list-valued* parameter can still be
+pinned (write it at the top level) and axes are always explicit (write them
+under ``grid``); there is no guessing from value shapes.  Experiments expand
+in file order, axes in key order — byte-stable job lists for a given file.
+
+Parsed with :mod:`tomllib` (Python >= 3.11) or the ``tomli`` backport when
+present; :func:`load_sweep` raises a helpful ``ImportError`` otherwise —
+TOML support never becomes an import-time dependency of the runner.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+try:
+    import tomllib as _toml
+except ModuleNotFoundError:  # Python < 3.11
+    try:
+        import tomli as _toml  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        _toml = None  # type: ignore[assignment]
+
+from repro.runner.executor import Job, make_jobs
+from repro.runner.grid import grid
+
+__all__ = ["ExperimentSweep", "SweepConfig", "load_sweep"]
+
+#: Reserved key inside an ``[experiments.<id>]`` table.
+_GRID_KEY = "grid"
+
+#: Keys understood in the ``[runner]`` table.
+_RUNNER_KEYS = frozenset({"store", "seed", "jobs"})
+
+
+@dataclass(frozen=True)
+class ExperimentSweep:
+    """One experiment's slice of a sweep: pins + axes, expandable to jobs."""
+
+    experiment_id: str
+    pinned: Dict[str, Any] = field(default_factory=dict)
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+
+    def param_sets(self) -> List[Dict[str, Any]]:
+        return [{**self.pinned, **point} for point in grid(self.axes)]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """A parsed sweep file: runner settings plus per-experiment sweeps."""
+
+    experiments: List[ExperimentSweep]
+    store: Optional[str] = None
+    seed: Optional[int] = None
+    jobs: Optional[int] = None
+    source: Optional[pathlib.Path] = None
+
+    def make_all_jobs(self, *, base_seed: Optional[int] = None) -> List[Job]:
+        """Expand every experiment into :class:`Job` objects, in file order.
+
+        Parameters are validated against each experiment's registered
+        signature here — a typo in the file fails before anything is run or
+        enqueued.  ``base_seed`` overrides the file's ``seed``.
+        """
+        base_seed = self.seed if base_seed is None else base_seed
+        jobs: List[Job] = []
+        for sweep in self.experiments:
+            jobs.extend(
+                make_jobs(sweep.experiment_id, sweep.param_sets(), base_seed=base_seed)
+            )
+        return jobs
+
+
+def _parse_experiment(experiment_id: str, table: Any, source: str) -> ExperimentSweep:
+    if not isinstance(table, Mapping):
+        raise ValueError(
+            f"{source}: [experiments.{experiment_id}] must be a table, "
+            f"got {type(table).__name__}"
+        )
+    pinned: Dict[str, Any] = {}
+    axes: Dict[str, List[Any]] = {}
+    for name, value in table.items():
+        if name == _GRID_KEY:
+            if not isinstance(value, Mapping):
+                raise ValueError(
+                    f"{source}: [experiments.{experiment_id}.grid] must be a "
+                    f"table of axes, got {type(value).__name__}"
+                )
+            for axis, values in value.items():
+                if not isinstance(values, list) or not values:
+                    raise ValueError(
+                        f"{source}: grid axis {axis!r} of experiment "
+                        f"{experiment_id!r} must be a non-empty array "
+                        f"(to pin a single value, set it outside [*.grid])"
+                    )
+                axes[axis] = list(values)
+        else:
+            pinned[name] = value
+    return ExperimentSweep(experiment_id=experiment_id, pinned=pinned, axes=axes)
+
+
+def load_sweep(path: Union[str, pathlib.Path]) -> SweepConfig:
+    """Parse a TOML sweep file into a :class:`SweepConfig`."""
+    if _toml is None:
+        raise ImportError(
+            "TOML sweep files need Python >= 3.11 (tomllib) or the tomli "
+            "backport; neither is available in this interpreter"
+        )
+    path = pathlib.Path(path)
+    with path.open("rb") as fh:
+        data = _toml.load(fh)
+
+    unknown_top = sorted(set(data) - {"runner", "experiments"})
+    if unknown_top:
+        raise ValueError(
+            f"{path}: unknown top-level table(s) {', '.join(unknown_top)}; "
+            "expected [runner] and [experiments.<id>]"
+        )
+    runner = data.get("runner", {})
+    if not isinstance(runner, Mapping):
+        raise ValueError(f"{path}: [runner] must be a table")
+    unknown_runner = sorted(set(runner) - _RUNNER_KEYS)
+    if unknown_runner:
+        raise ValueError(
+            f"{path}: unknown [runner] key(s) {', '.join(unknown_runner)}; "
+            f"known: {', '.join(sorted(_RUNNER_KEYS))}"
+        )
+    experiments_table = data.get("experiments", {})
+    if not isinstance(experiments_table, Mapping) or not experiments_table:
+        raise ValueError(f"{path}: a sweep needs at least one [experiments.<id>] table")
+
+    experiments = [
+        _parse_experiment(experiment_id, table, str(path))
+        for experiment_id, table in experiments_table.items()
+    ]
+    seed = runner.get("seed")
+    jobs = runner.get("jobs")
+    if seed is not None and not isinstance(seed, int):
+        raise ValueError(f"{path}: [runner] seed must be an integer")
+    if jobs is not None and (not isinstance(jobs, int) or jobs < 1):
+        raise ValueError(f"{path}: [runner] jobs must be a positive integer")
+    return SweepConfig(
+        experiments=experiments,
+        store=runner.get("store"),
+        seed=seed,
+        jobs=jobs,
+        source=path,
+    )

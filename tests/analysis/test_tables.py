@@ -109,6 +109,27 @@ class TestStoreTable:
 
         assert "(no rows)" in store_table(ResultStore(tmp_path), "E01")
 
+    @pytest.mark.parametrize("store_name", ["store-dir", "store.sqlite"])
+    def test_accepts_bare_paths_through_the_store_interface(self, tmp_path, store_name):
+        # A path opens through ResultStore's backend dispatch, so rendering
+        # never cares whether a campaign used JSON lines or SQLite.
+        from repro.analysis.tables import store_table
+        from repro.runner.store import ResultStore
+
+        root = tmp_path / store_name
+        ResultStore(root).put(
+            {
+                "key": "k",
+                "experiment_id": "E01",
+                "status": "ok",
+                "params": {"seed": 3},
+                "result": {"rows": [{"x": 1.25}], "headline": {}},
+            }
+        )
+        for handle in (root, str(root)):
+            text = store_table(handle, "E01")
+            assert "param_seed" in text and "1.25" in text
+
     def test_markdown_and_latex_formats(self, tmp_path):
         from repro.analysis.tables import store_table
         from repro.runner.store import ResultStore

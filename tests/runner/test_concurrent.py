@@ -1,0 +1,111 @@
+"""Concurrent-writer property tests: N processes × M records, both backends.
+
+The store contract under concurrency: any interleaving of writers against
+one store root yields the same latest-wins index as a serial writer — no
+torn lines, no lost records, no ordering artifacts in the canonical export.
+Records carry multi-kilobyte payloads so buffered-write interleaving (the
+pre-fix failure mode of the JSON-lines backend) would be exposed.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.runner import ResultStore, canonical_json
+
+N_PROCESSES = 4
+RECORDS_PER_PROCESS = 12
+
+
+def _make_record(writer: int, i: int) -> dict:
+    return {
+        "key": f"w{writer}-r{i:03d}",
+        "experiment_id": f"E{writer % 2:02d}",
+        "status": "ok",
+        "params": {"writer": writer, "i": i},
+        # Large enough that a buffered writer would flush mid-record.
+        "result": {"headline": {"v": float(i)}, "blob": f"{writer}:{i}:" + "x" * 4096},
+    }
+
+
+def _writer_process(root, writer: int) -> None:
+    store = ResultStore(root)
+    for i in range(RECORDS_PER_PROCESS):
+        store.put(_make_record(writer, i))
+    store.close()
+
+
+def _sorted_index_bytes(store: ResultStore) -> str:
+    """Canonical bytes of the latest-wins index, order-independent."""
+    return canonical_json(
+        {record["key"]: record for record in store.records()}, strict=False
+    )
+
+
+@pytest.fixture
+def mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+def test_concurrent_writers_match_a_serial_run(tmp_path, mp_context, backend):
+    concurrent_root = tmp_path / ("concurrent" if backend == "jsonl" else "concurrent.sqlite")
+    serial_root = tmp_path / ("serial" if backend == "jsonl" else "serial.sqlite")
+
+    processes = [
+        mp_context.Process(target=_writer_process, args=(concurrent_root, writer))
+        for writer in range(N_PROCESSES)
+    ]
+    for p in processes:
+        p.start()
+    for p in processes:
+        p.join(timeout=120)
+    assert all(p.exitcode == 0 for p in processes)
+
+    serial = ResultStore(serial_root)
+    for writer in range(N_PROCESSES):
+        for i in range(RECORDS_PER_PROCESS):
+            serial.put(_make_record(writer, i))
+
+    concurrent = ResultStore(concurrent_root)
+    assert len(concurrent) == N_PROCESSES * RECORDS_PER_PROCESS
+    assert _sorted_index_bytes(concurrent) == _sorted_index_bytes(serial)
+
+
+def test_concurrent_jsonl_appends_to_one_file_never_tear_lines(tmp_path, mp_context):
+    # All four writers hammer the same experiment file; every line must stay
+    # a complete JSON document (the O_APPEND single-write guarantee).
+    root = tmp_path / "store"
+    processes = [
+        mp_context.Process(target=_writer_process, args=(root, writer))
+        for writer in range(N_PROCESSES)
+    ]
+    for p in processes:
+        p.start()
+    for p in processes:
+        p.join(timeout=120)
+    assert all(p.exitcode == 0 for p in processes)
+
+    import json
+
+    total_lines = 0
+    for path in sorted(root.glob("*.jsonl")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                json.loads(line)  # raises on any interleaved/torn line
+                total_lines += 1
+    assert total_lines == N_PROCESSES * RECORDS_PER_PROCESS
+
+
+def test_sqlite_export_order_is_independent_of_commit_order(tmp_path):
+    forward = ResultStore(tmp_path / "fwd.sqlite")
+    backward = ResultStore(tmp_path / "bwd.sqlite")
+    records = [_make_record(0, i) for i in range(6)]
+    for record in records:
+        forward.put(record)
+    for record in reversed(records):
+        backward.put(record)
+    assert canonical_json(forward.result_rows(), strict=False) == canonical_json(
+        backward.result_rows(), strict=False
+    )

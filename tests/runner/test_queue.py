@@ -1,0 +1,231 @@
+"""Tests for the SQLite job queue: lease protocol and the pull-worker loop.
+
+Lease arithmetic is tested with explicit ``now`` values (no sleeping); the
+worker loop runs in-process against the toy experiment from ``conftest``.
+"""
+
+import threading
+
+import pytest
+
+from repro.runner import (
+    Job,
+    JobQueue,
+    ResultStore,
+    SqliteStore,
+    canonical_json,
+    grid,
+    make_jobs,
+    run_jobs,
+    run_worker,
+)
+
+
+def _jobs(n=2):
+    return [Job("E01", {"x": i}, f"k{i}") for i in range(n)]
+
+
+@pytest.fixture
+def queue(tmp_path):
+    with JobQueue(tmp_path / "q.sqlite") as q:
+        yield q
+
+
+class TestEnqueue:
+    def test_enqueue_inserts_open_jobs_in_order(self, queue):
+        assert queue.enqueue(_jobs(3)) == 3
+        rows = queue.rows()
+        assert [r["key"] for r in rows] == ["k0", "k1", "k2"]
+        assert all(r["status"] == "open" for r in rows)
+        assert queue.counts() == {"open": 3, "claimed": 0, "done": 0, "failed": 0}
+
+    def test_reenqueue_is_idempotent_for_open_and_done_jobs(self, queue):
+        queue.enqueue(_jobs(2))
+        claim = queue.claim("w1", now=0.0)
+        queue.complete(claim.job.key, "w1")
+        assert queue.enqueue(_jobs(2)) == 0  # nothing new
+        counts = queue.counts()
+        assert counts["done"] == 1 and counts["open"] == 1
+
+    def test_reenqueue_reopens_failed_jobs(self, queue):
+        queue.enqueue(_jobs(1))
+        claim = queue.claim("w1", now=0.0)
+        queue.complete(claim.job.key, "w1", status="failed")
+        assert queue.counts()["failed"] == 1
+        queue.enqueue(_jobs(1))
+        assert queue.counts() == {"open": 1, "claimed": 0, "done": 0, "failed": 0}
+        queue.enqueue(_jobs(1), reopen_failed=False)  # opt-out leaves failures closed
+        claim = queue.claim("w1", now=0.0)
+        queue.complete(claim.job.key, "w1", status="failed")
+        queue.enqueue(_jobs(1), reopen_failed=False)
+        assert queue.counts()["failed"] == 1
+
+
+class TestLeaseProtocol:
+    def test_claim_returns_oldest_open_job_and_stamps_the_lease(self, queue):
+        queue.enqueue(_jobs(2))
+        claim = queue.claim("w1", lease_seconds=10.0, now=100.0)
+        assert claim.job.key == "k0" and claim.job.params == {"x": 0}
+        assert claim.worker == "w1" and claim.attempts == 1
+        assert claim.lease_expires == pytest.approx(110.0)
+        assert queue.counts()["claimed"] == 1
+
+    def test_two_workers_claim_disjoint_jobs(self, queue):
+        queue.enqueue(_jobs(2))
+        first = queue.claim("w1", now=100.0)
+        second = queue.claim("w2", now=100.0)
+        assert {first.job.key, second.job.key} == {"k0", "k1"}
+        assert queue.claim("w3", now=100.0) is None  # nothing claimable left
+
+    def test_expired_lease_is_reclaimed_with_attempt_count(self, queue):
+        queue.enqueue(_jobs(1))
+        queue.claim("w1", lease_seconds=10.0, now=100.0)
+        assert queue.claim("w2", lease_seconds=10.0, now=105.0) is None  # live lease
+        taken = queue.claim("w2", lease_seconds=10.0, now=111.0)  # w1 went silent
+        assert taken is not None and taken.worker == "w2" and taken.attempts == 2
+
+    def test_heartbeat_extends_the_lease(self, queue):
+        queue.enqueue(_jobs(1))
+        claim = queue.claim("w1", lease_seconds=10.0, now=100.0)
+        assert queue.heartbeat(claim.job.key, "w1", lease_seconds=10.0, now=108.0)
+        assert queue.claim("w2", lease_seconds=10.0, now=112.0) is None  # lease now 118
+        assert queue.claim("w2", lease_seconds=10.0, now=119.0) is not None
+
+    def test_heartbeat_reports_a_lost_lease(self, queue):
+        queue.enqueue(_jobs(1))
+        claim = queue.claim("w1", lease_seconds=10.0, now=100.0)
+        queue.claim("w2", lease_seconds=10.0, now=111.0)  # takeover after expiry
+        assert not queue.heartbeat(claim.job.key, "w1", now=112.0)
+
+    def test_complete_is_guarded_by_worker_identity(self, queue):
+        queue.enqueue(_jobs(1))
+        claim = queue.claim("w1", lease_seconds=10.0, now=100.0)
+        queue.claim("w2", lease_seconds=10.0, now=111.0)
+        assert not queue.complete(claim.job.key, "w1")  # stale claimant
+        assert queue.complete(claim.job.key, "w2")
+        assert queue.counts()["done"] == 1
+
+    def test_complete_rejects_unknown_status(self, queue):
+        with pytest.raises(ValueError):
+            queue.complete("k0", "w1", status="bogus")
+
+    def test_release_hands_the_job_back(self, queue):
+        queue.enqueue(_jobs(1))
+        claim = queue.claim("w1", now=100.0)
+        assert queue.release(claim.job.key, "w1")
+        assert queue.counts()["open"] == 1
+        assert queue.claim("w2", now=100.0) is not None
+
+    def test_reopen_expired_flips_only_stale_claims(self, queue):
+        queue.enqueue(_jobs(2))
+        queue.claim("w1", lease_seconds=10.0, now=100.0)
+        queue.claim("w2", lease_seconds=50.0, now=100.0)
+        assert queue.reopen_expired(now=120.0) == 1  # only w1's lease is stale
+        counts = queue.counts()
+        assert counts["open"] == 1 and counts["claimed"] == 1
+
+    def test_unfinished_counts_open_and_claimed(self, queue):
+        queue.enqueue(_jobs(3))
+        claim = queue.claim("w1", now=0.0)
+        queue.complete(claim.job.key, "w1")
+        assert queue.unfinished() == 2
+
+
+class TestRunWorker:
+    def test_worker_drains_the_queue_and_stores_records(self, toy_experiment, tmp_path):
+        store = SqliteStore(tmp_path / "campaign.sqlite")
+        jobs = make_jobs(toy_experiment.experiment_id, grid(x=[1, 2, 3], seed=[0]))
+        with JobQueue(store.path) as queue:
+            queue.enqueue(jobs)
+        report = run_worker(store, worker_id="w1", lease_seconds=30.0, poll_seconds=0.05)
+        assert report.n_ok == 3 and report.n_failed == 0
+        assert len(store.records(status="ok")) == 3
+        with JobQueue(store.path) as queue:
+            assert queue.counts() == {"open": 0, "claimed": 0, "done": 3, "failed": 0}
+
+    def test_worker_skips_jobs_already_ok_in_the_store(self, toy_experiment, tmp_path):
+        store = SqliteStore(tmp_path / "campaign.sqlite")
+        jobs = make_jobs(toy_experiment.experiment_id, grid(x=[1, 2], seed=[0]))
+        run_jobs(jobs[:1], store=store)  # one job already completed serially
+        with JobQueue(store.path) as queue:
+            queue.enqueue(jobs)
+        report = run_worker(store, worker_id="w1", poll_seconds=0.05)
+        assert (report.n_ok, report.n_cached) == (1, 1)
+        assert len(toy_experiment.calls) == 2  # 1 serial + 1 by the worker
+
+    def test_worker_marks_failures_and_leaves_them_closed(self, toy_experiment, tmp_path):
+        store = SqliteStore(tmp_path / "campaign.sqlite")
+        jobs = make_jobs(toy_experiment.experiment_id, [{"fail": True}])
+        with JobQueue(store.path) as queue:
+            queue.enqueue(jobs)
+        report = run_worker(store, worker_id="w1", poll_seconds=0.05)
+        assert report.n_failed == 1
+        assert store.failures()
+        with JobQueue(store.path) as queue:
+            assert queue.counts()["failed"] == 1
+
+    def test_worker_reclaims_an_expired_lease_from_a_dead_worker(
+        self, toy_experiment, tmp_path
+    ):
+        store = SqliteStore(tmp_path / "campaign.sqlite")
+        jobs = make_jobs(toy_experiment.experiment_id, [{"x": 5}])
+        with JobQueue(store.path) as queue:
+            queue.enqueue(jobs)
+            # Simulate a worker that claimed the job and died: its lease is
+            # backdated far into the past.
+            dead = queue.claim("dead-worker", lease_seconds=1.0, now=0.0)
+            assert dead is not None
+        report = run_worker(store, worker_id="live", lease_seconds=30.0, poll_seconds=0.05)
+        assert report.n_ok == 1
+        with JobQueue(store.path) as queue:
+            (row,) = queue.rows()
+            assert row["status"] == "done" and row["worker"] == "live"
+            assert row["attempts"] == 2
+
+    def test_worker_requires_the_sqlite_backend(self, tmp_path):
+        with pytest.raises(ValueError, match="SQLite"):
+            run_worker(tmp_path / "jsonl-dir")
+
+    def test_max_jobs_stops_early(self, toy_experiment, tmp_path):
+        store = SqliteStore(tmp_path / "campaign.sqlite")
+        jobs = make_jobs(toy_experiment.experiment_id, grid(x=[1, 2, 3], seed=[0]))
+        with JobQueue(store.path) as queue:
+            queue.enqueue(jobs)
+        report = run_worker(store, worker_id="w1", max_jobs=2, poll_seconds=0.05)
+        assert report.n_jobs == 2
+        with JobQueue(store.path) as queue:
+            assert queue.unfinished() == 1
+
+    def test_concurrent_workers_match_single_process_run_byte_for_byte(
+        self, toy_experiment, tmp_path
+    ):
+        # The acceptance criterion: two pull-workers draining one queue
+        # produce the same result_rows() export as run_jobs in one process.
+        param_sets = grid(x=[1, 2, 3, 4, 5, 6], seed=[0])
+        jobs = make_jobs(toy_experiment.experiment_id, param_sets)
+        queue_store = SqliteStore(tmp_path / "queue.sqlite")
+        with JobQueue(queue_store.path) as queue:
+            queue.enqueue(jobs)
+        workers = [
+            threading.Thread(
+                target=run_worker,
+                args=(SqliteStore(queue_store.path),),
+                kwargs={"worker_id": f"w{i}", "lease_seconds": 30.0, "poll_seconds": 0.02},
+            )
+            for i in range(2)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=60)
+        assert not any(w.is_alive() for w in workers)
+
+        serial_store = SqliteStore(tmp_path / "serial.sqlite")
+        run_jobs(jobs, store=serial_store)
+        queue_store.refresh()
+        assert canonical_json(queue_store.result_rows(), strict=False) == canonical_json(
+            serial_store.result_rows(), strict=False
+        )
+        with JobQueue(queue_store.path) as queue:
+            counts = queue.counts()
+        assert counts["done"] == len(jobs) and counts["open"] == counts["claimed"] == 0

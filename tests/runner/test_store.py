@@ -1,13 +1,40 @@
-"""Tests for the JSON-lines result store and the canonical serialisation."""
+"""Store-contract tests (run against both backends) and the canonical
+serialisation, plus regression tests for the JSON-lines concurrency bugs.
+
+``TestStoreContract``/``TestExport`` parametrise over the two
+:class:`~repro.runner.store.ResultStore` backends through the dispatching
+constructor — one shared suite is the guarantee that ``JsonlStore`` and
+``SqliteStore`` cannot drift apart semantically.
+"""
+
+import json
+import os
+import pathlib
 
 import numpy as np
 import pytest
 
-from repro.runner import ResultStore, canonical_json, jsonify, params_key
+from repro.runner import (
+    JsonlStore,
+    ResultStore,
+    SqliteStore,
+    StoreCorruptionWarning,
+    canonical_json,
+    jsonify,
+    make_jobs,
+    params_key,
+    run_jobs,
+)
 
 
 def _record(key="k1", experiment_id="E01", status="ok", **extra):
     return {"key": key, "experiment_id": experiment_id, "status": status, **extra}
+
+
+@pytest.fixture(params=["jsonl", "sqlite"])
+def store_root(request, tmp_path):
+    """A backend-selecting store root (directory vs ``*.sqlite`` file)."""
+    return tmp_path / ("store" if request.param == "jsonl" else "store.sqlite")
 
 
 class TestSerialize:
@@ -30,44 +57,98 @@ class TestSerialize:
         assert key != params_key("E02", {"trials": 100, "seed": 1})
 
 
-class TestResultStore:
-    def test_put_get_roundtrip(self, tmp_path):
-        store = ResultStore(tmp_path)
+class TestBackendDispatch:
+    def test_directory_roots_give_the_jsonl_backend(self, tmp_path):
+        assert isinstance(ResultStore(tmp_path / "cache"), JsonlStore)
+
+    def test_sqlite_suffixes_give_the_sqlite_backend(self, tmp_path):
+        for name in ("a.sqlite", "b.sqlite3", "c.db"):
+            assert isinstance(ResultStore(tmp_path / name), SqliteStore)
+
+    def test_existing_sqlite_file_detected_by_magic_header(self, tmp_path):
+        original = ResultStore(tmp_path / "campaign.sqlite")
+        original.put(_record())
+        original.close()
+        renamed = tmp_path / "campaign"  # no telling suffix
+        (tmp_path / "campaign.sqlite").rename(renamed)
+        reopened = ResultStore(renamed)
+        assert isinstance(reopened, SqliteStore)
+        assert reopened.get("k1") is not None
+
+    def test_direct_subclass_instantiation_bypasses_dispatch(self, tmp_path):
+        assert isinstance(JsonlStore(tmp_path / "x.sqlite"), JsonlStore)
+
+    def test_no_arg_construction_opens_the_default_root(self, tmp_path, monkeypatch):
+        from repro.runner import DEFAULT_STORE_DIR
+
+        monkeypatch.chdir(tmp_path)
+        store = ResultStore()
+        assert isinstance(store, JsonlStore)
+        assert store.root == pathlib.Path(DEFAULT_STORE_DIR)
+
+
+class TestStoreContract:
+    def test_put_get_roundtrip(self, store_root):
+        store = ResultStore(store_root)
         stored = store.put(_record(result={"headline": {"x": 1.0}}))
         assert store.get("k1") == stored
         assert "k1" in store and len(store) == 1
 
-    def test_records_persist_across_instances(self, tmp_path):
-        ResultStore(tmp_path).put(_record())
-        reopened = ResultStore(tmp_path)
+    def test_records_persist_across_instances(self, store_root):
+        ResultStore(store_root).put(_record())
+        reopened = ResultStore(store_root)
         assert reopened.get("k1") is not None
         assert reopened.path_for("E01").exists()
 
-    def test_latest_record_wins(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_latest_record_wins(self, store_root):
+        store = ResultStore(store_root)
         store.put(_record(status="failed", error="boom"))
         store.put(_record(status="ok", result={}))
         assert store.get("k1")["status"] == "ok"
-        reopened = ResultStore(tmp_path)
+        reopened = ResultStore(store_root)
         assert reopened.get("k1")["status"] == "ok"
         assert len(reopened) == 1
 
-    def test_filters_by_experiment_and_status(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_filters_by_experiment_and_status(self, store_root):
+        store = ResultStore(store_root)
         store.put(_record(key="a", experiment_id="E01", status="ok", result={}))
         store.put(_record(key="b", experiment_id="E02", status="failed", error="x"))
         assert [r["key"] for r in store.records(experiment_id="E01")] == ["a"]
         assert [r["key"] for r in store.failures()] == ["b"]
 
-    def test_missing_fields_rejected(self, tmp_path):
+    def test_missing_fields_rejected(self, store_root):
         with pytest.raises(ValueError):
-            ResultStore(tmp_path).put({"key": "k1"})
+            ResultStore(store_root).put({"key": "k1"})
 
-    def test_records_are_normalised_json(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_records_are_normalised_json(self, store_root):
+        store = ResultStore(store_root)
         stored = store.put(_record(params={"xs": (1, 2)}, result={"v": np.float64(2.5)}))
         assert stored["params"]["xs"] == [1, 2]
         assert stored["result"]["v"] == 2.5
+
+    def test_refresh_sees_records_from_a_second_instance(self, store_root):
+        reader = ResultStore(store_root)
+        assert len(reader) == 0  # cache the (empty) index
+        writer = ResultStore(store_root)
+        writer.put(_record(key="external"))
+        reader.refresh()
+        assert reader.get("external") is not None
+
+    def test_refresh_sees_appends_to_an_already_loaded_file(self, store_root):
+        writer = ResultStore(store_root)
+        writer.put(_record(key="k1"))
+        reader = ResultStore(store_root)
+        assert len(reader) == 1  # index now caches a non-empty file
+        writer.put(_record(key="k2"))
+        writer.put(_record(key="k1", status="failed", error="newer"))
+        reader.refresh()
+        assert len(reader) == 2
+        assert reader.get("k1")["status"] == "failed"  # latest-wins across refresh
+
+    def test_context_manager_closes(self, store_root):
+        with ResultStore(store_root) as store:
+            store.put(_record())
+        assert ResultStore(store_root).get("k1") is not None
 
 
 class TestExport:
@@ -90,8 +171,8 @@ class TestExport:
         )
         store.put(_record(key="c", experiment_id="E01", status="failed", error="boom"))
 
-    def test_result_rows_flatten_params_and_rows(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_result_rows_flatten_params_and_rows(self, store_root):
+        store = ResultStore(store_root)
         self._seed(store)
         rows = store.result_rows()
         assert len(rows) == 3  # two E01 table rows + one E02 headline row
@@ -104,15 +185,15 @@ class TestExport:
         # …and included when asked for.
         assert any(r["key"] == "c" for r in store.result_rows(status=None))
 
-    def test_result_rows_filter_by_experiment(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_result_rows_filter_by_experiment(self, store_root):
+        store = ResultStore(store_root)
         self._seed(store)
         assert all(r["experiment_id"] == "E01" for r in store.result_rows("E01"))
         assert store.result_rows("E99") == []
 
-    def test_to_dataframe_roundtrip(self, tmp_path):
+    def test_to_dataframe_roundtrip(self, store_root):
         pd = pytest.importorskip("pandas")
-        store = ResultStore(tmp_path)
+        store = ResultStore(store_root)
         self._seed(store)
         frame = store.to_dataframe("E01")
         assert isinstance(frame, pd.DataFrame)
@@ -120,11 +201,115 @@ class TestExport:
         assert frame["param_trials"].tolist() == [10, 10]
         assert frame["y"].tolist() == [2.0, 3.5]
 
-    def test_to_dataframe_without_pandas_raises_helpfully(self, tmp_path, monkeypatch):
+    def test_to_dataframe_without_pandas_raises_helpfully(self, store_root, monkeypatch):
         import sys
 
         monkeypatch.setitem(sys.modules, "pandas", None)  # forces ImportError
-        store = ResultStore(tmp_path)
+        store = ResultStore(store_root)
         self._seed(store)
         with pytest.raises(ImportError, match="optional pandas"):
             store.to_dataframe()
+
+
+class TestJsonlConcurrencyBugfixes:
+    """Failing-first regressions for the three JSON-lines store races."""
+
+    def test_resume_does_not_rerun_jobs_completed_by_another_process(
+        self, toy_experiment, tmp_path
+    ):
+        # Bug 1: the index was cached on first read and never invalidated, so
+        # records appended through another store instance on the same root
+        # were invisible and resume silently re-ran completed jobs.
+        store = ResultStore(tmp_path)
+        jobs = make_jobs(toy_experiment.experiment_id, [{"x": 2}])
+        assert len(store) == 0  # cache the index before the "other process" runs
+        run_jobs(jobs, store=ResultStore(tmp_path))  # another process completes the job
+        assert len(toy_experiment.calls) == 1
+        report = run_jobs(jobs, store=store)  # stale instance must still resume
+        assert report.n_cached == 1
+        assert len(toy_experiment.calls) == 1  # not re-run
+
+    def test_refresh_is_mtime_keyed_and_skips_unchanged_files(self, tmp_path, monkeypatch):
+        store = JsonlStore(tmp_path)
+        store.put(_record())
+        reopened = JsonlStore(tmp_path)
+        assert len(reopened) == 1
+        reads = []
+        original = JsonlStore._read_file
+        monkeypatch.setattr(
+            JsonlStore, "_read_file", staticmethod(lambda p: reads.append(p) or original(p))
+        )
+        reopened.refresh()  # nothing changed on disk
+        assert reads == []
+
+    def test_refresh_rereads_files_this_instance_appended_to(self, tmp_path, monkeypatch):
+        # put() must not cache a post-write stat: it can cover a concurrent
+        # writer's append that is absent from the local index, after which
+        # refresh() would skip the file forever.  The safe behaviour is to
+        # drop the stat, so the first refresh after an own append re-reads.
+        store = JsonlStore(tmp_path)
+        store.put(_record(key="mine"))
+        reads = []
+        original = JsonlStore._read_file
+        monkeypatch.setattr(
+            JsonlStore, "_read_file", staticmethod(lambda p: reads.append(p) or original(p))
+        )
+        store.refresh()
+        assert reads == [store.path_for("E01")]
+
+    def test_torn_trailing_line_is_skipped_with_a_warning(self, tmp_path):
+        # Bug 2: a crash mid-append used to raise json.JSONDecodeError on the
+        # next load and brick the whole store.
+        store = JsonlStore(tmp_path)
+        store.put(_record(key="intact"))
+        path = store.path_for("E01")
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn", "experiment_id": "E0')  # no closing, no newline
+        reopened = JsonlStore(tmp_path)
+        with pytest.warns(StoreCorruptionWarning, match="torn"):
+            assert len(reopened) == 1
+        assert reopened.get("intact") is not None
+        assert reopened.get("torn") is None
+
+    def test_append_after_torn_line_does_not_corrupt_the_new_record(self, tmp_path):
+        store = JsonlStore(tmp_path)
+        store.put(_record(key="intact"))
+        path = store.path_for("E01")
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn"')  # crash artifact without trailing newline
+        healed = JsonlStore(tmp_path)
+        with pytest.warns(StoreCorruptionWarning):
+            healed.put(_record(key="after"))
+        fresh = JsonlStore(tmp_path)
+        with pytest.warns(StoreCorruptionWarning):
+            assert fresh.get("after") is not None  # not glued onto the torn line
+        assert fresh.get("intact") is not None
+
+    def test_put_issues_a_single_o_append_write(self, tmp_path, monkeypatch):
+        # Bug 3: buffered open("a") writes could interleave partial lines
+        # across processes; the fix is one os.write per record on an O_APPEND
+        # descriptor.
+        store = JsonlStore(tmp_path)
+        opened_flags = {}
+        writes = []
+        real_open, real_write = os.open, os.write
+
+        def spy_open(path, flags, *args, **kwargs):
+            fd = real_open(path, flags, *args, **kwargs)
+            opened_flags[fd] = flags
+            return fd
+
+        def spy_write(fd, payload):
+            if fd in opened_flags:
+                writes.append((fd, bytes(payload)))
+            return real_write(fd, payload)
+
+        monkeypatch.setattr(os, "open", spy_open)
+        monkeypatch.setattr(os, "write", spy_write)
+        record = _record(result={"blob": "x" * 100_000})  # far beyond any stdio buffer
+        store.put(record)
+        assert len(writes) == 1  # the whole line went down in one write
+        fd, payload = writes[0]
+        assert opened_flags[fd] & os.O_APPEND
+        assert payload.endswith(b"\n")
+        assert json.loads(payload.decode("utf-8"))["key"] == "k1"

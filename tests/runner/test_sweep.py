@@ -1,0 +1,244 @@
+"""Tests for TOML sweep configurations and the sweep/worker CLI commands."""
+
+import pytest
+
+from repro.runner import ResultStore, canonical_json, load_sweep, make_jobs
+from repro.runner.cli import main
+from repro.runner.sweep import _toml
+
+pytestmark = pytest.mark.skipif(
+    _toml is None, reason="needs tomllib (Python >= 3.11) or the tomli backport"
+)
+
+
+def _write(tmp_path, text, name="sweep.toml"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+BASIC = """
+[runner]
+store = "campaign.sqlite"
+seed = 42
+jobs = 2
+
+[experiments.T91]
+x = 7
+
+[experiments.T91.grid]
+seed = [1, 2, 3]
+"""
+
+
+class TestLoadSweep:
+    def test_parses_runner_settings_and_experiments(self, tmp_path):
+        config = load_sweep(_write(tmp_path, BASIC))
+        assert config.store == "campaign.sqlite"
+        assert config.seed == 42 and config.jobs == 2
+        (sweep,) = config.experiments
+        assert sweep.experiment_id == "T91"
+        assert sweep.pinned == {"x": 7}
+        assert sweep.axes == {"seed": [1, 2, 3]}
+
+    def test_param_sets_cross_pins_with_axes(self, tmp_path):
+        config = load_sweep(
+            _write(
+                tmp_path,
+                """
+                [experiments.T91]
+                x = 1
+                [experiments.T91.grid]
+                seed = [1, 2]
+                fail = [false, true]
+                """,
+            )
+        )
+        (sweep,) = config.experiments
+        sets = sweep.param_sets()
+        assert len(sets) == 4
+        assert all(p["x"] == 1 for p in sets)
+        assert [(p["seed"], p["fail"]) for p in sets] == [
+            (1, False), (1, True), (2, False), (2, True),
+        ]
+
+    def test_list_valued_parameters_pin_at_top_level(self, tmp_path):
+        # The pin/axis split is positional, so list-valued parameters (e.g.
+        # E11's lambdas) are still pinnable — that's the whole point.
+        config = load_sweep(
+            _write(
+                tmp_path,
+                """
+                [experiments.E11]
+                lambdas = [0.4, 0.8]
+                [experiments.E11.grid]
+                seed = [1, 2]
+                """,
+            )
+        )
+        (sweep,) = config.experiments
+        assert sweep.pinned == {"lambdas": [0.4, 0.8]}
+        assert all(p["lambdas"] == [0.4, 0.8] for p in sweep.param_sets())
+
+    def test_experiments_expand_in_file_order(self, tmp_path):
+        config = load_sweep(
+            _write(
+                tmp_path,
+                """
+                [experiments.B02]
+                [experiments.A01]
+                """,
+            )
+        )
+        assert [s.experiment_id for s in config.experiments] == ["B02", "A01"]
+
+    def test_make_all_jobs_matches_make_jobs(self, toy_experiment, tmp_path):
+        config = load_sweep(_write(tmp_path, BASIC))
+        jobs = config.make_all_jobs()
+        reference = make_jobs("T91", [{"x": 7, "seed": s} for s in (1, 2, 3)], base_seed=42)
+        assert jobs == reference
+
+    def test_base_seed_spawns_seeds_for_axes_without_one(self, toy_experiment, tmp_path):
+        config = load_sweep(
+            _write(
+                tmp_path,
+                """
+                [runner]
+                seed = 9
+                [experiments.T91.grid]
+                x = [1, 2]
+                """,
+            )
+        )
+        jobs = config.make_all_jobs()
+        seeds = [job.params["seed"] for job in jobs]
+        assert len(set(seeds)) == 2  # spawned, distinct
+        assert jobs == config.make_all_jobs()  # and deterministic
+
+    def test_typo_in_parameter_name_fails_at_expansion(self, toy_experiment, tmp_path):
+        config = load_sweep(
+            _write(tmp_path, "[experiments.T91]\nbogus = 1\n")
+        )
+        with pytest.raises(TypeError, match="bogus"):
+            config.make_all_jobs()
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("[typo]\n[experiments.T91]\n", "unknown top-level"),
+            ("[runner]\nstroe = 'x'\n[experiments.T91]\n", "unknown .runner. key"),
+            ("[runner]\nseed = 'high'\n[experiments.T91]\n", "seed must be an integer"),
+            ("[runner]\njobs = 0\n[experiments.T91]\n", "jobs must be a positive"),
+            ("[runner]\nseed = 1\n", "at least one"),
+            ("[experiments.T91.grid]\nseed = []\n", "non-empty array"),
+            ("[experiments.T91.grid]\nseed = 5\n", "non-empty array"),
+        ],
+    )
+    def test_malformed_files_are_rejected_with_context(self, tmp_path, text, match):
+        with pytest.raises(ValueError, match=match):
+            load_sweep(_write(tmp_path, text))
+
+    def test_missing_toml_support_raises_helpfully(self, tmp_path, monkeypatch):
+        import repro.runner.sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod, "_toml", None)
+        with pytest.raises(ImportError, match="tomli"):
+            load_sweep(_write(tmp_path, BASIC))
+
+
+class TestSweepCli:
+    def _sweep_file(self, tmp_path, store_name):
+        return _write(
+            tmp_path,
+            f"""
+            [runner]
+            store = "{tmp_path / store_name}"
+            [experiments.T91]
+            [experiments.T91.grid]
+            x = [1, 2]
+            seed = [0]
+            """,
+        )
+
+    def test_sweep_runs_the_campaign_and_resumes(self, toy_experiment, tmp_path, capsys):
+        config = self._sweep_file(tmp_path, "store")
+        assert main(["sweep", str(config)]) == 0
+        assert "2 ran, 0 cached" in capsys.readouterr().out
+        assert len(ResultStore(tmp_path / "store").records(status="ok")) == 2
+        assert main(["sweep", str(config)]) == 0
+        assert "0 ran, 2 cached" in capsys.readouterr().out
+        assert len(toy_experiment.calls) == 2
+
+    def test_sweep_store_override_and_sqlite_backend(self, toy_experiment, tmp_path, capsys):
+        config = self._sweep_file(tmp_path, "ignored-store")
+        db = tmp_path / "override.sqlite"
+        assert main(["sweep", str(config), "--store", str(db)]) == 0
+        capsys.readouterr()
+        assert db.exists()
+        assert len(ResultStore(db).records(status="ok")) == 2
+        assert not (tmp_path / "ignored-store").exists()
+
+    def test_sweep_enqueue_then_worker_drains(self, toy_experiment, tmp_path, capsys):
+        config = self._sweep_file(tmp_path, "campaign.sqlite")
+        assert main(["sweep", str(config), "--enqueue"]) == 0
+        out = capsys.readouterr().out
+        assert "enqueued 2 new job(s)" in out
+        assert len(toy_experiment.calls) == 0  # enqueue runs nothing
+        assert (
+            main(
+                ["worker", "--store", str(tmp_path / "campaign.sqlite"), "--poll", "0.05"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 ran, 0 cached, 0 failed" in out
+        assert len(toy_experiment.calls) == 2
+        # Store contents match the direct sweep run byte for byte.
+        serial = tmp_path / "serial.sqlite"
+        assert main(["sweep", str(config), "--store", str(serial)]) == 0
+        assert canonical_json(
+            ResultStore(tmp_path / "campaign.sqlite").result_rows(), strict=False
+        ) == canonical_json(ResultStore(serial).result_rows(), strict=False)
+
+    def test_enqueue_rejects_force_loudly(self, toy_experiment, tmp_path, capsys):
+        # Workers decide cached-vs-run at claim time; an enqueue cannot carry
+        # a recompute order, so --force must fail rather than silently no-op.
+        config = self._sweep_file(tmp_path, "campaign.sqlite")
+        assert main(["sweep", str(config), "--enqueue", "--force"]) == 2
+        assert "--force" in capsys.readouterr().out
+
+    def test_enqueue_requires_sqlite_store(self, toy_experiment, tmp_path, capsys):
+        config = self._sweep_file(tmp_path, "jsonl-dir")
+        assert main(["sweep", str(config), "--enqueue"]) == 2
+        assert "SQLite" in capsys.readouterr().out
+
+    def test_worker_requires_sqlite_store(self, tmp_path, capsys):
+        assert main(["worker", "--store", str(tmp_path / "jsonl-dir")]) == 2
+        assert "SQLite" in capsys.readouterr().out
+
+    def test_unknown_experiment_id_rejected_before_running(self, tmp_path, capsys):
+        config = _write(tmp_path, "[experiments.ZZ99]\n")
+        assert main(["sweep", str(config)]) == 2
+        assert "unknown experiment id" in capsys.readouterr().out
+
+    def test_missing_config_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["sweep", str(tmp_path / "nope.toml")]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_worker_exits_nonzero_when_jobs_failed(self, toy_experiment, tmp_path, capsys):
+        config = _write(
+            tmp_path,
+            f"""
+            [runner]
+            store = "{tmp_path / 'campaign.sqlite'}"
+            [experiments.T91]
+            fail = true
+            """,
+        )
+        assert main(["sweep", str(config), "--enqueue"]) == 0
+        capsys.readouterr()
+        assert (
+            main(["worker", "--store", str(tmp_path / "campaign.sqlite"), "--poll", "0.05"])
+            == 1
+        )
+        assert "1 failed" in capsys.readouterr().out
