@@ -28,7 +28,7 @@ def test_e08_power(benchmark, emit_result):
     # At beta = 2 the power ratio against the dense base graph is a small constant
     # (the operational power-efficiency claim); the ratio grows with beta because the
     # dense base graph can use ever-shorter hops, as discussed in repro.core.power.
-    assert stretch_rows[0]["beta"] == 2.0
+    assert stretch_rows[0]["beta"] == 2.0  # repro: allow[REPRO201] grid parameter round-trips exactly
     assert stretch_rows[0]["max_ratio"] < 12.0
     assert all(r["mean_ratio"] >= 1.0 for r in stretch_rows)
     betas = [r["beta"] for r in stretch_rows]

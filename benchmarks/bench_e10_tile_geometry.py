@@ -6,7 +6,6 @@ stated UDG parameters and an analytic-vs-Monte-Carlo cross-check of the
 goodness probability.
 """
 
-import numpy as np
 
 from repro.analysis.experiments import experiment_e10_tile_geometry
 

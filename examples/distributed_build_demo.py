@@ -10,7 +10,6 @@ Run with::
     python examples/distributed_build_demo.py
 """
 
-import numpy as np
 
 from repro import Rect, build_udg_sens
 from repro.analysis.tables import format_table

@@ -19,9 +19,6 @@ See README.md for the architecture overview, DESIGN.md for the system
 inventory and EXPERIMENTS.md for the paper-vs-measured record.
 """
 
-from repro.geometry.primitives import Rect, Disc
-from repro.geometry.poisson import PoissonProcess, poisson_points
-from repro.graphs import build_udg, build_knn
 from repro.core import (
     NNTileSpec,
     SensNetwork,
@@ -34,6 +31,9 @@ from repro.core import (
     measure_stretch,
     power_stretch,
 )
+from repro.geometry.poisson import PoissonProcess, poisson_points
+from repro.geometry.primitives import Rect, Disc
+from repro.graphs import build_udg, build_knn
 
 __version__ = "1.0.0"
 

@@ -9,8 +9,6 @@
   rows are what the corresponding benchmark prints.
 """
 
-from repro.analysis.statistics import bootstrap_ci, mean_confidence_interval, summarize
-from repro.analysis.tables import format_table, to_markdown
 from repro.analysis.experiments import (
     ExperimentResult,
     experiment_e01_udg_threshold,
@@ -26,6 +24,8 @@ from repro.analysis.experiments import (
     experiment_e11_continuum,
     experiment_e12_components,
 )
+from repro.analysis.statistics import bootstrap_ci, mean_confidence_interval, summarize
+from repro.analysis.tables import format_table, to_markdown
 
 __all__ = [
     "bootstrap_ci",

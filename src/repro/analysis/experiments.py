@@ -25,7 +25,6 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.analysis.statistics import summarize
 from repro.core.coverage import measure_coverage
 from repro.core.nn_sens import build_nn_sens
 from repro.core.power import power_stretch
@@ -34,8 +33,6 @@ from repro.core.thresholds import (
     estimate_goodness_probability,
     find_nn_k_threshold,
     find_udg_lambda_threshold,
-    goodness_curve_nn,
-    goodness_curve_udg,
 )
 from repro.core.tiles_nn import NNTileSpec
 from repro.core.tiles_udg import UDGTileSpec
@@ -46,7 +43,6 @@ from repro.geometry.primitives import Rect
 from repro.graphs.knn import build_knn
 from repro.graphs.metrics import graph_summary, largest_component_fraction
 from repro.graphs.spanners import (
-    build_euclidean_mst,
     build_gabriel_graph,
     build_relative_neighbourhood_graph,
     build_yao_graph,
@@ -57,7 +53,6 @@ from repro.percolation.chemical import chemical_stretch_samples
 from repro.percolation.clusters import cluster_statistics, label_clusters, theta_estimate
 from repro.percolation.critical import estimate_critical_probability
 from repro.percolation.lattice import sample_site_percolation
-from repro.routing.baselines import greedy_geographic_route
 from repro.routing.mesh import route_xy_mesh
 from repro.routing.overlay import route_on_overlay
 from repro.runner.registry import REGISTRY, register
@@ -463,6 +458,7 @@ def experiment_e07_routing(
         rows=rows,
         headline={
             "mesh_probe_overhead_at_p0.7": next(
+                # repro: allow[REPRO201] grid parameter round-trips exactly
                 (r["mean_probes_per_l1"] for r in rows if r.get("p_open") == 0.70), None
             ),
         },

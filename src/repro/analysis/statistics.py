@@ -8,6 +8,8 @@ from typing import Sequence
 import numpy as np
 from scipy import stats
 
+from repro.rng import resolve_rng
+
 __all__ = ["SummaryStats", "summarize", "mean_confidence_interval", "bootstrap_ci"]
 
 
@@ -89,7 +91,7 @@ def bootstrap_ci(
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         raise ValueError("cannot bootstrap an empty sample")
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     estimate = float(statistic(arr))
     resampled = np.empty(n_resamples)
     for i in range(n_resamples):

@@ -10,7 +10,7 @@ provides the same export as a pandas DataFrame when pandas is installed.
 from __future__ import annotations
 
 import pathlib
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 __all__ = ["format_table", "to_markdown", "to_latex", "store_table"]
 

@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.geometry.primitives import Rect, as_points
+from repro.rng import resolve_rng
 
 __all__ = [
     "CoverageReport",
@@ -49,7 +50,7 @@ def empty_box_probability(
         raise ValueError("box_size must be positive")
     if n_boxes < 1:
         raise ValueError("n_boxes must be positive")
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     pts = as_points(points)
     effective = window.shrink(margin) if margin > 0 else window
     if box_size > min(effective.width, effective.height):
@@ -91,8 +92,8 @@ class CoverageReport:
 
     def as_rows(self) -> list[dict[str, float]]:
         return [
-            {"box_size": float(l), "p_empty": float(p)}
-            for l, p in zip(self.box_sizes, self.empty_probabilities)
+            {"box_size": float(side), "p_empty": float(p)}
+            for side, p in zip(self.box_sizes, self.empty_probabilities)
         ]
 
     def predicted(self, box_size: float) -> float:
@@ -111,7 +112,7 @@ def measure_coverage(
     margin: float = 0.0,
 ) -> CoverageReport:
     """Sweep box sizes, estimate empty-box probabilities, fit the exponential decay."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     sizes = np.asarray(sorted(float(s) for s in box_sizes))
     probs = np.asarray(
         [

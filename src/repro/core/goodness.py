@@ -17,8 +17,8 @@ centralized rule.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping
 
 import numpy as np
 

@@ -19,6 +19,7 @@ from repro.core.tiling import Tiling
 from repro.geometry.poisson import poisson_points
 from repro.geometry.primitives import Rect, as_points
 from repro.graphs.knn import build_knn
+from repro.rng import resolve_rng
 
 __all__ = ["build_nn_sens"]
 
@@ -67,7 +68,7 @@ def build_nn_sens(
     if points is None:
         if window is None:
             raise ValueError("either points or a window to sample on must be provided")
-        rng = rng or np.random.default_rng(seed)
+        rng = resolve_rng(rng, seed)
         points = poisson_points(window, intensity, rng)
     else:
         points = as_points(points)

@@ -30,6 +30,7 @@ from scipy.sparse.csgraph import dijkstra
 
 from repro.core.result import SensNetwork
 from repro.graphs.base import GeometricGraph
+from repro.rng import resolve_rng
 
 __all__ = ["path_power", "min_power_distances", "PowerReport", "power_stretch"]
 
@@ -132,7 +133,7 @@ def power_stretch(
     _check_beta(beta)
     if n_pairs < 1:
         raise ValueError("n_pairs must be positive")
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     sens = network.sens
     if sens.n_nodes < 2:
         raise ValueError("SENS component too small for power-stretch sampling")

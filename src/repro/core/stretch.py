@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.result import SensNetwork
 from repro.graphs.metrics import shortest_path_euclidean, shortest_path_hops
+from repro.rng import resolve_rng
 
 __all__ = ["StretchSamplePair", "StretchReport", "measure_stretch"]
 
@@ -136,7 +137,7 @@ def measure_stretch(
     """
     if n_pairs < 1:
         raise ValueError("n_pairs must be positive")
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     sens = network.sens
     min_euclidean = network.tiling.tile_side if min_euclidean is None else min_euclidean
 

@@ -27,6 +27,7 @@ from repro.core.tiles_udg import UDGTileSpec
 from repro.geometry.poisson import poisson_points
 from repro.geometry.primitives import Rect
 from repro.percolation import SITE_PERCOLATION_THRESHOLD
+from repro.rng import resolve_rng
 
 __all__ = [
     "GoodnessEstimate",
@@ -155,7 +156,7 @@ def estimate_goodness_probability(
     """
     if trials < 1:
         raise ValueError("trials must be positive")
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     hits = 0
     failures: dict[str, int] = {}
     for _ in range(trials):
@@ -182,7 +183,7 @@ def goodness_curve_udg(
     rng: np.random.Generator | None = None,
 ) -> GoodnessCurve:
     """P(tile good) vs λ for a UDG tile spec."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     estimates = tuple(
         estimate_goodness_probability(spec, float(lam), k=None, trials=trials, rng=rng)
         for lam in intensities
@@ -204,7 +205,7 @@ def goodness_curve_nn(
     so that the tile parameter a can be co-optimised with k
     (:func:`optimise_nn_tile_parameter`).
     """
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     estimates = []
     for k in k_values:
         spec = spec_factory(int(k)) if callable(spec_factory) else spec_factory
@@ -277,7 +278,7 @@ def optimise_nn_tile_parameter(
     but pushes the expected tile occupancy ``λ·(10a)²`` against the cap
     ``k/2``.  A coarse grid search is all the paper's procedure needs.
     """
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     if a_grid is None:
         # Centre the grid on the occupancy-balanced value a* where the expected
         # count equals half the cap: λ·(10a)² = k/4  ⇒  a* = sqrt(k)/20 for λ=1.

@@ -156,6 +156,7 @@ class NNTileSpec(TileSpec):
             # the per-anchor radius varies with position.
             for frac in (0.0, 0.5):
                 ring = Disc(disc.cx, disc.cy, disc.radius * frac)
+                # repro: allow[REPRO201] literal-vs-literal comparison
                 n = 1 if frac == 0.0 else self.anchor_samples // 2
                 anchors.append(ring.boundary_points(max(n, 1)))
         anchor_pts = np.vstack(anchors)

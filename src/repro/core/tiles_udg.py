@@ -35,12 +35,11 @@ throughout the experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.tiles_base import DIRECTIONS, SpecDiagnostics, TileSpec
-from repro.geometry.integration import estimate_area_grid
 from repro.geometry.predicates import (
     AnnulusPredicate,
     DiscPredicate,

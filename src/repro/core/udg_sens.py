@@ -19,6 +19,7 @@ from repro.core.tiling import Tiling
 from repro.geometry.poisson import poisson_points
 from repro.geometry.primitives import Rect, as_points
 from repro.graphs.udg import build_udg
+from repro.rng import resolve_rng
 
 __all__ = ["build_udg_sens"]
 
@@ -63,7 +64,7 @@ def build_udg_sens(
     if points is None:
         if intensity is None or window is None:
             raise ValueError("either points, or both intensity and window, must be provided")
-        rng = rng or np.random.default_rng(seed)
+        rng = resolve_rng(rng, seed)
         points = poisson_points(window, intensity, rng)
     else:
         points = as_points(points)

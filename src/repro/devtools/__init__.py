@@ -1,0 +1,25 @@
+"""repro.devtools — static-analysis tooling that enforces the repo's contracts.
+
+The subpackage hosts a small AST-based lint engine (:mod:`repro.devtools.engine`)
+plus a rule pack (:mod:`repro.devtools.rules`) encoding the invariants the
+library's correctness rests on: seeded-RNG byte-determinism, exact float
+predicates (``within_ball``), injectable clocks, canonical-JSON store records,
+single-``os.write`` appends and SQLite transaction discipline.
+
+Run it with::
+
+    python -m repro.devtools.lint src benchmarks examples
+
+Findings can be suppressed per line (``# repro: allow[REPRO102] reason``),
+per file (``# repro: allow-file[REPRO301] reason``) or grandfathered in a
+checked-in baseline file.  See CONTRIBUTING.md for the rule catalogue and
+the suppression policy.
+
+The engine is deliberately stdlib-only: importing :mod:`repro.devtools` must
+never require numpy/scipy, so the lint gate can run in any environment.
+"""
+
+from repro.devtools.engine import Finding, LintResult, Rule, lint_paths
+from repro.devtools.rules import all_rules
+
+__all__ = ["Finding", "LintResult", "Rule", "lint_paths", "all_rules"]

@@ -1,0 +1,72 @@
+"""Baseline support: grandfather existing findings without weakening the gate.
+
+A baseline file is checked-in JSON listing fingerprints of known findings.
+Fingerprints are ``(rule, path, stripped source line)`` — deliberately free
+of line numbers so unrelated edits do not invalidate the baseline — and are
+matched as a *multiset*: two identical violations on different lines need
+two baseline entries, and a baselined line that gets fixed simply leaves an
+unused entry (reported so it can be pruned).
+
+The repo policy (CONTRIBUTING.md) is that the baseline stays **empty**: new
+rules land together with fixes or justified inline suppressions.  The
+machinery exists so a future rule with a long tail can still land its gate
+on day one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.devtools.engine import Finding
+
+__all__ = ["load_baseline", "write_baseline", "split_by_baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_Fingerprint = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> Counter:
+    """Load a baseline file into a fingerprint multiset."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != 1:
+        raise ValueError(f"unsupported baseline format in {path} (want version 1)")
+    fingerprints: Counter = Counter()
+    for entry in data.get("findings", []):
+        fingerprints[(entry["rule"], entry["path"], entry["snippet"].strip())] += 1
+    return fingerprints
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable bytes)."""
+    entries = sorted(
+        ({"rule": f.rule, "path": f.path, "snippet": f.snippet.strip()} for f in findings),
+        key=lambda e: (e["path"], e["rule"], e["snippet"]),
+    )
+    payload: Dict[str, object] = {"version": 1, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def split_by_baseline(
+    findings: List[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding], Counter]:
+    """Partition findings into (new, baselined); also return unused entries.
+
+    Consumes baseline entries greedily in finding order; leftovers are the
+    stale entries whose violations no longer exist (candidates for pruning).
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    unused = Counter({fp: n for fp, n in remaining.items() if n > 0})
+    return new, grandfathered, unused

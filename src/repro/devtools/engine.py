@@ -1,0 +1,339 @@
+"""Core of the invariant lint engine: rules, findings, suppression, file walk.
+
+Design notes
+------------
+* **Stdlib only.**  The engine parses with :mod:`ast` and :mod:`tokenize`;
+  it never imports the code under analysis, so a lint run cannot execute
+  repo code and needs no third-party packages.
+* **Rules are classes.**  A rule subclasses :class:`Rule`, declares a stable
+  ``code`` (``REPROxxx``), optional path scoping (``only_paths`` /
+  ``allow_paths``) and yields :class:`Finding` objects from :meth:`Rule.check`.
+  Each rule receives a fully prepared :class:`FileContext` (source, AST,
+  import-alias map, suppression table) so individual rules stay tiny.
+* **Suppression is explicit.**  ``# repro: allow[CODE] justification`` on the
+  offending line (or the line directly above) silences one finding;
+  ``# repro: allow-file[CODE] justification`` silences a rule for a whole
+  file; ``allow[*]`` silences every rule.  Suppression comments are read
+  from real COMMENT tokens, so string literals can never suppress anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+import io
+from pathlib import Path
+import re
+import tokenize
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "LintResult",
+    "iter_python_files",
+    "prepare_file",
+    "lint_paths",
+    "qualified_name",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*(?P<kind>allow|allow-file)\[(?P<codes>[A-Za-z0-9_*,\s]+)\]"
+)
+
+PARSE_ERROR_CODE = "REPRO000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # posix-style path as passed on the command line
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching.
+
+        ``(rule, path, stripped source line)`` survives unrelated edits that
+        shift line numbers; a multiset match in :mod:`repro.devtools.baseline`
+        handles duplicates of the same snippet.
+        """
+        return (self.rule, self.path, self.snippet.strip())
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression table parsed from ``# repro:`` comments."""
+
+    line_codes: Dict[int, Set[str]] = field(default_factory=dict)
+    file_codes: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if "*" in self.file_codes or code in self.file_codes:
+            return True
+        codes = self.line_codes.get(line, ())
+        return "*" in codes or code in codes
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed source file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: List[str]
+    suppressions: Suppressions
+    #: ``alias -> fully dotted module`` for ``import numpy as np`` style imports.
+    module_aliases: Dict[str, str]
+    #: ``name -> fully dotted origin`` for ``from numpy.random import default_rng``.
+    from_imports: Dict[str, str]
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].rstrip()
+        return ""
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule.code,
+            path=self.relpath,
+            line=line,
+            col=col,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        return qualified_name(node, self.module_aliases, self.from_imports)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``only_paths`` restricts the rule to matching files (empty = all files);
+    ``allow_paths`` exempts matching files entirely — that is the mechanism
+    for "this module *is* the sanctioned implementation" carve-outs, and
+    every entry must be justified in the rule's ``rationale``.
+    """
+
+    code: str = "REPRO999"
+    name: str = "unnamed-rule"
+    summary: str = ""
+    rationale: str = ""
+    only_paths: Tuple[str, ...] = ()
+    allow_paths: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if self.only_paths and not any(_match(relpath, p) for p in self.only_paths):
+            return False
+        return not any(_match(relpath, p) for p in self.allow_paths)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def describe(cls) -> Dict[str, object]:
+        return {
+            "code": cls.code,
+            "name": cls.name,
+            "summary": cls.summary,
+            "rationale": cls.rationale,
+            "only_paths": list(cls.only_paths),
+            "allow_paths": list(cls.allow_paths),
+        }
+
+
+def _match(relpath: str, pattern: str) -> bool:
+    """fnmatch against the posix relpath, tolerant of leading directories."""
+    return fnmatch(relpath, pattern) or fnmatch(relpath, "*/" + pattern)
+
+
+def qualified_name(
+    node: ast.AST,
+    module_aliases: Dict[str, str],
+    from_imports: Dict[str, str],
+) -> Optional[str]:
+    """Resolve an expression to a fully dotted name, expanding import aliases.
+
+    ``np.random.default_rng`` (with ``import numpy as np``) resolves to
+    ``numpy.random.default_rng``; a bare ``default_rng`` imported via
+    ``from numpy.random import default_rng`` resolves the same way.  Returns
+    ``None`` for expressions that are not plain dotted names.
+    """
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    root = cur.id
+    if root in module_aliases:
+        base = module_aliases[root]
+    elif root in from_imports:
+        base = from_imports[root]
+    else:
+        base = root
+    return ".".join([base, *reversed(parts)]) if parts else base
+
+
+def _collect_imports(tree: ast.Module) -> Tuple[Dict[str, str], Dict[str, str]]:
+    module_aliases: Dict[str, str] = {}
+    from_imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    module_aliases[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    module_aliases[top] = top
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                from_imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return module_aliases, from_imports
+
+
+def _collect_suppressions(source: str) -> Suppressions:
+    sup = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if not m:
+                continue
+            codes = {c.strip() for c in m.group("codes").split(",") if c.strip()}
+            if m.group("kind") == "allow-file":
+                sup.file_codes |= codes
+            else:
+                # A trailing comment suppresses its own line; a standalone
+                # comment suppresses the statement on the next line.
+                line = tok.start[0]
+                sup.line_codes.setdefault(line, set()).update(codes)
+                sup.line_codes.setdefault(line + 1, set()).update(codes)
+    except tokenize.TokenError:
+        pass  # the ast parse will report the real problem
+    return sup
+
+
+def prepare_file(path: Path, relpath: str) -> Tuple[Optional[FileContext], Optional[Finding]]:
+    """Parse one file into a :class:`FileContext`, or a parse-error finding."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, Finding(PARSE_ERROR_CODE, relpath, 1, 0, f"cannot read file: {exc}")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Finding(
+            PARSE_ERROR_CODE,
+            relpath,
+            exc.lineno or 1,
+            (exc.offset or 1) - 1,
+            f"syntax error: {exc.msg}",
+        )
+    module_aliases, from_imports = _collect_imports(tree)
+    ctx = FileContext(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        suppressions=_collect_suppressions(source),
+        module_aliases=module_aliases,
+        from_imports=from_imports,
+    )
+    return ctx, None
+
+
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", ".pytest_cache", "node_modules"}
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Tuple[Path, str]]:
+    """Yield ``(abs_path, display_relpath)`` for every .py file under ``paths``."""
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root, root.as_posix()
+            continue
+        if not root.is_dir():
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        for sub in sorted(root.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in sub.parts):
+                continue
+            yield sub, sub.as_posix()
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, before baseline filtering."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Iterable[Rule],
+    *,
+    select: Optional[Set[str]] = None,
+) -> LintResult:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    ``select`` restricts the run to the given rule codes (used by tests and
+    by ``--select`` on the CLI).  Suppressed findings are kept separately so
+    reporters can surface how much is being waved through.
+    """
+    active = [r for r in rules if select is None or r.code in select]
+    result = LintResult()
+    for path, relpath in iter_python_files(paths):
+        ctx, parse_err = prepare_file(path, relpath)
+        result.files_checked += 1
+        if parse_err is not None:
+            result.findings.append(parse_err)
+            continue
+        assert ctx is not None
+        for rule in active:
+            if not rule.applies_to(relpath):
+                continue
+            for finding in rule.check(ctx):
+                if ctx.suppressions.is_suppressed(finding.rule, finding.line):
+                    result.suppressed.append(finding)
+                else:
+                    result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

@@ -1,0 +1,121 @@
+"""CLI for the invariant linter: ``python -m repro.devtools.lint [paths...]``.
+
+Exit codes: 0 = clean (possibly with baselined/suppressed findings),
+1 = new findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+from pathlib import Path
+import sys
+from typing import List, Optional
+
+from repro.devtools.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    split_by_baseline,
+    write_baseline,
+)
+from repro.devtools.engine import lint_paths
+from repro.devtools.reporters import render_json, render_text
+from repro.devtools.rules import RULE_CLASSES, all_rules
+
+DEFAULT_PATHS = ["src", "benchmarks", "examples"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Enforce the repo's determinism/float-safety/concurrency contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=DEFAULT_PATHS,
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: every finding fails the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    return parser
+
+
+def _list_rules(stream) -> None:
+    for cls in RULE_CLASSES:
+        stream.write(f"{cls.code} {cls.name}\n    {cls.summary}\n")
+        if cls.allow_paths:
+            stream.write(f"    allowlisted: {', '.join(cls.allow_paths)}\n")
+        if cls.only_paths:
+            stream.write(f"    scoped to: {', '.join(cls.only_paths)}\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules(sys.stdout)
+        return 0
+
+    select = None
+    if args.select:
+        select = {code.strip() for code in args.select.split(",") if code.strip()}
+        known = {cls.code for cls in RULE_CLASSES}
+        unknown = select - known
+        if unknown:
+            parser.error(f"unknown rule codes: {', '.join(sorted(unknown))}")
+
+    try:
+        result = lint_paths(args.paths, all_rules(), select=select)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+        return 2  # pragma: no cover — parser.error raises SystemExit
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        candidate = Path(DEFAULT_BASELINE_NAME)
+        baseline_path = candidate if candidate.exists() else None
+
+    if args.write_baseline:
+        target = args.baseline or Path(DEFAULT_BASELINE_NAME)
+        write_baseline(target, result.findings)
+        sys.stdout.write(f"wrote {len(result.findings)} baseline entries to {target}\n")
+        return 0
+
+    baseline = Counter()
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            parser.error(f"cannot load baseline {baseline_path}: {exc}")
+
+    new, grandfathered, unused = split_by_baseline(result.findings, baseline)
+    render = render_json if args.format == "json" else render_text
+    render(result, new, grandfathered, unused, sys.stdout)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

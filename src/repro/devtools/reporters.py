@@ -1,0 +1,60 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+from collections import Counter
+import json
+from typing import IO, Dict, List
+
+from repro.devtools.engine import Finding, LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    result: LintResult,
+    new: List[Finding],
+    baselined: List[Finding],
+    unused_baseline: Counter,
+    stream: IO[str],
+) -> None:
+    for f in new:
+        stream.write(f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}\n")
+        if f.snippet.strip():
+            stream.write(f"    {f.snippet.strip()}\n")
+    parts = [f"{len(new)} finding{'s' if len(new) != 1 else ''}"]
+    if baselined:
+        parts.append(f"{len(baselined)} baselined")
+    if result.suppressed:
+        parts.append(f"{len(result.suppressed)} suppressed")
+    if unused_baseline:
+        parts.append(f"{sum(unused_baseline.values())} stale baseline entries")
+    stream.write(f"{', '.join(parts)} in {result.files_checked} files\n")
+    if unused_baseline:
+        stream.write("stale baseline entries (fixed violations — prune them):\n")
+        for (rule, path, snippet), n in sorted(unused_baseline.items()):
+            stream.write(f"    {path}: {rule} x{n}: {snippet}\n")
+
+
+def render_json(
+    result: LintResult,
+    new: List[Finding],
+    baselined: List[Finding],
+    unused_baseline: Counter,
+    stream: IO[str],
+) -> None:
+    counts: Dict[str, int] = {}
+    for f in new:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    payload = {
+        "files_checked": result.files_checked,
+        "findings": [f.as_dict() for f in new],
+        "baselined": [f.as_dict() for f in baselined],
+        "suppressed": [f.as_dict() for f in result.suppressed],
+        "stale_baseline": [
+            {"rule": rule, "path": path, "snippet": snippet, "count": n}
+            for (rule, path, snippet), n in sorted(unused_baseline.items())
+        ],
+        "counts": counts,
+    }
+    stream.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,52 @@
+"""The repro rule pack.
+
+Rules are grouped by contract family; stable codes:
+
+* ``REPRO1xx`` — RNG discipline (:mod:`repro.devtools.rules.rng_rules`)
+* ``REPRO2xx`` — float safety (:mod:`repro.devtools.rules.float_rules`)
+* ``REPRO3xx`` — determinism hygiene / clocks (:mod:`repro.devtools.rules.clock_rules`)
+* ``REPRO4xx`` — store & serialization (:mod:`repro.devtools.rules.store_rules`)
+* ``REPRO5xx`` — concurrency (:mod:`repro.devtools.rules.concurrency_rules`)
+
+``all_rules()`` returns one fresh instance of every registered rule; the
+registry is the single source the CLI, the tests and CONTRIBUTING.md verify
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.devtools.engine import Rule
+from repro.devtools.rules.clock_rules import WallClockRule
+from repro.devtools.rules.concurrency_rules import BeginImmediateRule, SqliteThreadRule
+from repro.devtools.rules.float_rules import FloatEqualityRule, RawSquaredDistanceRule
+from repro.devtools.rules.rng_rules import (
+    GlobalStateRngRule,
+    SeedArithmeticRule,
+    UnseededDefaultRngRule,
+)
+from repro.devtools.rules.store_rules import AppendDisciplineRule, CanonicalSerializerRule
+
+RULE_CLASSES: List[Type[Rule]] = [
+    GlobalStateRngRule,
+    UnseededDefaultRngRule,
+    SeedArithmeticRule,
+    FloatEqualityRule,
+    RawSquaredDistanceRule,
+    WallClockRule,
+    CanonicalSerializerRule,
+    AppendDisciplineRule,
+    SqliteThreadRule,
+    BeginImmediateRule,
+]
+
+__all__ = ["RULE_CLASSES", "all_rules", "rules_by_code"]
+
+
+def all_rules() -> List[Rule]:
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rules_by_code() -> Dict[str, Type[Rule]]:
+    return {cls.code: cls for cls in RULE_CLASSES}

@@ -1,0 +1,68 @@
+"""REPRO3xx — determinism hygiene (wall clocks).
+
+Simulation output must be a pure function of (inputs, seed).  Wall-clock
+reads smuggle ambient state into that function; the lease queue
+(``runner/queue.py``) shows the sanctioned pattern instead — every method
+takes an explicit ``now`` so tests inject a clock, and ``time.time`` appears
+only as the documented production default of that injectable parameter.
+
+``time.perf_counter`` / ``time.monotonic`` are *not* flagged: timing how
+long something took is measurement, not simulation state, and the benchmark
+harness depends on it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.engine import FileContext, Finding, Rule
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class WallClockRule(Rule):
+    code = "REPRO301"
+    name = "wall-clock-read"
+    summary = (
+        "No time.time()/datetime.now() in simulation paths; inject clocks "
+        "(explicit `now` parameters) like runner/queue.py does."
+    )
+    rationale = (
+        "Seeded paths must be replayable byte-for-byte; ambient clock reads "
+        "break that and make tests sleep-and-pray.  runner/queue.py is "
+        "allowlisted by design: its whole API takes `now` explicitly and only "
+        "defaults to time.time at the production boundary (PR 5's lease "
+        "protocol is tested entirely with injected clocks)."
+    )
+    allow_paths = ("src/repro/runner/queue.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            if qual in _WALL_CLOCK:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"wall-clock read `{qual}()`; take an explicit `now`/clock "
+                    "parameter instead (see runner/queue.py for the pattern)",
+                )
+            elif qual == "time.strftime" and len(node.args) < 2:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "time.strftime without an explicit time tuple reads the "
+                    "wall clock; pass the time in or inject a clock",
+                )

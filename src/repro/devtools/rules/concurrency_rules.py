@@ -1,0 +1,97 @@
+"""REPRO5xx — SQLite concurrency discipline.
+
+The SQLite store/queue (PR 5) holds two lines: connections are thread-affine
+(each worker thread opens its own), and every write transaction opens with
+``BEGIN IMMEDIATE`` so lock acquisition happens up front instead of failing
+with ``SQLITE_BUSY`` mid-transaction after reads have already been served
+from a stale snapshot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.engine import FileContext, Finding, Rule
+
+
+class SqliteThreadRule(Rule):
+    code = "REPRO501"
+    name = "sqlite-thread-affinity"
+    summary = (
+        "No sqlite3.connect(check_same_thread=False); inside repro.runner, "
+        "connect must also pass isolation_level=None."
+    )
+    rationale = (
+        "check_same_thread=False disables sqlite3's only guard against "
+        "cross-thread connection sharing, which corrupts in-flight statements "
+        "under the WAL setup; open one connection per thread instead.  "
+        "isolation_level=None keeps the driver out of implicit-transaction "
+        "mode so the BEGIN IMMEDIATE discipline (REPRO502) actually governs "
+        "every write."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        in_runner = self._in_runner(ctx.relpath)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.qualified_name(node.func) != "sqlite3.connect":
+                continue
+            kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+            cst = kwargs.get("check_same_thread")
+            if isinstance(cst, ast.Constant) and cst.value is False:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "sqlite3.connect(check_same_thread=False) invites cross-"
+                    "thread connection sharing; open one connection per thread",
+                )
+            if in_runner:
+                iso = kwargs.get("isolation_level")
+                if not (isinstance(iso, ast.Constant) and iso.value is None):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "sqlite3.connect in runner code must pass "
+                        "isolation_level=None (explicit BEGIN IMMEDIATE "
+                        "transactions, no driver-managed implicit ones)",
+                    )
+
+    @staticmethod
+    def _in_runner(relpath: str) -> bool:
+        return "/repro/runner/" in f"/{relpath}"
+
+
+class BeginImmediateRule(Rule):
+    code = "REPRO502"
+    name = "begin-immediate"
+    summary = "SQLite write transactions open with BEGIN IMMEDIATE (or EXCLUSIVE)."
+    rationale = (
+        "A plain/DEFERRED BEGIN takes no lock until the first write, so two "
+        "workers can both read job state and then race the upgrade — the "
+        "lease-claim protocol is only atomic because the claim transaction "
+        "starts IMMEDIATE (PR 5's two-workers-vs-serial byte-identity test)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in ("execute", "executescript"):
+                continue
+            for arg in node.args[:1]:
+                if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+                    continue
+                sql = arg.value.strip().upper()
+                if sql.startswith("BEGIN") and not any(
+                    kind in sql for kind in ("IMMEDIATE", "EXCLUSIVE")
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "write transaction opened with a deferred BEGIN; use "
+                        "BEGIN IMMEDIATE so the write lock is taken up front",
+                    )

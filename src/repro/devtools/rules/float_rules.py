@@ -1,0 +1,181 @@
+"""REPRO2xx — float safety.
+
+PR 2's review cycle exists because ad-hoc float comparisons are where the
+spatial-index backends silently diverged (subnormal offsets, half-ULP cell
+boundaries, underflowing ``d² <= r²``).  The repo's answer is one shared
+exact predicate — :func:`repro.geometry.index.within_ball` — and these rules
+keep ad-hoc comparisons from creeping back in.
+
+Static analysis cannot see types, so :class:`FloatEqualityRule` approximates
+"float expression" by "float literal on either side"; genuinely exact
+sentinel comparisons (``area == 0.0`` where the zero is constructed, not
+computed) are expected to carry a justified ``# repro: allow[REPRO201]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.devtools.engine import FileContext, Finding, Rule
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_squared(node: ast.AST) -> bool:
+    """``x ** 2`` or ``x * x`` (textually identical factors)."""
+    if (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Pow)
+        and isinstance(node.right, ast.Constant)
+        and node.right.value == 2
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        return ast.dump(node.left) == ast.dump(node.right)
+    return False
+
+
+def _is_sum_of_squares(node: ast.AST) -> bool:
+    """An Add chain whose leaves are all squared terms (>= 2 of them)."""
+    if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add)):
+        return False
+
+    def leaves(n: ast.AST):
+        if isinstance(n, ast.BinOp) and isinstance(n.op, ast.Add):
+            yield from leaves(n.left)
+            yield from leaves(n.right)
+        else:
+            yield n
+
+    parts = list(leaves(node))
+    return len(parts) >= 2 and all(_is_squared(p) for p in parts)
+
+
+def _squared_distance_assignments(ctx: FileContext) -> Set[str]:
+    """Names assigned (anywhere in the file) from a squared-distance expression.
+
+    Catches ``d2 = dx**2 + dy**2``, ``d2 = np.einsum("ijk,ijk->ij", diff, diff)``
+    and ``d2 = np.sum(diff**2, ...)`` so that a later ``d2 <= r2`` comparison is
+    recognised even though the squaring happened on an earlier line.
+    """
+    tainted: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if _is_sum_of_squares(node.value):
+            tainted.add(target.id)
+            continue
+        if isinstance(node.value, ast.Call):
+            qual = ctx.qualified_name(node.value.func)
+            if qual == "numpy.einsum" and len(node.value.args) == 3:
+                a, b = node.value.args[1], node.value.args[2]
+                if ast.dump(a) == ast.dump(b):
+                    tainted.add(target.id)
+            elif qual == "numpy.sum" and node.value.args:
+                if any(_is_squared(n) for n in ast.walk(node.value.args[0])):
+                    tainted.add(target.id)
+    return tainted
+
+
+class FloatEqualityRule(Rule):
+    code = "REPRO201"
+    name = "float-equality"
+    summary = "No ==/!= against float literals; use a tolerance or an integer sentinel."
+    rationale = (
+        "Exact equality on computed floats is the bug class behind PR 2's "
+        "backend disagreements.  Compare with math.isclose/np.isclose, an "
+        "explicit tolerance, or restructure around integer/None sentinels.  "
+        "Exact-zero sentinel checks on *constructed* values may be suppressed "
+        "with a justification."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            comparators = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, comparators, comparators[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "exact ==/!= against a float literal; use math.isclose/"
+                        "np.isclose with an explicit tolerance, or an integer sentinel",
+                    )
+                    break
+
+
+class RawSquaredDistanceRule(Rule):
+    code = "REPRO202"
+    name = "raw-squared-distance"
+    summary = (
+        "No hand-rolled d*d <= r*r distance tests; use "
+        "repro.geometry.index.within_ball (exact np.hypot predicate)."
+    )
+    rationale = (
+        "Squared-distance comparisons underflow/overflow where true distances "
+        "do not (PR 2 review: subnormal offsets at radius 0, spreads > 1e154).  "
+        "within_ball is the single exact membership predicate both index "
+        "backends agree on; geometry-internal implementations live in the "
+        "allowlisted modules below and nowhere else."
+    )
+    # The sanctioned homes of squared-distance arithmetic:
+    #  - predicates.py: region membership over (n, k)-anchor grids, where the
+    #    chunked einsum form is the documented implementation;
+    #  - index.py: within_ball itself plus candidate prefilters that re-check
+    #    through within_ball;
+    #  - primitives.py: Disc.contains, the leaf primitive predicates build on.
+    allow_paths = (
+        "src/repro/geometry/predicates.py",
+        "src/repro/geometry/index.py",
+        "src/repro/geometry/primitives.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tainted = _squared_distance_assignments(ctx)
+
+        def is_distance_operand(n: ast.AST) -> bool:
+            if _is_sum_of_squares(n):
+                return True
+            if isinstance(n, ast.Name) and n.id in tainted:
+                return True
+            if isinstance(n, ast.Call):
+                qual = ctx.qualified_name(n.func)
+                if qual in ("numpy.sqrt", "math.sqrt") and n.args:
+                    inner = n.args[0]
+                    return _is_sum_of_squares(inner) or (
+                        isinstance(inner, ast.Name) and inner.id in tainted
+                    )
+            # `d2 <= r2 + eps`: look through top-level +/- for a tainted core.
+            if isinstance(n, ast.BinOp) and isinstance(n.op, (ast.Add, ast.Sub)):
+                return any(is_distance_operand(side) for side in (n.left, n.right))
+            return False
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            comparators = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, comparators, comparators[1:]):
+                if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                    continue
+                squared_sides = sum(1 for side in (left, right) if _is_squared(side))
+                distance_sides = sum(1 for side in (left, right) if is_distance_operand(side))
+                if distance_sides >= 1 or squared_sides >= 2:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "raw squared-distance comparison; use "
+                        "repro.geometry.index.within_ball (or add the module to the "
+                        "rule's documented allowlist if it is a sanctioned geometry core)",
+                    )
+                    break

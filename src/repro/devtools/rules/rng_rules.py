@@ -1,0 +1,174 @@
+"""REPRO1xx — RNG discipline.
+
+The whole experiment pipeline stakes byte-determinism on one convention:
+randomness enters through an explicit ``numpy.random.Generator`` (or an
+explicit seed resolved by :func:`repro.rng.resolve_rng`), and per-job /
+per-realisation streams are derived with ``SeedSequence.spawn``.  These
+rules reject the three ways that convention has historically leaked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.devtools.engine import FileContext, Finding, Rule
+
+#: numpy.random attributes that are *constructors/types*, not global-state calls.
+_NUMPY_RANDOM_OK = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.BitGenerator",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "numpy.random.SFC64",
+}
+
+#: stdlib ``random`` module functions that read/mutate the hidden global RNG.
+_STDLIB_GLOBAL = {
+    "random.seed",
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.uniform",
+    "random.gauss",
+    "random.normalvariate",
+    "random.choice",
+    "random.choices",
+    "random.sample",
+    "random.shuffle",
+    "random.getrandbits",
+    "random.betavariate",
+    "random.expovariate",
+    "random.triangular",
+}
+
+
+def _module_level_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    """Calls executed at import time (module body, incl. class bodies)."""
+    stack: list = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # deferred execution: not import-time
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class GlobalStateRngRule(Rule):
+    code = "REPRO101"
+    name = "global-state-rng"
+    summary = (
+        "No module-level numpy.random.*/random.* calls, and no hidden-global "
+        "RNG API (np.random.seed/rand/..., random.random/...) at any scope."
+    )
+    rationale = (
+        "Import-time randomness and the process-global legacy RNG make output "
+        "depend on import order and on unrelated callers.  All randomness must "
+        "flow through an explicit numpy.random.Generator (PR 1's SeedSequence "
+        "job-seeding contract)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module_call_nodes: Set[int] = {id(c) for c in _module_level_calls(ctx.tree)}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            if qual is None:
+                continue
+            legacy_numpy = qual.startswith("numpy.random.") and qual not in _NUMPY_RANDOM_OK
+            if legacy_numpy or qual in _STDLIB_GLOBAL:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"call to hidden-global RNG API `{qual}`: pass an explicit "
+                    "numpy.random.Generator instead (see repro.rng.resolve_rng)",
+                )
+            elif (
+                (qual.startswith("numpy.random.") or qual.startswith("random."))
+                and id(node) in module_call_nodes
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"module-level call to `{qual}` runs RNG machinery at import "
+                    "time; construct generators inside functions and pass them down",
+                )
+
+
+class UnseededDefaultRngRule(Rule):
+    code = "REPRO102"
+    name = "unseeded-default-rng"
+    summary = (
+        "No argument-less np.random.default_rng() / SeedSequence(): an entropy-"
+        "seeded fallback makes 'forgot to pass rng' silently nondeterministic."
+    )
+    rationale = (
+        "`rng = rng or np.random.default_rng()` fallbacks (pre-PR 6 percolation/"
+        "dynamics/geometry code) produced different bytes on every call when the "
+        "caller omitted rng.  Use repro.rng.resolve_rng(rng), which falls back "
+        "to the documented DEFAULT_ROOT_SEED SeedSequence instead of OS entropy."
+    )
+    # repro.rng is the sanctioned fallback implementation; it never calls the
+    # zero-arg form, but keeping it exempt documents where the contract lives.
+    allow_paths = ("src/repro/rng.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            if qual not in ("numpy.random.default_rng", "numpy.random.SeedSequence"):
+                continue
+            unseeded = not node.args and not node.keywords
+            none_seeded = (
+                len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            )
+            if unseeded or none_seeded:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"`{qual}()` seeds from OS entropy and is nondeterministic; "
+                    "require an explicit seed/Generator or use repro.rng.resolve_rng",
+                )
+
+
+class SeedArithmeticRule(Rule):
+    code = "REPRO103"
+    name = "seed-arithmetic"
+    summary = (
+        "Child seeds must come from SeedSequence.spawn, not arithmetic on a "
+        "seed value (default_rng(seed + i), SeedSequence(seed * k), ...)."
+    )
+    rationale = (
+        "Arithmetically related seeds give statistically correlated streams; "
+        "SeedSequence.spawn is the contract PR 1's executor established for "
+        "per-job independence (repro.rng.spawn_rngs wraps it)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            if qual not in ("numpy.random.default_rng", "numpy.random.SeedSequence"):
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.BinOp) and _involves_name(arg):
+                    yield ctx.finding(
+                        self,
+                        arg,
+                        f"seed derived by arithmetic inside `{qual}(...)`: derive "
+                        "child seeds via SeedSequence.spawn (repro.rng.spawn_rngs)",
+                    )
+
+
+def _involves_name(node: ast.AST) -> bool:
+    return any(isinstance(n, (ast.Name, ast.Attribute)) for n in ast.walk(node))

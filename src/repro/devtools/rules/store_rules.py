@@ -1,0 +1,96 @@
+"""REPRO4xx — store & serialization discipline.
+
+PR 5's concurrency guarantees rest on two mechanical facts: (1) every record
+is rendered by the canonical serializer (``runner/serialize.py``: sorted
+keys, compact separators) so N-worker drains export byte-identically, and
+(2) JSONL appends are a single ``os.write`` on an ``O_APPEND`` descriptor so
+concurrent writers can never interleave partial lines.  Both break silently
+if a new code path renders or appends on its own — these rules make that a
+lint failure instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.engine import FileContext, Finding, Rule
+
+
+class CanonicalSerializerRule(Rule):
+    code = "REPRO401"
+    name = "canonical-serializer"
+    summary = (
+        "Inside repro.runner and benchmarks, JSON must be rendered by "
+        "runner/serialize.py — no bare json.dump/json.dumps."
+    )
+    rationale = (
+        "Byte-identity of store records (resume cache hits, N-worker drain "
+        "equality, torn-line healing) requires one canonical rendering: "
+        "sort_keys=True, separators=(',', ':'), jsonify-normalised values.  "
+        "A bare json.dumps with default settings produces different bytes for "
+        "the same record and silently poisons resume comparisons."
+    )
+    only_paths = ("src/repro/runner/*.py", "benchmarks/*.py")
+    allow_paths = ("src/repro/runner/serialize.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            if qual in ("json.dump", "json.dumps"):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"bare `{qual}` in store-adjacent code; render records via "
+                    "repro.runner.serialize (canonical_json/jsonify) so bytes "
+                    "are canonical",
+                )
+
+
+class AppendDisciplineRule(Rule):
+    code = "REPRO402"
+    name = "append-discipline"
+    summary = (
+        "File appends inside repro.runner go through the store's single-"
+        "os.write O_APPEND helper, not open(..., 'a')."
+    )
+    rationale = (
+        "Buffered append-mode writes flush in chunks, so two concurrent "
+        "processes can interleave partial lines (the PR 5 torn-line bug).  "
+        "JsonlStore.put's os.open(O_RDWR|O_CREAT|O_APPEND) + single os.write "
+        "is the one sanctioned append path for record data."
+    )
+    only_paths = ("src/repro/runner/*.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            is_open = qual == "open" or (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "open"
+            )
+            if not is_open:
+                continue
+            mode = _open_mode(node)
+            if mode is not None and "a" in mode:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"append-mode open (mode={mode!r}) in runner code; record "
+                    "appends must use the store's single-os.write O_APPEND helper "
+                    "so concurrent writers cannot interleave partial lines",
+                )
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+        if isinstance(call.args[1].value, str):
+            return call.args[1].value
+    for kw in call.keywords:
+        if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+            if isinstance(kw.value.value, str):
+                return kw.value.value
+    return None

@@ -22,10 +22,10 @@ that algorithm faithfully as a synchronous message-passing computation:
   cost proportional to the diff.
 """
 
+from repro.distributed.construct import DistributedBuildResult, distributed_build
+from repro.distributed.leader_election import elect_leader_distributed
 from repro.distributed.messages import Message
 from repro.distributed.network import MessageNetwork, NetworkStats
-from repro.distributed.leader_election import elect_leader_distributed
-from repro.distributed.construct import DistributedBuildResult, distributed_build
 from repro.distributed.repair import DistributedRepairEngine, RepairReport, repair_build
 
 __all__ = [

@@ -16,7 +16,6 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.distributed.messages import Message
 from repro.distributed.network import MessageNetwork
 
 __all__ = ["election_key", "elect_leader_distributed"]

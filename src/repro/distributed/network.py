@@ -15,10 +15,10 @@ paper's algorithm is analysed under the same assumptions; the energy model of
 
 from __future__ import annotations
 
-import weakref
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+import weakref
 
 import numpy as np
 

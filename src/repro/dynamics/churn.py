@@ -134,7 +134,7 @@ def heterogeneous_radii(
         raise ValueError("base_radius must be positive")
     if not 0.0 <= spread < 1.0:
         raise ValueError("spread must lie in [0, 1)")
-    if spread == 0.0:
+    if spread == 0.0:  # repro: allow[REPRO201] exact sentinel: caller-passed homogeneous knob
         return np.full(n, float(base_radius))
     lo, hi = base_radius * (1.0 - spread), base_radius * (1.0 + spread)
     if distribution == "uniform":

@@ -29,6 +29,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.geometry.primitives import Rect, as_points
+from repro.rng import resolve_rng
 
 __all__ = ["MobilityModel", "RandomWaypoint", "RandomWalk", "Drift", "reflect_into"]
 
@@ -136,7 +137,7 @@ class RandomWaypoint(MobilityModel):
             raise ValueError("pause_time must be non-negative")
         self.speed_range = (v_min, v_max)
         self.pause_time = float(pause_time)
-        self._rng = rng or np.random.default_rng()
+        self._rng = resolve_rng(rng)
         n = len(self._positions)
         self._targets = window.sample_uniform(n, self._rng)
         self._speeds = self._rng.uniform(v_min, v_max, size=n)
@@ -200,7 +201,7 @@ class RandomWalk(MobilityModel):
             raise ValueError("turn_std must be non-negative")
         self._speeds = speeds
         self.turn_std = float(turn_std)
-        self._rng = rng or np.random.default_rng()
+        self._rng = resolve_rng(rng)
         self._headings = self._rng.uniform(0.0, 2 * np.pi, size=n)
 
     def _advance(self, dt: float) -> None:
@@ -249,7 +250,7 @@ class Drift(MobilityModel):
         if jitter_std < 0:
             raise ValueError("jitter_std must be non-negative")
         self.jitter_std = float(jitter_std)
-        self._rng = rng or np.random.default_rng()
+        self._rng = resolve_rng(rng)
 
     def _advance(self, dt: float) -> None:
         moved = self._positions + self.drift * dt

@@ -31,10 +31,9 @@ operations on sorted arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 import numpy as np
-
-from typing import Dict, List, Set, Tuple
 
 from repro.dynamics.incremental import DynamicSpatialIndex
 from repro.geometry.index import build_index

@@ -19,14 +19,8 @@ Everything here is deterministic given a :class:`numpy.random.Generator`
 seed; no global random state is used anywhere in the library.
 """
 
-from repro.geometry.primitives import (
-    Disc,
-    Rect,
-    pairwise_distances,
-    points_in_disc,
-    points_in_rect,
-    squared_distances,
-)
+from repro.geometry.index import BACKENDS, GridIndex, KDTreeIndex, SpatialIndex, build_index
+from repro.geometry.integration import estimate_area_grid, estimate_area_monte_carlo
 from repro.geometry.poisson import PoissonProcess, poisson_points
 from repro.geometry.predicates import (
     AnnulusPredicate,
@@ -38,8 +32,14 @@ from repro.geometry.predicates import (
     RegionPredicate,
     UnionPredicate,
 )
-from repro.geometry.integration import estimate_area_grid, estimate_area_monte_carlo
-from repro.geometry.index import BACKENDS, GridIndex, KDTreeIndex, SpatialIndex, build_index
+from repro.geometry.primitives import (
+    Disc,
+    Rect,
+    pairwise_distances,
+    points_in_disc,
+    points_in_rect,
+    squared_distances,
+)
 
 __all__ = [
     "Disc",

@@ -25,8 +25,8 @@ factory the consumers go through.
 
 from __future__ import annotations
 
-import inspect
 from fractions import Fraction
+import inspect
 from typing import Iterable, List, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
@@ -434,7 +434,9 @@ class GridIndex(_IndexBase):
             reach += 1
         return reach
 
-    def _boundary_slack(self, coords: np.ndarray, keys: np.ndarray, radius: float):
+    def _boundary_slack(
+        self, coords: np.ndarray, keys: np.ndarray, radius: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-axis ``(lo, hi)`` flags: queries within ULPs of a cell boundary.
 
         With exact cell keys, the only points that can pass the computed-
@@ -705,7 +707,7 @@ class KDTreeIndex(_IndexBase):
         self.points = as_points(points)
         self._tree = cKDTree(self.points) if len(self.points) else None
 
-    def _filter(self, hits, center: np.ndarray, radius: float) -> np.ndarray:
+    def _filter(self, hits: Iterable[int], center: np.ndarray, radius: float) -> np.ndarray:
         """Sorted hit indices that pass the shared exact-ball predicate."""
         idx = np.asarray(hits, dtype=np.int64)
         if idx.size:

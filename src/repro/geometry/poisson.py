@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geometry.primitives import Rect
+from repro.rng import resolve_rng
 
 __all__ = ["PoissonProcess", "poisson_points", "binomial_points"]
 
@@ -82,7 +83,7 @@ class PoissonProcess:
     def __post_init__(self) -> None:
         if self.intensity < 0:
             raise ValueError("intensity must be non-negative")
-        self._rng = np.random.default_rng(self.seed)
+        self._rng = resolve_rng(seed=self.seed)
 
     @property
     def expected_count(self) -> float:

@@ -133,7 +133,9 @@ class AnnulusPredicate(RegionPredicate):
     def __post_init__(self) -> None:
         if not 0 <= self.inner <= self.outer:
             raise ValueError("annulus radii must satisfy 0 <= inner <= outer")
-        self.bounds = Rect(self.cx - self.outer, self.cy - self.outer, self.cx + self.outer, self.cy + self.outer)
+        self.bounds = Rect(
+            self.cx - self.outer, self.cy - self.outer, self.cx + self.outer, self.cy + self.outer
+        )
 
     def contains(self, points: np.ndarray) -> np.ndarray:
         pts = as_points(points)

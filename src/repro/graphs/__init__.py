@@ -19,14 +19,7 @@ coordinate array and an edge list that converts to ``networkx`` on demand.
 """
 
 from repro.graphs.base import GeometricGraph
-from repro.graphs.udg import build_udg, udg_edges
 from repro.graphs.knn import build_knn, knn_edges, knn_neighbour_indices
-from repro.graphs.spanners import (
-    build_euclidean_mst,
-    build_gabriel_graph,
-    build_relative_neighbourhood_graph,
-    build_yao_graph,
-)
 from repro.graphs.metrics import (
     GraphSummary,
     component_sizes,
@@ -36,6 +29,13 @@ from repro.graphs.metrics import (
     largest_component_fraction,
     shortest_path_hops,
 )
+from repro.graphs.spanners import (
+    build_euclidean_mst,
+    build_gabriel_graph,
+    build_relative_neighbourhood_graph,
+    build_yao_graph,
+)
+from repro.graphs.udg import build_udg, udg_edges
 
 __all__ = [
     "GeometricGraph",

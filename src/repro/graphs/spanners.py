@@ -72,6 +72,7 @@ def build_gabriel_graph(
         d2 = np.sum((pts - mid) ** 2, axis=1)
         d2[u] = np.inf
         d2[v] = np.inf
+        # repro: allow[REPRO202] relative witness test, not ball membership
         keep[i] = not np.any(d2 < r2 - 1e-12)
     return GeometricGraph(pts, cand[keep], name=name)
 
@@ -93,6 +94,7 @@ def build_relative_neighbourhood_graph(
         duv2 = np.sum((pts[u] - pts[v]) ** 2)
         du2 = np.sum((pts - pts[u]) ** 2, axis=1)
         dv2 = np.sum((pts - pts[v]) ** 2, axis=1)
+        # repro: allow[REPRO202] relative witness test, not ball membership
         witness = np.maximum(du2, dv2) < duv2 - 1e-12
         witness[u] = False
         witness[v] = False

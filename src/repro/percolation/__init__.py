@@ -19,7 +19,7 @@ The literature value of the threshold is exposed as
 :data:`SITE_PERCOLATION_THRESHOLD`.
 """
 
-from repro.percolation.lattice import LatticeConfiguration, sample_site_percolation
+from repro.percolation.chemical import chemical_distance, chemical_distances_from, chemical_stretch_samples
 from repro.percolation.clusters import (
     ClusterStatistics,
     UnionFind,
@@ -32,7 +32,7 @@ from repro.percolation.clusters import (
     theta_estimate,
 )
 from repro.percolation.critical import estimate_critical_probability, spanning_probability_curve
-from repro.percolation.chemical import chemical_distance, chemical_distances_from, chemical_stretch_samples
+from repro.percolation.lattice import LatticeConfiguration, sample_site_percolation
 
 #: Accepted numerical value of the site-percolation threshold on Z²
 #: (the paper uses the bracket (0.592, 0.593); modern numerics give 0.592746).

@@ -16,12 +16,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.percolation.clusters import label_clusters
 from repro.percolation.lattice import LatticeConfiguration
+from repro.rng import resolve_rng
 
 __all__ = [
     "chemical_distances_from",
@@ -125,7 +126,7 @@ def chemical_stretch_samples(
     """
     if n_pairs < 1:
         raise ValueError("n_pairs must be positive")
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     labels = label_clusters(config)
     if restrict_to_largest:
         sizes = np.bincount(labels[labels >= 0]) if (labels >= 0).any() else np.zeros(0, dtype=int)

@@ -16,7 +16,6 @@ questions reduce to the cluster machinery already used on Z².
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 import numpy as np
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.percolation.clusters import has_spanning_cluster, label_clusters
 from repro.percolation.lattice import sample_site_percolation
+from repro.rng import resolve_rng
 
 __all__ = ["SpanningCurve", "spanning_probability_curve", "estimate_critical_probability"]
 
@@ -72,7 +73,7 @@ def spanning_probability_curve(
         raise ValueError("box_size must be at least 2")
     if trials < 1:
         raise ValueError("trials must be positive")
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     ps = np.sort(np.asarray(list(p_values), dtype=np.float64))
     probs = np.empty_like(ps)
     for i, p in enumerate(ps):

@@ -18,6 +18,8 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
+from repro.rng import resolve_rng
+
 __all__ = ["LatticeConfiguration", "sample_site_percolation"]
 
 #: The four lattice neighbour offsets (von Neumann neighbourhood).
@@ -153,6 +155,6 @@ def sample_site_percolation(
         raise ValueError("p must lie in [0, 1]")
     if height < 1 or width < 1:
         raise ValueError("lattice dimensions must be positive")
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     mask = rng.random((height, width)) < p
     return LatticeConfiguration(mask, wrap=wrap)

@@ -12,9 +12,9 @@
   shortest-path reference used for comparison.
 """
 
+from repro.routing.baselines import greedy_geographic_route, shortest_path_route, GreedyRouteResult
 from repro.routing.mesh import MeshRouteResult, route_xy_mesh
 from repro.routing.overlay import OverlayRouteResult, route_on_overlay
-from repro.routing.baselines import greedy_geographic_route, shortest_path_route, GreedyRouteResult
 
 __all__ = [
     "MeshRouteResult",

@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
 import networkx as nx
+import numpy as np
 
 from repro.graphs.base import GeometricGraph
 

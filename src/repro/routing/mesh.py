@@ -26,7 +26,6 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-import numpy as np
 
 from repro.percolation.lattice import LatticeConfiguration
 

@@ -13,12 +13,12 @@ aborting the batch.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 import hashlib
 import pathlib
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 from typing import Any, Callable, Dict, IO, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
@@ -172,6 +172,7 @@ class _ProgressLogger:
     def __init__(self, destination: Union[IO[str], str, pathlib.Path], total: int) -> None:
         self._owns_stream = isinstance(destination, (str, pathlib.Path))
         self._stream: IO[str] = (
+            # repro: allow[REPRO402] progress log: single-writer side channel, never record data
             open(destination, "a", encoding="utf-8") if self._owns_stream else destination
         )
         self._total = total
@@ -182,6 +183,7 @@ class _ProgressLogger:
         self._done += 1
         elapsed = time.perf_counter() - self._started
         line = (
+            # repro: allow[REPRO301] presentation-only timestamp in the progress side channel
             f"[{time.strftime('%H:%M:%S')}] {self._done}/{self._total} "
             f"{outcome.job.experiment_id}[{outcome.job.key[:10]}] "
             f"{outcome.status} t+{elapsed:.2f}s"

@@ -29,13 +29,13 @@ twice, which latest-wins storage collapses.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 import json
 import os
 import pathlib
 import socket
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.runner.executor import Job, _execute
@@ -97,7 +97,7 @@ class JobQueue:
     def __enter__(self) -> "JobQueue":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- filling ------------------------------------------------------------

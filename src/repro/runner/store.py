@@ -38,8 +38,8 @@ import abc
 import json
 import os
 import pathlib
-import warnings
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+import warnings
 
 from repro.runner.serialize import canonical_json
 
@@ -83,7 +83,9 @@ class ResultStore(abc.ABC):
     backends cannot drift apart semantically.
     """
 
-    def __new__(cls, root: Union[str, pathlib.Path] = DEFAULT_STORE_DIR, *args, **kwargs):
+    def __new__(
+        cls, root: Union[str, pathlib.Path] = DEFAULT_STORE_DIR, *args: Any, **kwargs: Any
+    ) -> "ResultStore":
         if cls is ResultStore:
             if _is_sqlite_root(root):
                 from repro.runner.sqlite_store import SqliteStore
@@ -129,7 +131,7 @@ class ResultStore(abc.ABC):
     def __enter__(self) -> "ResultStore":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- shared record validation/normalisation ------------------------------

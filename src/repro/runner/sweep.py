@@ -32,8 +32,8 @@ TOML support never becomes an import-time dependency of the runner.
 
 from __future__ import annotations
 
-import pathlib
 from dataclasses import dataclass, field
+import pathlib
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 try:

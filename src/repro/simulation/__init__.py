@@ -16,10 +16,10 @@ provides the simulator those workloads run on:
   per delivered packet and network lifetime.
 """
 
+from repro.simulation.datacollection import ConvergecastResult, run_convergecast
 from repro.simulation.energy import EnergyModel, EnergyLedger
 from repro.simulation.events import EventQueue, SimulationEvent
 from repro.simulation.sensing import SensingField, MovingTarget, coverage_fraction
-from repro.simulation.datacollection import ConvergecastResult, run_convergecast
 
 __all__ = [
     "EnergyModel",

@@ -7,9 +7,9 @@ within equal timestamps), which is all they need.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 __all__ = ["SimulationEvent", "EventQueue"]

@@ -5,8 +5,6 @@ parameters and its output structure (rows, headline, notes) is validated
 against what the corresponding benchmark and EXPERIMENTS.md expect.
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis.experiments import (
     ALL_EXPERIMENTS,

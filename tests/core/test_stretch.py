@@ -1,6 +1,5 @@
 """Tests for the distance-stretch measurement (P2, Theorem 3.2)."""
 
-import numpy as np
 import pytest
 
 from repro.core.stretch import StretchReport, StretchSamplePair, measure_stretch

@@ -124,7 +124,9 @@ class TestThresholdSearch:
 
     def test_goodness_curve_nn_with_factory(self):
         rng = np.random.default_rng(15)
-        factory = lambda k: NNTileSpec(a=0.8)
+        def factory(k):
+            return NNTileSpec(a=0.8)
+
         curve = goodness_curve_nn(factory, [100, 150], trials=20, rng=rng)
         assert len(curve.estimates) == 2
         assert curve.parameter_name == "k"

@@ -1,9 +1,9 @@
 """Tests for the UDG-SENS tile geometry, including the connectivity guarantees."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.core.tiles_udg import UDGTileSpec
 from repro.geometry.integration import estimate_area_grid

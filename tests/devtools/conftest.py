@@ -1,0 +1,37 @@
+"""Shared helpers for the devtools lint tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Set
+
+import pytest
+
+from repro.devtools.engine import Finding, lint_paths
+from repro.devtools.rules import all_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def lint_snippet(tmp_path, monkeypatch):
+    """Lint an inline source snippet as if it lived at ``relpath``.
+
+    Returns the list of (non-suppressed) findings; ``select`` restricts the
+    rule codes, ``relpath`` controls path-scoped rules (only_paths /
+    allow_paths), defaulting to a neutral in-src location.
+    """
+
+    def run(
+        source: str,
+        *,
+        select: Optional[Set[str]] = None,
+        relpath: str = "src/repro/somewhere/module.py",
+    ) -> List[Finding]:
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        return lint_paths([relpath], all_rules(), select=select).findings
+
+    return run

@@ -1,0 +1,297 @@
+"""Engine behaviour: suppression comments, baselines, CLI exit codes, reporters."""
+
+from __future__ import annotations
+
+from collections import Counter
+import json
+from pathlib import Path
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.devtools.baseline import load_baseline, split_by_baseline, write_baseline
+from repro.devtools.engine import Finding, lint_paths, prepare_file
+from repro.devtools.lint import main as lint_main
+from repro.devtools.rules import all_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+VIOLATION = textwrap.dedent(
+    """
+    import numpy as np
+
+    def sample(rng=None):
+        rng = rng or np.random.default_rng()
+        return rng.random()
+    """
+).lstrip("\n")
+
+
+def _write(tmp_path: Path, source: str, relpath: str = "src/mod.py") -> Path:
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+def _lint(tmp_path, monkeypatch, relpath="src/mod.py"):
+    monkeypatch.chdir(tmp_path)
+    return lint_paths([relpath], all_rules())
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+
+def test_trailing_allow_comment_suppresses(tmp_path, monkeypatch):
+    src = VIOLATION.replace(
+        "rng = rng or np.random.default_rng()",
+        "rng = rng or np.random.default_rng()  # repro: allow[REPRO102] test fixture",
+    )
+    _write(tmp_path, src)
+    result = _lint(tmp_path, monkeypatch)
+    assert [f.rule for f in result.findings] == []
+    assert [f.rule for f in result.suppressed] == ["REPRO102"]
+
+
+def test_standalone_allow_comment_suppresses_next_line(tmp_path, monkeypatch):
+    src = VIOLATION.replace(
+        "    rng = rng or np.random.default_rng()",
+        "    # repro: allow[REPRO102] justified in the test\n"
+        "    rng = rng or np.random.default_rng()",
+    )
+    _write(tmp_path, src)
+    result = _lint(tmp_path, monkeypatch)
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_allow_star_suppresses_every_rule(tmp_path, monkeypatch):
+    src = VIOLATION.replace(
+        "rng = rng or np.random.default_rng()",
+        "rng = rng or np.random.default_rng()  # repro: allow[*] kitchen sink",
+    )
+    _write(tmp_path, src)
+    assert _lint(tmp_path, monkeypatch).findings == []
+
+
+def test_allow_file_comment_suppresses_whole_file(tmp_path, monkeypatch):
+    src = "# repro: allow-file[REPRO102] generated fixture\n" + VIOLATION * 2
+    _write(tmp_path, src)
+    result = _lint(tmp_path, monkeypatch)
+    assert result.findings == []
+    assert len(result.suppressed) == 2
+
+
+def test_wrong_code_does_not_suppress(tmp_path, monkeypatch):
+    src = VIOLATION.replace(
+        "rng = rng or np.random.default_rng()",
+        "rng = rng or np.random.default_rng()  # repro: allow[REPRO999] wrong code",
+    )
+    _write(tmp_path, src)
+    assert [f.rule for f in _lint(tmp_path, monkeypatch).findings] == ["REPRO102"]
+
+
+def test_suppression_comment_inside_string_is_ignored(tmp_path, monkeypatch):
+    src = VIOLATION.replace(
+        "    rng = rng or np.random.default_rng()",
+        '    note = "# repro: allow[REPRO102] not a comment"\n'
+        "    rng = rng or np.random.default_rng()",
+    )
+    _write(tmp_path, src)
+    assert [f.rule for f in _lint(tmp_path, monkeypatch).findings] == ["REPRO102"]
+
+
+# ---------------------------------------------------------------------------
+# Baseline round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path, monkeypatch):
+    _write(tmp_path, VIOLATION)
+    result = _lint(tmp_path, monkeypatch)
+    assert len(result.findings) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, result.findings)
+    baseline = load_baseline(baseline_path)
+    new, grandfathered, unused = split_by_baseline(result.findings, baseline)
+    assert new == []
+    assert len(grandfathered) == 1
+    assert not unused
+
+
+def test_baseline_survives_line_shifts(tmp_path, monkeypatch):
+    _write(tmp_path, VIOLATION)
+    result = _lint(tmp_path, monkeypatch)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, result.findings)
+
+    # Prepend unrelated code: line numbers move, fingerprints do not.
+    _write(tmp_path, "CONSTANT = 1\nOTHER = 2\n\n\n" + VIOLATION)
+    shifted = _lint(tmp_path, monkeypatch)
+    new, grandfathered, unused = split_by_baseline(shifted.findings, load_baseline(baseline_path))
+    assert new == []
+    assert len(grandfathered) == 1
+
+
+def test_new_finding_not_masked_by_baseline(tmp_path, monkeypatch):
+    _write(tmp_path, VIOLATION)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, _lint(tmp_path, monkeypatch).findings)
+
+    extra = VIOLATION + "\n\ndef stamp():\n    import time\n    return time.time()\n"
+    _write(tmp_path, extra)
+    result = _lint(tmp_path, monkeypatch)
+    new, grandfathered, _ = split_by_baseline(result.findings, load_baseline(baseline_path))
+    assert [f.rule for f in grandfathered] == ["REPRO102"]
+    assert [f.rule for f in new] == ["REPRO301"]
+
+
+def test_stale_baseline_entries_are_reported(tmp_path, monkeypatch):
+    _write(tmp_path, VIOLATION)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, _lint(tmp_path, monkeypatch).findings)
+
+    _write(tmp_path, "def clean():\n    return 1\n")  # violation fixed
+    result = _lint(tmp_path, monkeypatch)
+    new, grandfathered, unused = split_by_baseline(result.findings, load_baseline(baseline_path))
+    assert new == [] and grandfathered == []
+    assert sum(unused.values()) == 1
+
+
+def test_duplicate_findings_need_duplicate_entries(tmp_path, monkeypatch):
+    double = VIOLATION + "\n" + VIOLATION.replace("def sample", "def sample2")
+    _write(tmp_path, double)
+    result = _lint(tmp_path, monkeypatch)
+    assert len(result.findings) == 2
+    # Baseline only one of the two identical-snippet findings.
+    baseline = Counter({result.findings[0].fingerprint(): 1})
+    new, grandfathered, _ = split_by_baseline(result.findings, baseline)
+    assert len(new) == 1 and len(grandfathered) == 1
+
+
+# ---------------------------------------------------------------------------
+# Parse errors
+# ---------------------------------------------------------------------------
+
+
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    target = _write(tmp_path, "def broken(:\n")
+    ctx, err = prepare_file(target, "src/mod.py")
+    assert ctx is None
+    assert isinstance(err, Finding) and err.rule == "REPRO000"
+
+
+def test_lint_paths_reports_parse_errors(tmp_path, monkeypatch):
+    _write(tmp_path, "def broken(:\n")
+    result = _lint(tmp_path, monkeypatch)
+    assert [f.rule for f in result.findings] == ["REPRO000"]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_exit_zero_on_clean(tmp_path, monkeypatch, capsys):
+    _write(tmp_path, "def clean():\n    return 1\n")
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_findings(tmp_path, monkeypatch, capsys):
+    _write(tmp_path, VIOLATION)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src"]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO102" in out and "src/mod.py" in out
+
+
+def test_cli_json_format(tmp_path, monkeypatch, capsys):
+    _write(tmp_path, VIOLATION)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"REPRO102": 1}
+    assert payload["findings"][0]["path"] == "src/mod.py"
+    assert payload["findings"][0]["line"] > 0
+
+
+def test_cli_write_and_use_baseline(tmp_path, monkeypatch, capsys):
+    _write(tmp_path, VIOLATION)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--write-baseline"]) == 0
+    capsys.readouterr()
+    # Default baseline file is picked up automatically -> clean run.
+    assert lint_main(["src"]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # --no-baseline restores the failure.
+    assert lint_main(["src", "--no-baseline"]) == 1
+
+
+def test_cli_select_unknown_code_errors(tmp_path, monkeypatch):
+    _write(tmp_path, VIOLATION)
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit) as exc:
+        lint_main(["src", "--select", "NOPE123"])
+    assert exc.value.code == 2
+
+
+def test_cli_select_restricts_rules(tmp_path, monkeypatch, capsys):
+    _write(tmp_path, VIOLATION)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--select", "REPRO301"]) == 0
+
+
+def test_cli_missing_path_errors(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit) as exc:
+        lint_main(["no_such_dir"])
+    assert exc.value.code == 2
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("REPRO101", "REPRO202", "REPRO502"):
+        assert code in out
+
+
+def test_module_entrypoints_run():
+    """`python -m repro.devtools.lint` and `python -m repro.devtools` both work."""
+    for module in ("repro.devtools.lint", "repro.devtools"):
+        proc = subprocess.run(
+            [sys.executable, "-m", module, "--list-rules"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "REPRO101" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# Self-check: the repo itself must lint clean with an EMPTY baseline
+# ---------------------------------------------------------------------------
+
+
+def test_repo_lints_clean(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    result = lint_paths(["src", "benchmarks", "examples"], all_rules())
+    assert result.findings == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.findings
+    )
+
+
+def test_checked_in_baseline_is_empty():
+    baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+    assert sum(baseline.values()) == 0, (
+        "the repo policy is an empty baseline: fix or inline-suppress findings "
+        "instead of grandfathering them"
+    )

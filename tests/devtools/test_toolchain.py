@@ -1,0 +1,115 @@
+"""External toolchain wiring: pyproject config sanity, ruff/mypy when present.
+
+ruff and mypy are not part of the runtime dependency set and may be absent
+locally; the config-sanity tests always run, the tool-invoking tests skip
+unless the binary is on ``PATH``.  CI installs both, so the skips never hide
+a regression there.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python 3.10
+    import tomli as tomllib  # type: ignore[no-redef]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+MYPY_STRICT_MODULES = [
+    "repro.runner.store",
+    "repro.runner.sqlite_store",
+    "repro.runner.queue",
+    "repro.runner.serialize",
+    "repro.geometry.index",
+]
+
+
+def _pyproject() -> dict:
+    with open(REPO_ROOT / "pyproject.toml", "rb") as fh:
+        return tomllib.load(fh)
+
+
+def _run(cmd: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True, text=True)
+
+
+# ---------------------------------------------------------------------------
+# Config sanity — always runs
+# ---------------------------------------------------------------------------
+
+
+def test_pyproject_parses_and_names_package():
+    config = _pyproject()
+    assert config["project"]["name"] == "repro"
+    import repro
+
+    assert config["project"]["version"] == repro.__version__
+
+
+def test_ruff_config_selects_expected_families():
+    lint = _pyproject()["tool"]["ruff"]["lint"]
+    assert "F" in lint["select"]  # pyflakes
+    assert "I" in lint["select"]  # isort
+    assert lint["isort"]["known-first-party"] == ["repro"]
+
+
+def test_mypy_strict_overrides_cover_contract_modules():
+    overrides = _pyproject()["tool"]["mypy"]["overrides"]
+    strict = next(o for o in overrides if o.get("disallow_untyped_defs"))
+    assert sorted(strict["module"]) == sorted(MYPY_STRICT_MODULES)
+
+
+def test_strict_modules_have_fully_annotated_defs():
+    """Static stand-in for mypy's disallow_untyped_defs when mypy is absent."""
+    import ast
+
+    problems = []
+    for module in MYPY_STRICT_MODULES:
+        path = REPO_ROOT / "src" / (module.replace(".", "/") + ".py")
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            named = args.posonlyargs + args.args + args.kwonlyargs
+            unannotated = [a.arg for a in named if a.annotation is None and a.arg not in ("self", "cls")]
+            unannotated += ["*" + a.arg for a in (args.vararg, args.kwarg) if a and a.annotation is None]
+            if node.returns is None:
+                unannotated.append("->")
+            if unannotated:
+                problems.append(f"{module}:{node.lineno} {node.name}: {unannotated}")
+    assert problems == []
+
+
+# ---------------------------------------------------------------------------
+# Tool invocations — skip when the tool is not installed
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_check_passes():
+    proc = _run(["ruff", "check", "src", "tests", "benchmarks", "examples"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_format_does_not_own_line_length():
+    """`ruff check` enforces E501 at 110; nothing in-tree exceeds it."""
+    proc = _run(["ruff", "check", "--select", "E501", "src", "tests", "benchmarks", "examples"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_subset_passes():
+    proc = _run(
+        [sys.executable, "-m", "mypy", "--no-error-summary"]
+        + [arg for m in MYPY_STRICT_MODULES for arg in ("-m", m)]
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -8,10 +8,10 @@ positions — same good tiles, same representatives and relays, same overlay
 edges (modulo the id ↔ compact-row mapping).
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.core.tiles_nn import NNTileSpec
 from repro.core.tiles_udg import UDGTileSpec

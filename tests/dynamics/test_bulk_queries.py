@@ -9,10 +9,10 @@ to the slow one directly (the rebuild-equivalence tests in
 ``test_incremental.py`` pin both to a from-scratch build).
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.dynamics.incremental import DynamicSpatialIndex
 from repro.geometry.index import BACKENDS, GridIndex

@@ -5,10 +5,10 @@ deletes, every query answers byte-identically to a from-scratch
 ``build_index`` over the surviving positions, on both backends.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.distributed import network as network_module
 from repro.dynamics.incremental import DynamicSpatialIndex

@@ -7,10 +7,10 @@ radius 0 — so every consumer can switch backends without changing which
 graph it builds.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.geometry.index import BACKENDS, GridIndex, KDTreeIndex, SpatialIndex, build_index
 

@@ -1,9 +1,9 @@
 """Tests for region predicates and their composition."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.geometry.predicates import (
     AnnulusPredicate,

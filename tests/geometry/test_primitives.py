@@ -1,9 +1,9 @@
 """Unit and property tests for repro.geometry.primitives."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.geometry.primitives import (
     Disc,

@@ -1,9 +1,9 @@
 """Tests for the k-nearest-neighbour graph builder."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.geometry.primitives import pairwise_distances
 from repro.graphs.knn import build_knn, knn_edges, knn_neighbour_indices

@@ -1,9 +1,9 @@
 """Tests for the unit-disk graph builder."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.geometry.primitives import pairwise_distances
 from repro.graphs.udg import build_udg, udg_edges

@@ -1,9 +1,9 @@
 """Tests for union-find, cluster labelling and cluster statistics."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.percolation.clusters import (
     UnionFind,

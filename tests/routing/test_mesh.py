@@ -1,9 +1,9 @@
 """Tests for the Angel-et-al mesh routing algorithm (Figure 9)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.percolation.clusters import label_clusters
 from repro.percolation.lattice import LatticeConfiguration, sample_site_percolation

@@ -1,6 +1,5 @@
 """Tests for routing lifted onto the SENS overlay."""
 
-import numpy as np
 import pytest
 
 from repro.routing.overlay import expand_site_path, route_on_overlay

@@ -11,7 +11,6 @@ import pytest
 from repro.runner import (
     Job,
     JobQueue,
-    ResultStore,
     SqliteStore,
     canonical_json,
     grid,

@@ -1,6 +1,5 @@
 """Tests for the radio energy model and ledger."""
 
-import numpy as np
 import pytest
 
 from repro.simulation.energy import EnergyLedger, EnergyModel

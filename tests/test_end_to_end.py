@@ -6,10 +6,10 @@ the invariants the paper's properties P1–P4 promise, on freshly sampled
 deployments (hypothesis drives the deployment parameters).
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro import Rect, build_udg_sens
 from repro.core.stretch import measure_stretch
