@@ -1,0 +1,42 @@
+"""S04 — sharded build/repair scaling (the PR-7 domain decomposition).
+
+Times the stitched :class:`~repro.distributed.sharding.ShardedBuilder`
+against the simulated ``distributed_build`` on one deployment across a
+shard-count ladder, plus the one-dirty-shard repair path against a full
+sharded rebuild.  The invariance certificates are hard-asserted; the
+wall-clock floors sit far below the nominal speedups (sharded build ≳8×
+the simulated baseline, shard repair ≳3.5× a full rebuild on an idle
+single-core host at these sizes) so CI load cannot turn a timing
+measurement into a spurious failure.
+
+Set ``BENCH_S04_MILLION=1`` to add the million-node arm (a from-scratch
+sharded build at n=10^6, certified 4-shards-vs-1-shard); it roughly
+10×es the runtime, so CI leaves it off and the checked-in
+``BENCH_S04.json`` carries its record.
+"""
+
+import os
+
+from repro.distributed.bench import experiment_s04_sharded_build
+
+_MILLION = 10**6 if os.environ.get("BENCH_S04_MILLION") else 0
+
+
+def test_s04_sharded_build(benchmark, emit_result):
+    result = benchmark.pedantic(
+        experiment_s04_sharded_build,
+        kwargs={"n_points": 200000, "million_nodes": _MILLION, "repeats": 1},
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(result)
+    assert result.headline["shard_invariance"] is True
+    assert result.headline["repair_matches"] is True
+    # Conservative floors (acceptance criteria): the sharded pass >= 2x the
+    # simulated build at n >= 2e5, one-dirty-shard repair >= 2x a full
+    # sharded rebuild.
+    assert result.headline["speedup_4shards_vs_unsharded"] >= 2.0
+    assert result.headline["shard_repair_speedup_vs_full"] >= 2.0
+    assert result.headline["nodes_per_s_4shards"] > 0
+    if _MILLION:
+        assert result.headline["million_nodes_ok"] is True

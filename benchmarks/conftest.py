@@ -14,7 +14,10 @@ numbers that back EXPERIMENTS.md — re-render any experiment's table with
 
 from __future__ import annotations
 
+import datetime
+import json
 import pathlib
+import subprocess
 
 import pytest
 
@@ -23,8 +26,57 @@ from repro.analysis.tables import format_table
 from repro.runner.serialize import canonical_json, params_key, result_to_payload
 from repro.runner.store import ResultStore
 
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 STORE_DIR = RESULTS_DIR / "store"
+
+
+def _git_rev() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def _append_trajectory(result: ExperimentResult) -> None:
+    """Append an S-series headline record to the repo-root BENCH_<ID>.json.
+
+    The BENCH files are the perf *trajectory*: one compact record per
+    (git revision, headline) — wall-clock speedups, throughput and the
+    deterministic agreement certificates — checked in so regressions show
+    up as history, not folklore.  Records whose revision and headline both
+    match an existing entry are not re-appended, so reruns at one commit
+    stay no-ops.
+    """
+    if not result.experiment_id.startswith("S"):
+        return
+    path = REPO_ROOT / f"BENCH_{result.experiment_id}.json"
+    record = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "n": result.params.get("n_points"),
+        "headline": result.headline,
+        "git_rev": _git_rev(),
+        # Provenance stamp on a measurement record, not simulation state.
+        "date": datetime.date.today().isoformat(),  # repro: allow[REPRO301] provenance stamp
+    }
+    records = json.loads(path.read_text(encoding="utf-8")) if path.exists() else []
+    for existing in records:
+        if (
+            existing.get("git_rev") == record["git_rev"]
+            and existing.get("headline") == record["headline"]
+        ):
+            return
+    records.append(record)
+    body = "[\n" + ",\n".join(canonical_json(r, strict=False) for r in records) + "\n]\n"
+    path.write_text(body, encoding="utf-8")
 
 
 @pytest.fixture(scope="session")
@@ -61,6 +113,7 @@ def emit_result():
             record, strict=False
         ):
             store.put(record)
+        _append_trajectory(result)
         return result
 
     return _emit

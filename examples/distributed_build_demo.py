@@ -8,12 +8,19 @@ freshly built overlay with the Figure-9 mesh router.
 Run with::
 
     python examples/distributed_build_demo.py
+
+Pass ``--shards N`` to additionally run the domain-decomposed parallel
+build (one tile-column block per shard, halo exchange at the seams) and
+print its shard-count-invariance certificate against the simulated run.
 """
 
+
+import argparse
 
 from repro import Rect, build_udg_sens
 from repro.analysis.tables import format_table
 from repro.distributed.construct import distributed_build
+from repro.distributed.sharding import matches_unsharded, sharded_build
 from repro.routing.overlay import route_on_overlay
 
 SEED = 3
@@ -21,7 +28,7 @@ WINDOW = Rect(0, 0, 12.0, 12.0)
 INTENSITY = 22.0
 
 
-def main() -> None:
+def main(n_shards: int = 0) -> None:
     net = build_udg_sens(intensity=INTENSITY, window=WINDOW, seed=SEED, build_base_graph=False)
     print(f"Deployment: {net.n_deployed} nodes, {net.tiling.n_tiles} tiles "
           f"({net.classification.n_good} good)")
@@ -42,6 +49,25 @@ def main() -> None:
     print(f"  matches centralized classification : {result.matches_classification(net.classification)}")
     print(f"  matches centralized overlay edges  : {result.matches_overlay(net.overlay)}")
 
+    if n_shards:
+        print(f"\nSharded build: {n_shards} column shard(s), halo exchange at the seams ...")
+        stitched, info = sharded_build(net.points, net.spec, WINDOW, n_shards=n_shards)
+        print(format_table(
+            [
+                {
+                    "shard": shard.shard_id,
+                    "owned nodes": shard.n_owned,
+                    "halo nodes": shard.n_halo,
+                    "wall_s": round(shard.wall_s, 4),
+                }
+                for shard in info.shards
+            ],
+            title="  per-shard accounting",
+        ))
+        print(f"  halo overhead      : {info.halo_overhead:.4f} ghost nodes per owned node")
+        print(f"  matches unsharded build (edges, tiles, reps, relays, messages) : "
+              f"{matches_unsharded(stitched, result)}")
+
     # Route a packet between two far-apart good tiles of the overlay just built.
     good = sorted(t for t in net.classification.good_tiles() if t in net.sens.tile_representatives)
     if len(good) >= 2:
@@ -57,4 +83,12 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run the domain-decomposed build with N shards and certify it",
+    )
+    main(n_shards=parser.parse_args().shards)

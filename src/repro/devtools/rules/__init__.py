@@ -7,6 +7,7 @@ Rules are grouped by contract family; stable codes:
 * ``REPRO3xx`` — determinism hygiene / clocks (:mod:`repro.devtools.rules.clock_rules`)
 * ``REPRO4xx`` — store & serialization (:mod:`repro.devtools.rules.store_rules`)
 * ``REPRO5xx`` — concurrency (:mod:`repro.devtools.rules.concurrency_rules`)
+* ``REPRO6xx`` — shared-memory lifecycle (:mod:`repro.devtools.rules.shm_rules`)
 
 ``all_rules()`` returns one fresh instance of every registered rule; the
 registry is the single source the CLI, the tests and CONTRIBUTING.md verify
@@ -26,6 +27,7 @@ from repro.devtools.rules.rng_rules import (
     SeedArithmeticRule,
     UnseededDefaultRngRule,
 )
+from repro.devtools.rules.shm_rules import SharedMemoryLifecycleRule
 from repro.devtools.rules.store_rules import AppendDisciplineRule, CanonicalSerializerRule
 
 RULE_CLASSES: List[Type[Rule]] = [
@@ -39,6 +41,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     AppendDisciplineRule,
     SqliteThreadRule,
     BeginImmediateRule,
+    SharedMemoryLifecycleRule,
 ]
 
 __all__ = ["RULE_CLASSES", "all_rules", "rules_by_code"]

@@ -1,0 +1,181 @@
+"""REPRO6xx — shared-memory lifecycle discipline.
+
+The sharded builder (PR 7) passes million-row position arrays to worker
+processes through ``multiprocessing.shared_memory``.  A segment that is
+created (or even just attached) and never closed/unlinked outlives the
+process in ``/dev/shm`` — a leak the OS will not reclaim until reboot.
+The rule keeps every acquisition inside a structure that guarantees
+release: the sanctioned :mod:`repro.shard.shm` helpers, a context
+manager, a ``try``/``finally``, or an owning class with a ``close``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.devtools.engine import FileContext, Finding, Rule
+
+_SHM_QNAMES = frozenset(
+    {
+        "multiprocessing.shared_memory.SharedMemory",
+        "shared_memory.SharedMemory",
+    }
+)
+
+_RELEASE_METHODS = ("close", "unlink")
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+
+
+class SharedMemoryLifecycleRule(Rule):
+    code = "REPRO601"
+    name = "shm-lifecycle"
+    summary = (
+        "multiprocessing.shared_memory blocks must be released via a context "
+        "manager, a try/finally that closes them, or an owning class with close()."
+    )
+    rationale = (
+        "A SharedMemory segment is a kernel object under /dev/shm: if the "
+        "acquiring process dies between the constructor and close()/unlink(), "
+        "the segment leaks until reboot (and the resource tracker spams "
+        "KeyError warnings at interpreter exit).  Acquire segments through "
+        "repro.shard.shm (create_block/attach_block with a documented "
+        "owner-vs-worker lifecycle), or keep the constructor visibly inside "
+        "a with-statement, a try/finally whose finally calls close()/unlink(), "
+        "or a self-attribute of a class that defines close/__exit__/__del__.  "
+        "repro/shard/shm.py is exempt: it *is* the sanctioned implementation."
+    )
+    allow_paths = ("repro/shard/shm.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        calls = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call) and ctx.qualified_name(node.func) in _SHM_QNAMES
+        ]
+        if not calls:
+            return
+        parents: Dict[ast.AST, ast.AST] = {
+            child: parent
+            for parent in ast.walk(ctx.tree)
+            for child in ast.iter_child_nodes(parent)
+        }
+        for node in calls:
+            if self._is_released(node, parents):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                "SharedMemory acquired without a visible release path; use the "
+                "repro.shard.shm helpers, a context manager, or a try/finally "
+                "that calls close()/unlink()",
+            )
+
+    def _is_released(self, call: ast.Call, parents: Dict[ast.AST, ast.AST]) -> bool:
+        if self._under_withitem(call, parents):
+            return True
+        stmt = self._enclosing_statement(call, parents)
+        if stmt is None:
+            return False
+        target = _single_assign_target(stmt, call)
+        if isinstance(target, ast.Name):
+            return self._scope_finalizes(stmt, target.id, parents)
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return self._class_defines_release(stmt, parents)
+        return False
+
+    @staticmethod
+    def _under_withitem(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> bool:
+        """True when the call sits inside a ``with`` item's context expression.
+
+        Ascending hits the ``withitem`` before the ``With`` statement exactly
+        when the call is part of the context expression (possibly wrapped,
+        e.g. ``with closing(SharedMemory(...))``); calls in the ``with`` body
+        ascend straight to the ``With`` node instead.
+        """
+        cur: Optional[ast.AST] = node
+        while cur is not None:
+            if isinstance(cur, ast.withitem):
+                return True
+            if isinstance(cur, ast.stmt):
+                return False
+            cur = parents.get(cur)
+        return False
+
+    @staticmethod
+    def _enclosing_statement(
+        node: ast.AST, parents: Dict[ast.AST, ast.AST]
+    ) -> Optional[ast.stmt]:
+        cur: Optional[ast.AST] = node
+        while cur is not None and not isinstance(cur, ast.stmt):
+            cur = parents.get(cur)
+        return cur if isinstance(cur, ast.stmt) else None
+
+    def _scope_finalizes(
+        self, stmt: ast.stmt, name: str, parents: Dict[ast.AST, ast.AST]
+    ) -> bool:
+        """Some ``try`` in the assignment's scope finalizes ``name``.
+
+        Accepts both shapes — assignment inside the ``try`` body and the
+        common acquire-then-``try`` sequence — by scanning every ``try`` in
+        the enclosing function/module for a ``finally`` (or handler) that
+        calls ``name.close()`` / ``name.unlink()``.
+        """
+        scope = self._enclosing_scope(stmt, parents)
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Try):
+                cleanup = list(node.finalbody) + [
+                    s for handler in node.handlers for s in handler.body
+                ]
+                for body_stmt in cleanup:
+                    if _calls_release_on(body_stmt, name):
+                        return True
+        return False
+
+    def _class_defines_release(
+        self, stmt: ast.stmt, parents: Dict[ast.AST, ast.AST]
+    ) -> bool:
+        cur: Optional[ast.AST] = stmt
+        while cur is not None:
+            if isinstance(cur, ast.ClassDef):
+                return any(
+                    isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and member.name in ("close", "__exit__", "__del__")
+                    for member in cur.body
+                )
+            cur = parents.get(cur)
+        return False
+
+    @staticmethod
+    def _enclosing_scope(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> ast.AST:
+        cur: Optional[ast.AST] = parents.get(node)
+        while cur is not None and not isinstance(cur, _SCOPE_NODES):
+            cur = parents.get(cur)
+        return cur if cur is not None else node
+
+
+def _single_assign_target(stmt: ast.stmt, call: ast.Call) -> Optional[ast.expr]:
+    """The sole target of ``target = SharedMemory(...)``, else None."""
+    if isinstance(stmt, ast.Assign) and stmt.value is call and len(stmt.targets) == 1:
+        return stmt.targets[0]
+    if isinstance(stmt, ast.AnnAssign) and stmt.value is call:
+        return stmt.target
+    return None
+
+
+def _calls_release_on(stmt: ast.stmt, name: str) -> bool:
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RELEASE_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            return True
+    return False

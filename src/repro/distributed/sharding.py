@@ -1,0 +1,554 @@
+"""Domain-decomposed distributed build: shard the window, stitch at halos.
+
+The tile grid of :class:`~repro.core.tiling.Tiling` is a natural shard key:
+every construction decision of
+:func:`~repro.distributed.construct.distributed_build` is a function of one
+tile's membership (elections, goodness) or of one adjacent tile pair's
+elected leaders (overlay splices).  :class:`ShardedBuilder` splits the grid
+into contiguous blocks of tile *columns*, extends each block by a one-column
+ghost (halo) margin on either side, and runs the per-shard construction pass
+(:func:`repro.shard.worker.build_shard`) for every block — in a
+:class:`~concurrent.futures.ProcessPoolExecutor` with the position buffer in
+:mod:`multiprocessing.shared_memory` (``executor="process"``), or inline in
+this process (``executor="serial"``; same code path, plain arrays).
+
+**Stitching.**  A shard reports decisions only for the tiles it *owns*; an
+adjacent pair is owned by the shard owning its left/bottom tile.  Owned tiles
+and owned pairs partition the grid exactly, so the stitched overlay is the
+set union of per-shard edge sets, the good-tile/representative/relay maps are
+disjoint unions, and summed per-shard message counts reproduce the unsharded
+:class:`~repro.distributed.network.NetworkStats` — certified by
+:func:`matches_unsharded`, the PR 4 ``matches_rebuild()`` discipline applied
+to sharding.  The stitched ``good_tiles`` list is sorted (the canonical order
+also used by the repair engine's ``result()``; ``distributed_build`` emits
+dict-discovery order instead, so the certificate compares sets).
+
+**Incremental repair under shards.**  The builder keeps per-shard results and
+a dirty set: :meth:`ShardedBuilder.move`, :meth:`~ShardedBuilder.insert` and
+:meth:`~ShardedBuilder.delete` mark exactly the shards whose readable column
+span (owned + halo) contains an affected tile column, and
+:meth:`~ShardedBuilder.rebuild_dirty` re-runs only those shards before
+restitching — the diff-driven repair idea of PR 4 at shard granularity.
+
+Like :class:`~repro.distributed.repair.DistributedRepairEngine`, the sharded
+path computes protocol decisions directly (no message simulation, no
+neighbour table — a large part of its speed over the simulated build) and
+does not re-verify radio-range locality.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+import weakref
+
+import numpy as np
+
+from repro.core.tiles_base import TileSpec
+from repro.core.tiling import TileIndex, Tiling
+from repro.distributed.construct import DistributedBuildResult, distributed_build
+from repro.distributed.network import NetworkStats
+from repro.distributed.repair import _PROTOCOL_ROUNDS
+from repro.geometry.primitives import Rect, as_points
+from repro.shard.shm import create_block
+from repro.shard.worker import ShardResult, ShardTask, build_shard, run_shard_task
+
+__all__ = [
+    "ShardAccounting",
+    "ShardedBuildInfo",
+    "ShardedBuilder",
+    "matches_unsharded",
+    "plan_shard_columns",
+    "sharded_build",
+]
+
+#: Message kinds in the order the unsharded build first emits them (cosmetic:
+#: dict equality ignores order, canonical JSON sorts keys).
+_MESSAGE_KINDS = (
+    "candidate",
+    "connect-request",
+    "connect-ack",
+    "tile-good",
+    "border-request",
+    "border-ack",
+)
+
+
+def plan_shard_columns(n_cols: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous half-open tile-column blocks ``[start, stop)``, one per shard.
+
+    Blocks differ in width by at most one column; with more shards than
+    columns the surplus shards get empty blocks (and do no work).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return [
+        (shard * n_cols // n_shards, (shard + 1) * n_cols // n_shards)
+        for shard in range(n_shards)
+    ]
+
+
+@dataclass(frozen=True)
+class ShardAccounting:
+    """Per-worker resource accounting of one shard's last build."""
+
+    shard_id: int
+    n_owned: int
+    n_halo: int
+    wall_s: float
+    max_rss_kb: int
+
+
+@dataclass(frozen=True)
+class ShardedBuildInfo:
+    """Resource/overhead accounting of one stitched build."""
+
+    n_shards: int
+    shards: Tuple[ShardAccounting, ...]
+
+    @property
+    def total_owned(self) -> int:
+        return sum(shard.n_owned for shard in self.shards)
+
+    @property
+    def total_halo(self) -> int:
+        return sum(shard.n_halo for shard in self.shards)
+
+    @property
+    def halo_overhead(self) -> float:
+        """Halo members processed per owned member (the ghost-work fraction)."""
+        return self.total_halo / max(1, self.total_owned)
+
+    @property
+    def max_rss_kb(self) -> int:
+        return max((shard.max_rss_kb for shard in self.shards), default=0)
+
+
+def matches_unsharded(
+    sharded: DistributedBuildResult,
+    reference: DistributedBuildResult,
+    ids: Optional[np.ndarray] = None,
+) -> bool:
+    """Shard-count-invariance certificate against an unsharded build.
+
+    Same overlay edges, good tiles (as sets — orders are canonical-vs-
+    discovery), representatives, relays *and* message accounting (rounds,
+    totals, per-kind counts).  ``ids`` maps the reference's compact row
+    indices into the sharded result's global id space after churn, exactly
+    as in ``DistributedRepairEngine.matches_rebuild``.
+    """
+    if ids is not None:
+        id_map = np.asarray(ids, dtype=np.int64)
+        ref_edges = (
+            id_map[reference.edges] if len(reference.edges) else np.zeros((0, 2), dtype=np.int64)
+        )
+        ref_reps = {tile: int(id_map[rep]) for tile, rep in reference.representatives.items()}
+        ref_relays = {
+            tile: {name: int(id_map[relay]) for name, relay in relays.items()}
+            for tile, relays in reference.relays.items()
+        }
+    else:
+        ref_edges = reference.edges
+        ref_reps = {tile: int(rep) for tile, rep in reference.representatives.items()}
+        ref_relays = {
+            tile: {name: int(relay) for name, relay in relays.items()}
+            for tile, relays in reference.relays.items()
+        }
+    return (
+        np.array_equal(sharded.edges, ref_edges)
+        and set(sharded.good_tiles) == set(reference.good_tiles)
+        and sharded.representatives == ref_reps
+        and sharded.relays == ref_relays
+        and sharded.stats.rounds == reference.stats.rounds
+        and sharded.stats.messages_sent == reference.stats.messages_sent
+        and dict(sharded.stats.messages_by_kind) == dict(reference.stats.messages_by_kind)
+    )
+
+
+def _release_block(shm) -> None:
+    """Finalizer body: release an owned segment (idempotent, never raises)."""
+    try:
+        shm.close()
+        shm.unlink()
+    except Exception:
+        pass
+
+
+class ShardedBuilder:
+    """Owns a deployment and maintains its stitched distributed build.
+
+    Parameters
+    ----------
+    points:
+        Initial deployment; node ids are global row indices and remain stable
+        across churn (like the dynamic index's id space).
+    spec, window, k:
+        As for :func:`~repro.distributed.construct.distributed_build`.
+    n_shards:
+        Number of column blocks the grid is split into.
+    executor:
+        ``"process"`` (shared-memory positions + ``ProcessPoolExecutor``) or
+        ``"serial"`` (same shard pass, inline — the reference for tests and
+        the cheapest mode on a single core).
+    max_workers:
+        Pool size for ``executor="process"``; defaults to
+        ``min(n_shards, os.cpu_count())``.
+
+    Use as a context manager (or call :meth:`close`): the process mode owns a
+    shared-memory segment and a worker pool.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        spec: TileSpec,
+        window: Rect,
+        k: int | None = None,
+        n_shards: int = 4,
+        executor: str = "process",
+        max_workers: int | None = None,
+    ) -> None:
+        if executor not in ("process", "serial"):
+            raise ValueError("executor must be 'process' or 'serial'")
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        pts = as_points(points)
+        self.spec = spec
+        self.window = window
+        self.k = k
+        self.n_shards = int(n_shards)
+        self.tiling = Tiling(window=window, tile_side=spec.tile_side)
+        self.col_ranges = plan_shard_columns(self.tiling.n_cols, self.n_shards)
+        self._executor = executor
+        self._max_workers = (
+            max(1, int(max_workers))
+            if max_workers is not None
+            else min(self.n_shards, os.cpu_count() or 1)
+        )
+        self._pool: ProcessPoolExecutor | None = None
+
+        self._n = len(pts)
+        self._capacity = max(self._n, 1)
+        self._shm = None
+        self._finalizer = None
+        if executor == "process":
+            self._shm = create_block(self._capacity * 2 * 8)
+            self._finalizer = weakref.finalize(self, _release_block, self._shm)
+            self._buf = np.ndarray((self._capacity, 2), dtype=np.float64, buffer=self._shm.buf)
+        else:
+            self._buf = np.empty((self._capacity, 2), dtype=np.float64)
+        self._buf[: self._n] = pts
+
+        self._alive = np.zeros(self._capacity, dtype=bool)
+        self._alive[: self._n] = True
+        self._cols = np.zeros(self._capacity, dtype=np.int64)
+        self._in_grid = np.zeros(self._capacity, dtype=bool)
+        if self._n:
+            tiles = self.tiling.tile_of_points(pts)
+            in_grid = self.tiling.in_grid_mask(tiles)
+            self._cols[: self._n] = tiles[:, 0]
+            self._in_grid[: self._n] = in_grid
+
+        self._results: List[Optional[ShardResult]] = [None] * self.n_shards
+        self._dirty = set(range(self.n_shards))
+        self._last: Optional[DistributedBuildResult] = None
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool and the owned shared-memory segment."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+            self._shm = None
+
+    def __enter__(self) -> "ShardedBuilder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    # -- id-space views --------------------------------------------------------
+    def alive_ids(self) -> np.ndarray:
+        """Ascending global row ids of the alive nodes."""
+        return np.nonzero(self._alive[: self._n])[0].astype(np.int64)
+
+    def positions(self) -> np.ndarray:
+        """Positions of the alive nodes, compacted in ascending-id order."""
+        return self._buf[: self._n][self._alive[: self._n]].copy()
+
+    def id_positions(self) -> np.ndarray:
+        """Copy of the id-indexed position buffer (rows of dead ids are stale)."""
+        return self._buf[: self._n].copy()
+
+    @property
+    def n_alive(self) -> int:
+        return int(np.count_nonzero(self._alive[: self._n]))
+
+    # -- churn / mobility ------------------------------------------------------
+    def _check_alive(self, rows: np.ndarray) -> None:
+        if rows.size == 0:
+            return
+        if rows.min() < 0 or rows.max() >= self._n:
+            raise ValueError("row ids out of range")
+        if not self._alive[rows].all():
+            raise ValueError("row ids must reference alive nodes")
+
+    def _mark_cols_dirty(self, cols: np.ndarray) -> None:
+        if len(cols) == 0:
+            return
+        affected = np.unique(np.asarray(cols, dtype=np.int64))
+        for shard, (start, stop) in enumerate(self.col_ranges):
+            if start == stop:
+                continue
+            # A shard reads its owned columns plus the halo column each side.
+            if np.any((affected >= start - 1) & (affected <= stop)):
+                self._dirty.add(shard)
+
+    def move(self, rows: np.ndarray, new_positions: np.ndarray) -> None:
+        """Move alive nodes; shards reading an affected column become dirty."""
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        new = as_points(new_positions)
+        if len(new) != rows.size:
+            raise ValueError("rows and new_positions must have equal length")
+        self._check_alive(rows)
+        old = rows[self._in_grid[rows]]
+        self._mark_cols_dirty(self._cols[old])
+        self._buf[rows] = new
+        tiles = self.tiling.tile_of_points(new)
+        in_grid = self.tiling.in_grid_mask(tiles)
+        self._cols[rows] = tiles[:, 0]
+        self._in_grid[rows] = in_grid
+        self._mark_cols_dirty(tiles[in_grid, 0])
+
+    def insert(self, new_points: np.ndarray) -> np.ndarray:
+        """Add nodes (fresh ids at the end of the id space); returns their ids."""
+        new = as_points(new_points)
+        m = len(new)
+        if m == 0:
+            return np.zeros(0, dtype=np.int64)
+        if self._n + m > self._capacity:
+            self._grow(max(2 * self._capacity, self._n + m))
+        ids = np.arange(self._n, self._n + m, dtype=np.int64)
+        self._buf[ids] = new
+        self._alive[ids] = True
+        tiles = self.tiling.tile_of_points(new)
+        in_grid = self.tiling.in_grid_mask(tiles)
+        self._cols[ids] = tiles[:, 0]
+        self._in_grid[ids] = in_grid
+        self._n += m
+        self._mark_cols_dirty(tiles[in_grid, 0])
+        return ids
+
+    def delete(self, rows: np.ndarray) -> None:
+        """Remove alive nodes; their ids are never reused."""
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        self._check_alive(rows)
+        old = rows[self._in_grid[rows]]
+        self._mark_cols_dirty(self._cols[old])
+        self._alive[rows] = False
+
+    def _grow(self, capacity: int) -> None:
+        """Reallocate the position buffer (values, ids and results unchanged)."""
+        if self._executor == "process":
+            new_shm = create_block(capacity * 2 * 8)
+            new_buf = np.ndarray((capacity, 2), dtype=np.float64, buffer=new_shm.buf)
+            new_buf[: self._n] = self._buf[: self._n]
+            old_finalizer = self._finalizer
+            self._shm = new_shm
+            self._buf = new_buf
+            self._finalizer = weakref.finalize(self, _release_block, new_shm)
+            if old_finalizer is not None:
+                old_finalizer()
+        else:
+            new_buf = np.empty((capacity, 2), dtype=np.float64)
+            new_buf[: self._n] = self._buf[: self._n]
+            self._buf = new_buf
+        for name in ("_alive", "_in_grid", "_cols"):
+            old = getattr(self, name)
+            grown = np.zeros(capacity, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+        self._capacity = capacity
+
+    # -- building --------------------------------------------------------------
+    def _shard_rows(self, shard: int) -> np.ndarray:
+        start, stop = self.col_ranges[shard]
+        n = self._n
+        mask = (
+            self._alive[:n]
+            & self._in_grid[:n]
+            & (self._cols[:n] >= start - 1)
+            & (self._cols[:n] <= stop)
+        )
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    def build(self) -> DistributedBuildResult:
+        """Rebuild every shard from the current deployment and stitch."""
+        self._dirty = set(range(self.n_shards))
+        return self.rebuild_dirty()
+
+    def rebuild_dirty(self) -> DistributedBuildResult:
+        """Re-run only the dirty shards, restitch, and return the result."""
+        dirty = sorted(self._dirty)
+        live = [shard for shard in dirty if self.col_ranges[shard][0] != self.col_ranges[shard][1]]
+        for shard in dirty:
+            if shard not in live:
+                self._results[shard] = ShardResult(shard_id=shard)
+        if live:
+            rows_per_shard = {shard: self._shard_rows(shard) for shard in live}
+            if self._executor == "serial":
+                for shard in live:
+                    start, stop = self.col_ranges[shard]
+                    result = build_shard(
+                        self._buf, rows_per_shard[shard], self.spec, self.tiling, start, stop, self.k
+                    )
+                    result.shard_id = shard
+                    self._results[shard] = result
+            else:
+                self._run_process_tasks(live, rows_per_shard)
+        self._dirty.clear()
+        self._last = self._stitch()
+        return self._last
+
+    def _run_process_tasks(self, shards: Sequence[int], rows_per_shard: Dict[int, np.ndarray]) -> None:
+        total = int(sum(len(rows_per_shard[shard]) for shard in shards))
+        rows_shm = create_block(max(total, 1) * 8)
+        try:
+            rows_block = np.ndarray((total,), dtype=np.int64, buffer=rows_shm.buf)
+            tasks = []
+            offset = 0
+            for shard in shards:
+                rows = rows_per_shard[shard]
+                rows_block[offset : offset + len(rows)] = rows
+                start, stop = self.col_ranges[shard]
+                tasks.append(
+                    ShardTask(
+                        shard_id=shard,
+                        col_start=start,
+                        col_stop=stop,
+                        spec=self.spec,
+                        tiling=self.tiling,
+                        k=self.k,
+                        positions_shm=self._shm.name,
+                        capacity=self._capacity,
+                        rows_shm=rows_shm.name,
+                        rows_total=total,
+                        rows_offset=offset,
+                        rows_count=len(rows),
+                    )
+                )
+                offset += len(rows)
+            pool = self._ensure_pool()
+            for result in pool.map(run_shard_task, tasks):
+                self._results[result.shard_id] = result
+        finally:
+            rows_shm.close()
+            rows_shm.unlink()
+
+    def _stitch(self) -> DistributedBuildResult:
+        edge_set: set[Tuple[int, int]] = set()
+        representatives: Dict[TileIndex, int] = {}
+        relays: Dict[TileIndex, Dict[str, int]] = {}
+        counts: Dict[str, int] = {}
+        for result in self._results:
+            if result is None:
+                continue
+            for tile, rep, tile_relays in result.good:
+                representatives[tile] = rep
+                relays[tile] = dict(tile_relays)
+            if len(result.edges):
+                edge_set.update((int(a), int(b)) for a, b in result.edges.tolist())
+            for kind, value in result.counts.items():
+                counts[kind] = counts.get(kind, 0) + value
+        good_tiles = sorted(representatives)
+        by_kind = {kind: counts[kind] for kind in _MESSAGE_KINDS if kind in counts}
+        for kind in sorted(counts):
+            by_kind.setdefault(kind, counts[kind])
+        stats = NetworkStats(
+            rounds=_PROTOCOL_ROUNDS,
+            messages_sent=sum(counts.values()),
+            messages_by_kind=by_kind,
+        )
+        edges = (
+            np.asarray(sorted(edge_set), dtype=np.int64)
+            if edge_set
+            else np.zeros((0, 2), dtype=np.int64)
+        )
+        return DistributedBuildResult(
+            edges=edges,
+            representatives={tile: representatives[tile] for tile in good_tiles},
+            relays={tile: relays[tile] for tile in good_tiles},
+            good_tiles=good_tiles,
+            stats=stats,
+        )
+
+    def result(self) -> DistributedBuildResult:
+        """The current stitched build (rebuilding dirty shards if needed).
+
+        Unlike the repair engine's cumulative stats, the stitched ``stats``
+        always describes one from-scratch protocol execution over the
+        *current* deployment — after any interleaving of moves and churn it
+        equals a fresh ``distributed_build``'s accounting.
+        """
+        if self._last is None or self._dirty:
+            return self.rebuild_dirty()
+        return self._last
+
+    def info(self) -> ShardedBuildInfo:
+        """Per-shard accounting of the shards' most recent builds."""
+        shards = tuple(
+            ShardAccounting(
+                shard_id=result.shard_id,
+                n_owned=result.n_owned,
+                n_halo=result.n_halo,
+                wall_s=result.wall_s,
+                max_rss_kb=result.max_rss_kb,
+            )
+            for result in self._results
+            if result is not None
+        )
+        return ShardedBuildInfo(n_shards=self.n_shards, shards=shards)
+
+    def matches_unsharded(self, reference: DistributedBuildResult | None = None) -> bool:
+        """Certify the stitched state against a from-scratch unsharded build.
+
+        ``reference`` may pass a precomputed ``distributed_build`` over
+        :meth:`positions` (callers timing the baseline reuse it here); by
+        default one is computed now.
+        """
+        got = self.result()
+        if reference is None:
+            # radio_range=None: this certifies decision equivalence; locality
+            # is a property of the construction's geometry, checked by the
+            # simulated build (arbitrary churned deployments may violate it).
+            reference = distributed_build(
+                self.positions(), self.spec, self.window, k=self.k, radio_range=None
+            )
+        return matches_unsharded(got, reference, ids=self.alive_ids())
+
+
+def sharded_build(
+    points: np.ndarray,
+    spec: TileSpec,
+    window: Rect,
+    k: int | None = None,
+    n_shards: int = 4,
+    executor: str = "process",
+    max_workers: int | None = None,
+) -> Tuple[DistributedBuildResult, ShardedBuildInfo]:
+    """One-shot sharded build; returns the stitched result and its accounting."""
+    with ShardedBuilder(
+        points, spec, window, k=k, n_shards=n_shards, executor=executor, max_workers=max_workers
+    ) as builder:
+        result = builder.build()
+        return result, builder.info()

@@ -44,7 +44,23 @@ _KDTREE_WORKERS = (
     else {}
 )
 
-__all__ = ["SpatialIndex", "GridIndex", "KDTreeIndex", "build_index", "within_ball", "BACKENDS"]
+__all__ = [
+    "SpatialIndex",
+    "GridIndex",
+    "KDTreeIndex",
+    "build_index",
+    "within_ball",
+    "BACKENDS",
+    "DEFAULT_BULK_CHUNK_SIZE",
+]
+
+#: Centers per block of one bulk candidate gather.  The peak transient of
+#: :meth:`GridIndex._matches` is proportional to ``centers × mean occupancy
+#: × scanned cells``, so a 10⁶-center query against a dense table could
+#: materialise a multi-gigabyte candidate pool at once; processing centers in
+#: blocks bounds that peak.  Results are per-center, so any chunking of the
+#: centers axis is byte-identical to the one-shot gather.
+DEFAULT_BULK_CHUNK_SIZE = 131072
 
 
 def within_ball(points: np.ndarray, center: np.ndarray, radius: float) -> np.ndarray:
@@ -148,6 +164,15 @@ def _check_radius(radius: float) -> None:
         raise ValueError("radius must be non-negative")
 
 
+def _check_chunk_size(chunk_size: int | None) -> int | None:
+    """Validate a bulk-chunk size (``None`` = unchunked single gather)."""
+    if chunk_size is None:
+        return None
+    if int(chunk_size) < 1:
+        raise ValueError("chunk_size must be >= 1 (or None for one gather)")
+    return int(chunk_size)
+
+
 class _IndexBase:
     """Backend behaviour derivable from the primitive queries.
 
@@ -210,6 +235,11 @@ class GridIndex(_IndexBase):
         Side of the (axis-aligned) hash cells.  For radius-``r`` neighbour
         queries a cell size of ``r`` means only the 3×3 block of cells around
         a query needs scanning.
+    chunk_size:
+        Bulk queries process at most this many centers per candidate gather
+        (:data:`DEFAULT_BULK_CHUNK_SIZE`), bounding peak memory on 10⁶-center
+        workloads; ``None`` restores the single one-shot gather.  Chunking
+        never changes a result — each center's answer is independent.
 
     The constructor is fully vectorised: integer cell keys are packed into one
     ``int64`` per point, a stable argsort groups points by cell, and a single
@@ -219,11 +249,17 @@ class GridIndex(_IndexBase):
     lands exactly on an integer).
     """
 
-    def __init__(self, points: np.ndarray, cell_size: float) -> None:
+    def __init__(
+        self,
+        points: np.ndarray,
+        cell_size: float,
+        chunk_size: int | None = DEFAULT_BULK_CHUNK_SIZE,
+    ) -> None:
         if cell_size <= 0:
             raise ValueError("cell_size must be positive")
         self.points = as_points(points)
         self.cell_size = float(cell_size)
+        self.bulk_chunk_size = _check_chunk_size(chunk_size)
         n = len(self.points)
         if n:
             quot = self.points / self.cell_size
@@ -267,6 +303,7 @@ class GridIndex(_IndexBase):
         cell_size: float,
         cell_keys: np.ndarray,
         cell_members: Sequence[np.ndarray],
+        chunk_size: int | None = DEFAULT_BULK_CHUNK_SIZE,
     ) -> "GridIndex":
         """Adopt an externally maintained cell table instead of deriving one.
 
@@ -310,6 +347,7 @@ class GridIndex(_IndexBase):
         index = cls.__new__(cls)
         index.points = points
         index.cell_size = float(cell_size)
+        index.bulk_chunk_size = _check_chunk_size(chunk_size)
         keys = np.asarray(cell_keys, dtype=np.int64).reshape(-1, 2)
         if len(keys) == 0:
             index._key_min = np.zeros(2, dtype=np.int64)
@@ -563,7 +601,11 @@ class GridIndex(_IndexBase):
         """Answer all ``centers`` at once with one gather + one distance mask.
 
         Returns one sorted index array per center; see :meth:`_matches` for
-        the vectorised candidate-gathering scheme.
+        the vectorised candidate-gathering scheme.  Centers are processed in
+        blocks of ``bulk_chunk_size`` to bound the peak size of the candidate
+        pool (results are per-center, so blocking is byte-identical to one
+        gather; pass ``chunk_size=None`` at construction for the one-shot
+        path).
         """
         _check_radius(radius)
         centers = as_points(centers)
@@ -572,6 +614,16 @@ class GridIndex(_IndexBase):
             return []
         if len(self) == 0:
             return [np.zeros(0, dtype=np.int64) for _ in range(q)]
+        chunk = self.bulk_chunk_size
+        if chunk is not None and q > chunk:
+            out: List[np.ndarray] = []
+            for start in range(0, q, chunk):
+                out.extend(self._query_radius_block(centers[start : start + chunk], radius))
+            return out
+        return self._query_radius_block(centers, radius)
+
+    def _query_radius_block(self, centers: np.ndarray, radius: float) -> List[np.ndarray]:
+        q = len(centers)
         cand_queries, cand_points = self._matches(centers, radius)
         # Group by query, ascending point index inside each group.  A single
         # combined-key argsort is ~10x faster than the equivalent two-key
@@ -585,11 +637,27 @@ class GridIndex(_IndexBase):
         return np.split(cand_points, np.cumsum(per_query)[:-1])
 
     def count_radius_many(self, centers: np.ndarray, radius: float) -> np.ndarray:
-        """Per-center neighbour counts — skips the sort/split of the full query."""
+        """Per-center neighbour counts — skips the sort/split of the full query.
+
+        Chunked over centers like :meth:`query_radius_many`, and for the same
+        reason: the counts of a block depend only on that block's centers.
+        """
         _check_radius(radius)
         centers = as_points(centers)
-        if len(centers) == 0 or len(self) == 0:
-            return np.zeros(len(centers), dtype=np.int64)
+        q = len(centers)
+        if q == 0 or len(self) == 0:
+            return np.zeros(q, dtype=np.int64)
+        chunk = self.bulk_chunk_size
+        if chunk is not None and q > chunk:
+            return np.concatenate(
+                [
+                    self._count_radius_block(centers[start : start + chunk], radius)
+                    for start in range(0, q, chunk)
+                ]
+            )
+        return self._count_radius_block(centers, radius)
+
+    def _count_radius_block(self, centers: np.ndarray, radius: float) -> np.ndarray:
         cand_queries, _ = self._matches(centers, radius)
         return np.bincount(cand_queries, minlength=len(centers))
 

@@ -1,0 +1,59 @@
+"""Shared-memory lifecycle helpers for the shard workers.
+
+This module is the sanctioned implementation behind lint rule REPRO601
+(`shm-lifecycle`): every other module must acquire
+:class:`multiprocessing.shared_memory.SharedMemory` segments through these
+helpers (or under a context manager / try-finally the rule can see), so a
+crashed worker cannot leak segments into ``/dev/shm``.
+
+Two lifecycle roles exist and they are deliberately asymmetric:
+
+* The **owner** (the :class:`~repro.distributed.sharding.ShardedBuilder`
+  process) creates a segment with :func:`create_block` and must eventually
+  ``close()`` *and* ``unlink()`` it.
+* A **worker** attaches to an existing segment by name with
+  :func:`attach_block` and must only ``close()`` its mapping — unlinking is
+  the owner's job.  Python 3.13+ exposes ``track=False`` for exactly this
+  role and it is used when available.  On CPython < 3.13 attaching also
+  registers the segment with the ``resource_tracker``; with the fork start
+  method every process reports to the *one* tracker the owner started, whose
+  per-name cache is a set — the worker's registration deduplicates against
+  the owner's, and the owner's eventual ``unlink()`` clears it.  (Explicitly
+  unregistering in the worker would be wrong here: it would strip the
+  owner's registration from the shared tracker and make the owner's
+  ``unlink()`` die noisily on the double-unregister.)
+"""
+
+from __future__ import annotations
+
+import inspect
+from multiprocessing.shared_memory import SharedMemory
+
+__all__ = ["create_block", "attach_block"]
+
+#: Python 3.13+ accepts ``track=False`` at attach time; older versions need
+#: the explicit resource-tracker unregistration below.
+_HAS_TRACK_KWARG = "track" in inspect.signature(SharedMemory).parameters
+
+
+def create_block(nbytes: int) -> SharedMemory:
+    """Create a new shared-memory segment of ``nbytes`` bytes (owner side).
+
+    The caller owns the segment: it must ``close()`` and ``unlink()`` it (the
+    :class:`~repro.distributed.sharding.ShardedBuilder` does both in
+    ``close()``, backstopped by a ``weakref.finalize``).
+    """
+    if nbytes <= 0:
+        raise ValueError("shared-memory blocks must have positive size")
+    return SharedMemory(create=True, size=int(nbytes))
+
+
+def attach_block(name: str) -> SharedMemory:
+    """Attach to an existing segment by name without taking ownership.
+
+    The returned mapping must be ``close()``-d by the caller (try/finally);
+    it must *not* be ``unlink()``-ed — the creating process owns the segment.
+    """
+    if _HAS_TRACK_KWARG:
+        return SharedMemory(name=name, track=False)
+    return SharedMemory(name=name)

@@ -1,0 +1,267 @@
+"""Worker side of the sharded distributed build.
+
+A shard owns a contiguous block of tile *columns* of the
+:class:`~repro.core.tiling.Tiling` grid plus a one-tile-wide ghost (halo)
+column on each side.  One tile column is the widest footprint any
+construction decision reads: elections and goodness are functions of a single
+tile's membership, overlay splices of one adjacent tile pair — so a worker
+that sees its owned columns plus their immediate neighbours can reproduce
+every decision of :func:`~repro.distributed.construct.distributed_build`
+that touches an owned tile, with zero cross-worker communication.
+
+Exactness discipline (the PR 4 "repair equals rebuild" rules, applied to
+sharding):
+
+* **Decisions go through the shared helpers.**  Leader election, goodness and
+  splicing call :func:`~repro.distributed.construct.elect_tile_leaders`,
+  :func:`~repro.distributed.construct.tile_goodness` and
+  :func:`~repro.distributed.construct.cross_tile_edges` — the very functions
+  ``distributed_build`` runs — so shard-count invariance is structural.
+  Elections in particular stay scalar: a vectorised row-wise norm may differ
+  from :func:`~repro.distributed.leader_election.election_key` by an ULP and
+  flip a leader on a tie-distance pair.
+* **Only data-parallel steps are vectorised.**  Region classification is one
+  :meth:`~repro.core.tiles_base.TileSpec.classify_points` call over the whole
+  shard membership (the unsharded build's dominant cost is re-building the
+  region predicates per tile); the tile-local offsets feeding it use the same
+  IEEE operations as :meth:`~repro.core.tiling.Tiling.tile_center`, so every
+  mask bit matches the per-tile path.
+* **Owned work only is counted.**  Halo tiles get elections and goodness
+  computed (boundary pairs need them) but contribute no message counts and no
+  good-tile records; an adjacent pair is owned by the shard owning its
+  left/bottom tile.  Summing per-shard counts therefore reproduces the
+  unsharded :class:`~repro.distributed.network.NetworkStats` exactly.
+
+Like the repair engine, a shard computes the protocol's decisions directly
+instead of simulating message delivery, and does not re-verify radio-range
+locality (a property of the construction's geometry, not of who computes it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import resource
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.tiles_base import TileSpec
+from repro.core.tiling import TileIndex, Tiling
+from repro.distributed.construct import cross_tile_edges, elect_tile_leaders, tile_goodness
+from repro.shard.shm import attach_block
+
+__all__ = ["ShardTask", "ShardResult", "build_shard", "run_shard_task"]
+
+#: Each unordered adjacent tile pair is owned by its left/bottom tile
+#: (identical to the repair engine's pair ownership).
+_PAIR_DIRECTIONS = ("right", "top")
+
+_EMPTY_EDGES = np.zeros((0, 2), dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a pool worker needs to build one shard.
+
+    Positions and member rows travel through named shared-memory segments
+    (:mod:`repro.shard.shm`), so the per-task pickle is a few hundred bytes
+    regardless of deployment size.
+    """
+
+    shard_id: int
+    col_start: int
+    col_stop: int
+    spec: TileSpec
+    tiling: Tiling
+    k: int | None
+    positions_shm: str
+    capacity: int
+    rows_shm: str
+    rows_total: int
+    rows_offset: int
+    rows_count: int
+
+
+@dataclass
+class ShardResult:
+    """One shard's contribution to the stitched build.
+
+    ``good`` holds the *owned* good tiles as ``(tile, representative,
+    relays)`` records; ``edges`` every overlay edge of an owned pair (global
+    ``(min, max)`` id pairs, sorted); ``counts`` the protocol messages of the
+    owned tiles and pairs.  ``wall_s`` / ``max_rss_kb`` are the
+    per-worker resource accounting surfaced through
+    :class:`~repro.distributed.sharding.ShardedBuildInfo` (``ru_maxrss`` is a
+    process-lifetime high-water mark, so for a reused pool worker it is an
+    upper bound, not a per-task measurement).
+    """
+
+    shard_id: int
+    good: List[Tuple[TileIndex, int, Dict[str, int]]] = field(default_factory=list)
+    edges: np.ndarray = field(default_factory=lambda: _EMPTY_EDGES)
+    counts: Dict[str, int] = field(default_factory=dict)
+    n_owned: int = 0
+    n_halo: int = 0
+    wall_s: float = 0.0
+    max_rss_kb: int = 0
+
+
+def build_shard(
+    points: np.ndarray,
+    rows: np.ndarray,
+    spec: TileSpec,
+    tiling: Tiling,
+    col_start: int,
+    col_stop: int,
+    k: int | None = None,
+) -> ShardResult:
+    """Run the construction decisions for one shard.
+
+    ``points`` is the full (global-row-indexed) position buffer; ``rows`` the
+    ascending global row ids of the alive in-grid members of tile columns
+    ``[col_start - 1, col_stop]`` — the owned block plus its halo columns.
+    """
+    start = time.perf_counter()
+    shard_id = -1  # set by run_shard_task; direct callers get it from their loop
+    result = ShardResult(shard_id=shard_id)
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        result.wall_s = time.perf_counter() - start
+        result.max_rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        return result
+
+    grid_rows = tiling.n_rows
+    rep_region = spec.representative_region
+    cap = spec.max_points_per_tile(k)
+    counts: Dict[str, int] = {}
+
+    def count(kind: str, n: int) -> None:
+        if n > 0:
+            counts[kind] = counts.get(kind, 0) + n
+
+    member_pts = points[rows]
+    tiles = tiling.tile_of_points(member_pts)
+    cols = tiles[:, 0]
+    tile_rows = tiles[:, 1]
+    owned_mask = (cols >= col_start) & (cols < col_stop)
+    result.n_owned = int(np.count_nonzero(owned_mask))
+    result.n_halo = int(rows.size - result.n_owned)
+
+    # Dense per-tile key over the shard's column span (halo column offset so
+    # keys stay non-negative even when col_start == 0 has no left halo).
+    packed = (cols - (col_start - 1)) * grid_rows + tile_rows
+    order = np.argsort(packed, kind="stable")
+    sorted_packed = packed[order]
+    firsts = np.nonzero(np.diff(sorted_packed))[0] + 1
+    starts = np.concatenate([[0], firsts])
+    tile_keys = sorted_packed[starts]
+    tile_counts = np.diff(np.concatenate([starts, [sorted_packed.size]]))
+
+    # One vectorised classification pass over every shard member.  The
+    # per-member tile centre uses the same expression as Tiling.tile_center,
+    # so `member_pts - centers` is bit-identical to the per-tile local frame.
+    centers = np.empty_like(member_pts)
+    centers[:, 0] = tiling.origin[0] + (cols + 0.5) * tiling.tile_side
+    centers[:, 1] = tiling.origin[1] + (tile_rows + 0.5) * tiling.tile_side
+    masks = spec.classify_points(member_pts - centers)
+
+    # region name → {packed tile key → ascending member ids}.  Stable sort
+    # preserves the ascending-row order within each tile, matching
+    # region_members_of_tile's member lists element for element.
+    region_map: Dict[str, Dict[int, List[int]]] = {}
+    for name, mask in masks.items():
+        per_tile: Dict[int, List[int]] = {}
+        if mask.any():
+            masked_keys = packed[mask]
+            masked_rows = rows[mask]
+            sub_order = np.argsort(masked_keys, kind="stable")
+            keys_sorted = masked_keys[sub_order]
+            rows_sorted = masked_rows[sub_order]
+            cuts = np.nonzero(np.diff(keys_sorted))[0] + 1
+            key_firsts = keys_sorted[np.concatenate([[0], cuts])]
+            parts = np.split(rows_sorted, cuts)
+            per_tile = {int(key): part.tolist() for key, part in zip(key_firsts.tolist(), parts)}
+        region_map[name] = per_tile
+
+    region_names = list(masks.keys())
+    good_owned: List[Tuple[TileIndex, int, Dict[str, int]]] = []
+    all_good: Dict[TileIndex, Tuple[int, Dict[str, int]]] = {}
+
+    for i in range(tile_keys.size):
+        key = int(tile_keys[i])
+        col, row = divmod(key, grid_rows)
+        tile: TileIndex = (col + col_start - 1, row)
+        center = tiling.tile_center(tile)
+        regions: Dict[str, List[int]] = {}
+        for name in region_names:
+            members = region_map[name].get(key)
+            if members is not None:
+                regions[name] = members
+        leaders = elect_tile_leaders(points, regions, center, spec)
+        good, present = tile_goodness(spec, leaders, int(tile_counts[i]), cap)
+        owned = col_start <= tile[0] < col_stop
+        if owned:
+            for members in regions.values():
+                m = len(members)
+                if m >= 2:
+                    count("candidate", m * (m - 1))
+            if rep_region in leaders:
+                rep = leaders[rep_region]
+                handshakes = sum(1 for relay in present.values() if relay != rep)
+                count("connect-request", handshakes)
+                count("connect-ack", handshakes)
+                if good:
+                    count("tile-good", handshakes)
+        if good:
+            record = (int(leaders[rep_region]), {name: int(node) for name, node in present.items()})
+            all_good[tile] = record
+            if owned:
+                good_owned.append((tile, record[0], record[1]))
+
+    edges: set[Tuple[int, int]] = set()
+    for tile, rep, relays in good_owned:
+        neighbours = tiling.neighbours(tile)
+        for direction in _PAIR_DIRECTIONS:
+            neighbour = neighbours.get(direction)
+            if neighbour is None:
+                continue
+            other = all_good.get(neighbour)
+            if other is None:
+                continue
+            pair_edges, (a, b) = cross_tile_edges(spec, direction, rep, relays, other[0], other[1])
+            if a != b:
+                count("border-request", 1)
+                count("border-ack", 1)
+            edges.update(pair_edges)
+
+    result.good = good_owned
+    result.edges = np.asarray(sorted(edges), dtype=np.int64) if edges else _EMPTY_EDGES
+    result.counts = counts
+    result.wall_s = time.perf_counter() - start
+    result.max_rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    return result
+
+
+def run_shard_task(task: ShardTask) -> ShardResult:
+    """Pool entry point: attach the shared segments, build, detach."""
+    positions_shm = attach_block(task.positions_shm)
+    try:
+        points = np.ndarray(
+            (task.capacity, 2), dtype=np.float64, buffer=positions_shm.buf
+        )
+        rows_shm = attach_block(task.rows_shm)
+        try:
+            all_rows = np.ndarray((task.rows_total,), dtype=np.int64, buffer=rows_shm.buf)
+            # Copy the slice out of the segment so nothing in the result can
+            # alias a buffer the owner is about to unlink.
+            rows = np.array(all_rows[task.rows_offset : task.rows_offset + task.rows_count])
+            result = build_shard(
+                points, rows, task.spec, task.tiling, task.col_start, task.col_stop, task.k
+            )
+            result.shard_id = task.shard_id
+            return result
+        finally:
+            rows_shm.close()
+    finally:
+        positions_shm.close()

@@ -621,6 +621,144 @@ def test_select_statement_is_clean(lint_snippet):
 
 
 # ---------------------------------------------------------------------------
+# REPRO601 — shared-memory lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_bare_shared_memory_constructor_fires(lint_snippet):
+    src = dedent(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def scratch(nbytes):
+            shm = SharedMemory(create=True, size=nbytes)
+            return shm.buf
+        """
+    )
+    assert "REPRO601" in codes(lint_snippet(src, select={"REPRO601"}))
+
+
+def test_attach_via_module_alias_fires(lint_snippet):
+    src = dedent(
+        """
+        from multiprocessing import shared_memory
+
+        def peek(name):
+            return shared_memory.SharedMemory(name=name).buf[0]
+        """
+    )
+    assert "REPRO601" in codes(lint_snippet(src, select={"REPRO601"}))
+
+
+def test_try_without_cleanup_fires(lint_snippet):
+    src = dedent(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def use(name):
+            shm = SharedMemory(name=name)
+            try:
+                return bytes(shm.buf)
+            finally:
+                pass
+        """
+    )
+    assert "REPRO601" in codes(lint_snippet(src, select={"REPRO601"}))
+
+
+def test_closing_context_manager_is_clean(lint_snippet):
+    # SharedMemory is not a context manager before 3.13 — contextlib.closing
+    # is the sanctioned with-statement idiom.
+    src = dedent(
+        """
+        from contextlib import closing
+        from multiprocessing.shared_memory import SharedMemory
+
+        def use(name):
+            with closing(SharedMemory(name=name)) as shm:
+                return bytes(shm.buf)
+        """
+    )
+    assert lint_snippet(src, select={"REPRO601"}) == []
+
+
+def test_try_finally_close_is_clean(lint_snippet):
+    src = dedent(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def use(name):
+            shm = SharedMemory(name=name)
+            try:
+                return bytes(shm.buf)
+            finally:
+                shm.close()
+        """
+    )
+    assert lint_snippet(src, select={"REPRO601"}) == []
+
+
+def test_owner_try_finally_close_unlink_is_clean(lint_snippet):
+    src = dedent(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def scratch(nbytes):
+            shm = SharedMemory(create=True, size=nbytes)
+            try:
+                return bytes(shm.buf)
+            finally:
+                shm.close()
+                shm.unlink()
+        """
+    )
+    assert lint_snippet(src, select={"REPRO601"}) == []
+
+
+def test_owning_class_with_close_is_clean(lint_snippet):
+    src = dedent(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        class Block:
+            def __init__(self, nbytes):
+                self._shm = SharedMemory(create=True, size=nbytes)
+
+            def close(self):
+                self._shm.close()
+                self._shm.unlink()
+        """
+    )
+    assert lint_snippet(src, select={"REPRO601"}) == []
+
+
+def test_class_without_release_method_fires(lint_snippet):
+    src = dedent(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        class Block:
+            def __init__(self, nbytes):
+                self._shm = SharedMemory(create=True, size=nbytes)
+        """
+    )
+    assert "REPRO601" in codes(lint_snippet(src, select={"REPRO601"}))
+
+
+def test_sanctioned_shm_helper_module_is_exempt(lint_snippet):
+    src = dedent(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def attach_block(name):
+            return SharedMemory(name=name)
+        """
+    )
+    findings = lint_snippet(src, select={"REPRO601"}, relpath="src/repro/shard/shm.py")
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Registry hygiene
 # ---------------------------------------------------------------------------
 

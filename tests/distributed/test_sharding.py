@@ -1,0 +1,337 @@
+"""Shard-count invariance of the domain-decomposed build.
+
+The acceptance contract of :mod:`repro.distributed.sharding`: for ANY
+deployment, ANY shard count and ANY interleaving of moves and churn, the
+stitched result equals a from-scratch single-process
+:func:`~repro.distributed.construct.distributed_build` — same overlay edges,
+good tiles, representatives, relays *and* message accounting — certified by
+``matches_unsharded()`` exactly as PR 4 certified repair-vs-rebuild.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import numpy as np
+import pytest
+
+from repro.core.tiles_nn import NNTileSpec
+from repro.core.tiles_udg import UDGTileSpec
+from repro.distributed.construct import distributed_build
+from repro.distributed.sharding import (
+    ShardedBuilder,
+    matches_unsharded,
+    plan_shard_columns,
+    sharded_build,
+)
+from repro.geometry.primitives import Rect
+from repro.shard.worker import build_shard
+
+WINDOW = Rect(0.0, 0.0, 8.0, 8.0)
+SPEC = UDGTileSpec.default()
+
+coord = st.floats(-0.5, 8.5, allow_nan=False, allow_infinity=False)
+point = st.tuples(coord, coord)
+operation = st.one_of(
+    st.tuples(st.just("move"), st.integers(0, 10**6), point),
+    st.tuples(st.just("insert"), st.just(0), point),
+    st.tuples(st.just("delete"), st.integers(0, 10**6), point),
+)
+
+
+def reference_build(points, spec=SPEC, window=WINDOW, k=None):
+    return distributed_build(points, spec, window, k=k, radio_range=None)
+
+
+class TestShardPlanning:
+    def test_blocks_partition_the_columns(self):
+        for n_cols in (0, 1, 5, 6, 7, 64):
+            for n_shards in (1, 2, 3, 4, 8, 100):
+                ranges = plan_shard_columns(n_cols, n_shards)
+                assert len(ranges) == n_shards
+                covered = [col for start, stop in ranges for col in range(start, stop)]
+                assert covered == list(range(n_cols))
+                widths = {stop - start for start, stop in ranges}
+                assert max(widths) - min(widths) <= 1
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            plan_shard_columns(8, 0)
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedBuilder(np.zeros((0, 2)), SPEC, WINDOW, n_shards=0)
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            ShardedBuilder(np.zeros((0, 2)), SPEC, WINDOW, executor="thread")
+
+
+class TestShardCountInvariance:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 8])
+    def test_random_deployment_matches_unsharded(self, rng, n_shards):
+        pts = rng.uniform(-0.5, 8.5, size=(400, 2))
+        reference = reference_build(pts)
+        with ShardedBuilder(pts, SPEC, WINDOW, n_shards=n_shards, executor="serial") as builder:
+            got = builder.build()
+            assert matches_unsharded(got, reference)
+            # The certificate is strict: the stitched stats equal the
+            # unsharded run's to the message.
+            assert got.stats.messages_sent == reference.stats.messages_sent
+            assert dict(got.stats.messages_by_kind) == dict(reference.stats.messages_by_kind)
+            assert got.stats.rounds == reference.stats.rounds
+
+    def test_process_executor_equals_serial(self, rng):
+        pts = rng.uniform(-0.5, 8.5, size=(300, 2))
+        with ShardedBuilder(pts, SPEC, WINDOW, n_shards=4, executor="serial") as serial:
+            expected = serial.build()
+        with ShardedBuilder(pts, SPEC, WINDOW, n_shards=4, executor="process") as process:
+            got = process.build()
+        assert np.array_equal(got.edges, expected.edges)
+        assert got.good_tiles == expected.good_tiles
+        assert got.representatives == expected.representatives
+        assert got.relays == expected.relays
+        assert dict(got.stats.messages_by_kind) == dict(expected.stats.messages_by_kind)
+
+    def test_stitched_results_are_byte_identical_across_shard_counts(self, rng):
+        pts = rng.uniform(-0.5, 8.5, size=(350, 2))
+        results = []
+        for n_shards in (1, 2, 4, 8):
+            result, info = sharded_build(pts, SPEC, WINDOW, n_shards=n_shards, executor="serial")
+            results.append(result)
+            assert info.total_owned == int(
+                np.count_nonzero(
+                    ShardedBuilder(pts, SPEC, WINDOW, executor="serial")._in_grid[: len(pts)]
+                )
+            )
+        first = results[0]
+        for other in results[1:]:
+            assert np.array_equal(first.edges, other.edges)
+            assert first.good_tiles == other.good_tiles  # both sorted: identical lists
+            assert first.representatives == other.representatives
+            assert first.relays == other.relays
+
+    def test_nn_spec_with_occupancy_cap(self, rng):
+        spec = NNTileSpec(a=0.3)
+        window = Rect(0.0, 0.0, 3.0 * spec.tile_side, 3.0 * spec.tile_side)
+        pts = rng.uniform(0, 3.0 * spec.tile_side, size=(250, 2))
+        reference = reference_build(pts, spec=spec, window=window, k=6)
+        for n_shards in (1, 2, 3, 5):
+            with ShardedBuilder(
+                pts, spec, window, k=6, n_shards=n_shards, executor="serial"
+            ) as builder:
+                assert matches_unsharded(builder.build(), reference)
+
+    @given(points=st.lists(point, min_size=0, max_size=60), n_shards=st.integers(1, 9))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_worlds(self, points, n_shards):
+        pts = np.asarray(points, dtype=np.float64).reshape(len(points), 2)
+        reference = reference_build(pts)
+        with ShardedBuilder(pts, SPEC, WINDOW, n_shards=n_shards, executor="serial") as builder:
+            assert matches_unsharded(builder.build(), reference)
+
+
+class TestHaloEdgeCases:
+    def test_nodes_exactly_on_shard_boundaries(self):
+        # Columns are tile_side wide; with 4 shards over 8/tile_side columns
+        # the shard cuts fall on multiples of tile_side.  Nodes exactly ON a
+        # cut (and one ULP either side) must land in exactly one tile in both
+        # the planner and the worker — same floor((x-origin)/tile_side) rule.
+        side = SPEC.tile_side
+        xs = []
+        for col in range(1, int(8.0 / side)):
+            edge = col * side
+            xs += [edge, np.nextafter(edge, 0.0), np.nextafter(edge, 9.0)]
+        pts = np.array([[x, 0.5 + 0.001 * i] for i, x in enumerate(xs)])
+        reference = reference_build(pts)
+        for n_shards in (1, 2, 4, 8):
+            with ShardedBuilder(pts, SPEC, WINDOW, n_shards=n_shards, executor="serial") as b:
+                assert matches_unsharded(b.build(), reference)
+
+    def test_exact_cell_key_rounding_constants_from_pr2(self):
+        # The PR 2 grid-index repros: tile sides whose quotient/product
+        # rounding is adversarial.  Here they become the *tile* side, so the
+        # floor() tile assignment and the shard-column planning both chew on
+        # the same hostile values across every shard edge.
+        for tile_side in (0.6344381865479004, 0.17784969547876991):
+            # Default-ratio UDG spec rescaled to the hostile side length.
+            spec = UDGTileSpec(
+                side=tile_side,
+                rep_radius=tile_side / 4,
+                connection_radius=0.75 * tile_side,
+                relay_reach=0.375 * tile_side,
+            )
+            window = Rect(0.0, 0.0, 16 * tile_side, 4 * tile_side)
+            xs = []
+            for col in range(16):
+                edge = col * tile_side
+                xs += [edge, np.nextafter(edge, 0.0), np.nextafter(edge, np.inf)]
+            ys = [0.3 * tile_side, np.nextafter(2 * tile_side, 0.0), 2 * tile_side]
+            pts = np.array([[x, ys[i % 3]] for i, x in enumerate(xs)])
+            reference = reference_build(pts, spec=spec, window=window)
+            for n_shards in (1, 3, 4, 7):
+                with ShardedBuilder(
+                    pts, spec, window, n_shards=n_shards, executor="serial"
+                ) as builder:
+                    assert matches_unsharded(builder.build(), reference)
+
+    def test_empty_shards_and_more_shards_than_columns(self, rng):
+        # All points in the leftmost column: every other shard sees only an
+        # empty or halo-only world; surplus shards own zero columns.
+        pts = np.column_stack(
+            [rng.uniform(0, SPEC.tile_side * 0.99, 50), rng.uniform(0, 8, 50)]
+        )
+        reference = reference_build(pts)
+        n_cols = int(8.0 / SPEC.tile_side)
+        for n_shards in (4, n_cols, n_cols + 5):
+            with ShardedBuilder(pts, SPEC, WINDOW, n_shards=n_shards, executor="serial") as b:
+                assert matches_unsharded(b.build(), reference)
+
+    def test_empty_world_and_all_off_grid(self):
+        for pts in (np.zeros((0, 2)), np.array([[50.0, 50.0], [-3.0, 2.0]])):
+            reference = reference_build(pts)
+            with ShardedBuilder(pts, SPEC, WINDOW, n_shards=4, executor="serial") as builder:
+                got = builder.build()
+                assert matches_unsharded(got, reference)
+                assert len(got.edges) == 0
+                assert got.stats.rounds == reference.stats.rounds == 5
+
+    def test_halo_work_is_bounded_by_two_columns_per_shard(self, rng):
+        pts = rng.uniform(0, 8, size=(2000, 2))
+        with ShardedBuilder(pts, SPEC, WINDOW, n_shards=4, executor="serial") as builder:
+            builder.build()
+            info = builder.info()
+            assert info.total_owned == len(pts)
+            n_cols = builder.tiling.n_cols
+            for shard in info.shards:
+                owned_cols = builder.col_ranges[shard.shard_id]
+                halo_cols = (owned_cols[0] > 0) + (owned_cols[1] < n_cols)
+                if owned_cols[1] > owned_cols[0]:
+                    # Halo membership ≈ uniform density × halo column count.
+                    assert shard.n_halo <= 2 * halo_cols * len(pts) * SPEC.tile_side / 8.0
+
+
+class TestRepairUnderShards:
+    @given(
+        points=st.lists(point, min_size=0, max_size=40),
+        ops=st.lists(operation, max_size=25),
+        n_shards=st.integers(1, 6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_update_interleavings(self, points, ops, n_shards):
+        pts = np.asarray(points, dtype=np.float64).reshape(len(points), 2)
+        with ShardedBuilder(pts, SPEC, WINDOW, n_shards=n_shards, executor="serial") as builder:
+            builder.build()
+            assert builder.matches_unsharded()
+            for op, raw_id, xy in ops:
+                alive = builder.alive_ids()
+                if op == "insert":
+                    builder.insert(np.array([xy]))
+                elif len(alive):
+                    node = int(alive[raw_id % len(alive)])
+                    if op == "move":
+                        builder.move([node], np.array([xy]))
+                    else:
+                        builder.delete([node])
+                builder.rebuild_dirty()
+                assert builder.matches_unsharded()
+
+    def test_dense_mobility_and_churn_session(self, rng):
+        pts = rng.uniform(0, 8, size=(250, 2))
+        with ShardedBuilder(pts, SPEC, WINDOW, n_shards=4, executor="serial") as builder:
+            builder.build()
+            for step in range(10):
+                ids = builder.alive_ids()
+                movers = rng.choice(ids, size=min(25, len(ids)), replace=False)
+                builder.move(
+                    movers,
+                    builder.id_positions()[movers] + rng.normal(0, 0.35, size=(len(movers), 2)),
+                )
+                if step % 2 == 0:
+                    builder.insert(rng.uniform(0, 8, size=(4, 2)))
+                if step % 3 == 1:
+                    builder.delete(rng.choice(builder.alive_ids(), size=6, replace=False))
+                builder.rebuild_dirty()
+                assert builder.matches_unsharded()
+
+    def test_localised_moves_dirty_only_nearby_shards(self, rng):
+        pts = rng.uniform(0, 8, size=(600, 2))
+        with ShardedBuilder(pts, SPEC, WINDOW, n_shards=4, executor="serial") as builder:
+            builder.build()
+            # Move nodes strictly inside shard 0's owned columns, away from
+            # its right halo: shards 2 and 3 must stay clean.
+            start, stop = builder.col_ranges[0]
+            side = SPEC.tile_side
+            interior = builder.alive_ids()[
+                (builder._cols[builder.alive_ids()] >= start)
+                & (builder._cols[builder.alive_ids()] < stop - 1)
+            ]
+            movers = interior[:20]
+            jitter = rng.uniform(-0.1 * side, 0.1 * side, size=(len(movers), 2))
+            target = np.clip(
+                builder.id_positions()[movers] + jitter, 0.01, (stop - 1) * side - 0.01
+            )
+            builder.move(movers, target)
+            assert builder._dirty <= {0, 1}
+            builder.rebuild_dirty()
+            assert builder.matches_unsharded()
+
+    def test_move_off_grid_and_back(self, rng):
+        pts = rng.uniform(0, 8, size=(80, 2))
+        with ShardedBuilder(pts, SPEC, WINDOW, n_shards=4, executor="serial") as builder:
+            builder.build()
+            builder.move([3], np.array([[40.0, 40.0]]))
+            builder.rebuild_dirty()
+            assert builder.matches_unsharded()
+            builder.move([3], np.array([[4.0, 4.0]]))
+            builder.rebuild_dirty()
+            assert builder.matches_unsharded()
+
+    def test_insert_growth_reallocates_transparently(self, rng):
+        pts = rng.uniform(0, 8, size=(10, 2))
+        with ShardedBuilder(pts, SPEC, WINDOW, n_shards=4, executor="serial") as builder:
+            builder.build()
+            builder.insert(rng.uniform(0, 8, size=(500, 2)))
+            builder.rebuild_dirty()
+            assert builder.n_alive == 510
+            assert builder.matches_unsharded()
+
+    def test_dead_and_out_of_range_rows_rejected(self, rng):
+        pts = rng.uniform(0, 8, size=(20, 2))
+        with ShardedBuilder(pts, SPEC, WINDOW, executor="serial") as builder:
+            builder.delete([5])
+            with pytest.raises(ValueError, match="alive"):
+                builder.move([5], np.array([[1.0, 1.0]]))
+            with pytest.raises(ValueError, match="alive"):
+                builder.delete([5])
+            with pytest.raises(ValueError, match="out of range"):
+                builder.move([100], np.array([[1.0, 1.0]]))
+            with pytest.raises(ValueError, match="equal length"):
+                builder.move([1, 2], np.array([[1.0, 1.0]]))
+
+    def test_result_rebuilds_lazily(self, rng):
+        pts = rng.uniform(0, 8, size=(100, 2))
+        with ShardedBuilder(pts, SPEC, WINDOW, n_shards=2, executor="serial") as builder:
+            first = builder.result()  # implicit initial build
+            again = builder.result()
+            assert again is first  # clean → cached
+            builder.move([0], np.array([[4.0, 4.0]]))
+            repaired = builder.result()
+            assert repaired is not first
+            assert builder.matches_unsharded()
+
+
+class TestWorkerInternals:
+    def test_build_shard_owned_counts_partition_the_deployment(self, rng):
+        pts = rng.uniform(0, 8, size=(500, 2))
+        with ShardedBuilder(pts, SPEC, WINDOW, n_shards=4, executor="serial") as builder:
+            builder.build()
+            info = builder.info()
+            assert sum(s.n_owned for s in info.shards) == len(pts)
+            assert info.halo_overhead > 0
+            assert all(s.wall_s >= 0 for s in info.shards)
+            assert all(s.max_rss_kb > 0 for s in info.shards)
+
+    def test_empty_rows_short_circuit(self):
+        from repro.core.tiling import Tiling
+
+        tiling = Tiling(window=WINDOW, tile_side=SPEC.tile_side)
+        result = build_shard(np.zeros((1, 2)), np.zeros(0, dtype=np.int64), SPEC, tiling, 0, 3)
+        assert result.n_owned == 0 and result.n_halo == 0
+        assert len(result.edges) == 0 and result.counts == {}

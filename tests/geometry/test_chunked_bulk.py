@@ -1,0 +1,92 @@
+"""Chunked bulk gathers are byte-identical to the one-shot path.
+
+`GridIndex.query_radius_many` / `count_radius_many` process centers in
+blocks of `bulk_chunk_size` to bound the peak candidate-pool allocation;
+since every center's answer is independent, any chunking of the centers
+axis must reproduce the unchunked results exactly — including the hostile
+boundary/rounding cases the one-shot path is property-tested on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.index import DEFAULT_BULK_CHUNK_SIZE, GridIndex
+
+
+@pytest.fixture
+def world(rng):
+    pts = rng.uniform(-5, 5, size=(400, 2))
+    centers = np.vstack([rng.uniform(-6, 6, size=(333, 2)), pts[:50]])  # hits + misses + exact
+    return pts, centers
+
+
+class TestChunkedIdentity:
+    @pytest.mark.parametrize("chunk", [1, 2, 7, 64, 333, 400])
+    def test_query_radius_many_identical(self, world, chunk):
+        pts, centers = world
+        reference = GridIndex(pts, cell_size=1.0, chunk_size=None)
+        chunked = GridIndex(pts, cell_size=1.0, chunk_size=chunk)
+        expected = reference.query_radius_many(centers, 1.0)
+        got = chunked.query_radius_many(centers, 1.0)
+        assert len(got) == len(expected)
+        for a, b in zip(got, expected):
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("chunk", [1, 3, 100, 10**9])
+    def test_count_radius_many_identical(self, world, chunk):
+        pts, centers = world
+        reference = GridIndex(pts, cell_size=0.7, chunk_size=None)
+        chunked = GridIndex(pts, cell_size=0.7, chunk_size=chunk)
+        expected = reference.count_radius_many(centers, 1.3)
+        got = chunked.count_radius_many(centers, 1.3)
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)
+
+    def test_boundary_rounding_case_survives_chunking(self):
+        # The PR 2 quotient-rounds-down repro, replicated across many centers
+        # so the chunk boundary falls inside the hostile query set.
+        cell_size = 0.6344381865479004
+        radius = 1.9033145596437013
+        center_x = np.nextafter(cell_size, 0.0)
+        pts = np.array([[4 * cell_size, 0.0]])
+        centers = np.array([[center_x, 0.0]] * 9)
+        grid = GridIndex(pts, cell_size=cell_size, chunk_size=2)
+        assert [hits.tolist() for hits in grid.query_radius_many(centers, radius)] == [[0]] * 9
+        assert grid.count_radius_many(centers, radius).tolist() == [1] * 9
+
+    def test_query_pairs_unaffected_by_chunking(self, rng):
+        pts = rng.uniform(0, 4, size=(150, 2))
+        expected = GridIndex(pts, cell_size=1.0, chunk_size=None).query_pairs(1.0)
+        got = GridIndex(pts, cell_size=1.0, chunk_size=13).query_pairs(1.0)
+        assert np.array_equal(got, expected)
+
+
+class TestChunkConfiguration:
+    def test_default_is_bounded(self, rng):
+        grid = GridIndex(rng.uniform(0, 1, size=(10, 2)), cell_size=1.0)
+        assert grid.bulk_chunk_size == DEFAULT_BULK_CHUNK_SIZE
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            GridIndex(np.zeros((1, 2)), cell_size=1.0, chunk_size=0)
+
+    def test_from_cell_table_carries_chunk_size(self, rng):
+        pts = rng.uniform(0, 4, size=(60, 2))
+        base = GridIndex(pts, cell_size=1.0)
+        keys = np.asarray(base.occupied_cells(), dtype=np.int64)
+        members = [base.points_in_cell(tuple(key)) for key in keys.tolist()]
+        adopted = GridIndex.from_cell_table(pts, 1.0, keys, members, chunk_size=5)
+        assert adopted.bulk_chunk_size == 5
+        centers = rng.uniform(0, 4, size=(40, 2))
+        expected = base.query_radius_many(centers, 1.2)
+        got = adopted.query_radius_many(centers, 1.2)
+        for a, b in zip(got, expected):
+            assert np.array_equal(a, b)
+        assert np.array_equal(
+            adopted.count_radius_many(centers, 1.2), base.count_radius_many(centers, 1.2)
+        )
+        # Default when unspecified (the dynamic layer's adoption path).
+        assert GridIndex.from_cell_table(pts, 1.0, keys, members).bulk_chunk_size == (
+            DEFAULT_BULK_CHUNK_SIZE
+        )
