@@ -61,7 +61,7 @@ def _append_trajectory(result: ExperimentResult) -> None:
     record = {
         "experiment_id": result.experiment_id,
         "title": result.title,
-        "n": result.params.get("n_points"),
+        "n": result.params.get("n_points", result.params.get("n_nodes")),
         "headline": result.headline,
         "git_rev": _git_rev(),
         # Provenance stamp on a measurement record, not simulation state.

@@ -5,6 +5,9 @@ reads smuggle ambient state into that function; the lease queue
 (``runner/queue.py``) shows the sanctioned pattern instead — every method
 takes an explicit ``now`` so tests inject a clock, and ``time.time`` appears
 only as the documented production default of that injectable parameter.
+``serve/clock.py`` is the other sanctioned boundary: the serving daemon's
+single wall/monotonic source, which every serve component receives as an
+injectable ``clock`` callable (tests drive a ``ManualClock``).
 
 ``time.perf_counter`` / ``time.monotonic`` are *not* flagged: timing how
 long something took is measurement, not simulation state, and the benchmark
@@ -43,9 +46,15 @@ class WallClockRule(Rule):
         "break that and make tests sleep-and-pray.  runner/queue.py is "
         "allowlisted by design: its whole API takes `now` explicitly and only "
         "defaults to time.time at the production boundary (PR 5's lease "
-        "protocol is tested entirely with injected clocks)."
+        "protocol is tested entirely with injected clocks).  serve/clock.py "
+        "is allowlisted for the same reason: it IS the daemon's clock "
+        "boundary — everything else in repro.serve takes a `clock` callable "
+        "and is tested with a ManualClock."
     )
-    allow_paths = ("src/repro/runner/queue.py",)
+    allow_paths = (
+        "src/repro/runner/queue.py",
+        "src/repro/serve/clock.py",
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -276,6 +276,10 @@ class DistributedRepairEngine:
             dirty, deleted = self.index.consume_dirty()
         dirty = np.asarray(dirty, dtype=np.int64).reshape(-1)
         deleted = np.asarray(deleted, dtype=np.int64).reshape(-1)
+        if dirty.size == 0 and deleted.size == 0:
+            # An empty diff provably cannot change any tile: true no-op —
+            # no dirty-set bookkeeping, no stats churn, no protocol rounds.
+            return RepairReport(0, 0, 0, 0, 0)
         messages_before = self.stats.messages_sent
 
         dirty_tiles: Set[TileIndex] = set()

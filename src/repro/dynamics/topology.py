@@ -388,9 +388,29 @@ class KnnTopologyTracker:
     def edges(self) -> np.ndarray:
         return _decode(self._edge_keys)
 
-    def update(self) -> EdgeDiff:
-        """Repair the kNN edge set and report the delta since last time."""
-        dirty, deleted = self.index.consume_dirty()
+    def update(
+        self, dirty: np.ndarray | None = None, deleted: np.ndarray | None = None
+    ) -> EdgeDiff:
+        """Repair the kNN edge set and report the delta since last time.
+
+        With no arguments the tracker consumes the index's own dirty stream;
+        pass an already-consumed ``(dirty, deleted)`` pair explicitly when
+        another consumer (e.g. the
+        :class:`~repro.distributed.repair.DistributedRepairEngine`) shares
+        the same stream — the same contract as
+        :meth:`TopologyTracker.update`, so the two tracker flavours compose
+        with the repair engine interchangeably.  Passing only one of the two
+        is rejected; an empty diff is a true no-op (no affected-set
+        bookkeeping, no repair/recompute accounting).
+        """
+        if (dirty is None) != (deleted is None):
+            raise ValueError(
+                "pass both dirty and deleted (one consumed stream), or neither"
+            )
+        if dirty is None:
+            dirty, deleted = self.index.consume_dirty()
+        dirty = np.asarray(dirty, dtype=np.int64).reshape(-1)
+        deleted = np.asarray(deleted, dtype=np.int64).reshape(-1)
         if dirty.size == 0 and deleted.size == 0:
             return EdgeDiff(_EMPTY_EDGES.copy(), _EMPTY_EDGES.copy())
         old_keys = self._edge_keys

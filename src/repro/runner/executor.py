@@ -101,6 +101,7 @@ def load_builtin_experiments() -> None:
     import repro.dynamics.workloads  # noqa: F401  (registers M01/M02/F01/H01)
     import repro.dynamics.bench  # noqa: F401  (registers S02/S03)
     import repro.distributed.bench  # noqa: F401  (registers S04)
+    import repro.serve.bench  # noqa: F401  (registers S05)
 
 
 def make_jobs(

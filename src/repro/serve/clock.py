@@ -1,0 +1,59 @@
+"""Sanctioned clock access for the serving daemon.
+
+Simulation output must be a pure function of (inputs, seed) — the REPRO301
+lint rule bans ambient wall-clock reads from simulation paths for exactly
+that reason.  A *serving* daemon, however, legitimately needs real time at
+its production boundary: tick scheduling, lease-style retry-after hints and
+latency measurement all reference the host clock.
+
+This module is the one place that boundary lives.  Everything above it
+follows the injected-now pattern of ``runner/queue.py``: components take a
+``clock`` callable (any ``() -> float``) that *defaults* to one of the
+helpers here, so tests drive a :class:`ManualClock` and never sleep.  The
+REPRO301 rule allowlists exactly this file — serve code must route clock
+reads through these helpers instead of sprinkling inline suppressions.
+
+:func:`monotonic_now` is the default almost everywhere (latency spans and
+tick deadlines must survive wall-clock steps); :func:`wall_now` exists for
+human-facing provenance stamps only and must never feed simulation state.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic_now", "wall_now", "ManualClock"]
+
+
+def monotonic_now() -> float:
+    """Monotonic seconds; the default clock of every serve component."""
+    return time.monotonic()
+
+
+def wall_now() -> float:
+    """Wall-clock seconds (``time.time`` scale); provenance stamps only."""
+    return time.time()
+
+
+class ManualClock:
+    """An injectable test clock: ``now`` only moves when told to.
+
+    Instances are callables interchangeable with :func:`monotonic_now`::
+
+        clock = ManualClock()
+        recorder = LatencyRecorder(clock=clock)
+        clock.advance(0.25)
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` seconds; returns the new now."""
+        if dt < 0:
+            raise ValueError("a clock cannot move backwards")
+        self._now += float(dt)
+        return self._now

@@ -1,0 +1,104 @@
+"""Injected-clock latency accounting: ingest→applied spans, p50/p99, events/s.
+
+The recorder is deliberately clock-agnostic: it calls whatever ``clock``
+callable it was given (defaulting to
+:func:`repro.serve.clock.monotonic_now`), so the unit tests drive a
+:class:`~repro.serve.clock.ManualClock` and assert exact percentiles while
+the daemon and the S05 benchmark measure real time.  A transport stamps each
+accepted event at ingest (:meth:`LatencyRecorder.ingest`) and the tick loop
+closes the spans in bulk when the batch lands
+(:meth:`LatencyRecorder.applied`); rejected or coalesced-away events close
+with their batch too — coalescing is an *optimisation* of the apply, not a
+dropped obligation, so a shadowed move still has a well-defined
+ingest→applied latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.serve.clock import monotonic_now
+
+__all__ = ["LatencyRecorder"]
+
+
+class LatencyRecorder:
+    """Per-event ingest→applied latency plus sustained-throughput accounting."""
+
+    def __init__(self, clock: Callable[[], float] = monotonic_now) -> None:
+        self._clock = clock
+        self._ingest: Dict[int, float] = {}
+        self._latencies: List[float] = []
+        self._first_ingest: Optional[float] = None
+        self._last_applied: Optional[float] = None
+        self._ticks = 0
+
+    def ingest(self, seq: int, now: Optional[float] = None) -> float:
+        """Stamp event ``seq`` as ingested; returns the stamp."""
+        stamp = self._clock() if now is None else float(now)
+        self._ingest[seq] = stamp
+        if self._first_ingest is None or stamp < self._first_ingest:
+            self._first_ingest = stamp
+        return stamp
+
+    def applied(self, seqs: Iterable[int], now: Optional[float] = None) -> int:
+        """Close the spans of ``seqs`` at one shared applied stamp.
+
+        Returns how many of them had a matching ingest stamp (unknown seqs
+        are ignored so transports can re-apply defensively).
+        """
+        stamp = self._clock() if now is None else float(now)
+        closed = 0
+        for seq in seqs:
+            started = self._ingest.pop(seq, None)
+            if started is None:
+                continue
+            self._latencies.append(stamp - started)
+            closed += 1
+        if closed:
+            self._last_applied = stamp
+        self._ticks += 1
+        return closed
+
+    @property
+    def n_applied(self) -> int:
+        return len(self._latencies)
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._ingest)
+
+    def report(self) -> Dict[str, object]:
+        """The latency/throughput summary the ``stats`` op and S05 publish.
+
+        ``events_per_s`` is *sustained* throughput: applied events over the
+        first-ingest→last-applied span (idle time between bursts counts
+        against it, as it would in production).
+        """
+        if not self._latencies:
+            return {
+                "events_applied": 0,
+                "events_pending": self.n_pending,
+                "ticks": self._ticks,
+                "p50_ms": None,
+                "p99_ms": None,
+                "max_ms": None,
+                "events_per_s": None,
+            }
+        spans = np.asarray(self._latencies, dtype=np.float64)
+        elapsed = None
+        if self._first_ingest is not None and self._last_applied is not None:
+            elapsed = self._last_applied - self._first_ingest
+        return {
+            "events_applied": int(len(spans)),
+            "events_pending": self.n_pending,
+            "ticks": self._ticks,
+            "p50_ms": round(float(np.percentile(spans, 50)) * 1e3, 4),
+            "p99_ms": round(float(np.percentile(spans, 99)) * 1e3, 4),
+            "max_ms": round(float(spans.max()) * 1e3, 4),
+            "events_per_s": (
+                round(len(spans) / elapsed, 2) if elapsed and elapsed > 0 else None
+            ),
+        }

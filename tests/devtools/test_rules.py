@@ -419,6 +419,24 @@ def test_queue_module_is_allowlisted(lint_snippet):
     assert lint_snippet(src, select={"REPRO301"}, relpath="src/repro/runner/queue.py") == []
 
 
+def test_serve_clock_module_is_allowlisted(lint_snippet):
+    # serve/clock.py IS the daemon's sanctioned clock boundary: the same
+    # wall-clock read fires everywhere else (including the rest of
+    # repro.serve) but stays clean inside the boundary module itself.
+    src = dedent(
+        """
+        import time
+
+        def wall_now():
+            return time.time()
+        """
+    )
+    assert lint_snippet(src, select={"REPRO301"}, relpath="src/repro/serve/clock.py") == []
+    assert "REPRO301" in codes(
+        lint_snippet(src, select={"REPRO301"}, relpath="src/repro/serve/metrics.py")
+    )
+
+
 # ---------------------------------------------------------------------------
 # REPRO401 — canonical serializer
 # ---------------------------------------------------------------------------

@@ -1,0 +1,154 @@
+"""Kill/restore certificate: SIGKILL mid-stream, restart, replay the tail.
+
+A TCP daemon is streamed a trace, snapshots mid-way, keeps streaming, and is
+then SIGKILLed with events pending.  A second daemon restores from the
+snapshot store and replays the tail (everything after the snapshot); a third
+daemon plays the whole trace uninterrupted.  The restored and uninterrupted
+worlds must answer with byte-identical digests — including the applied
+sequence number, because a restored session resumes event numbering at the
+snapshot's ``applied_seq + 1``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+# Three ticks before the snapshot, three after; the post-kill pending events
+# never get a tick and are exactly what the tail replay re-sends.
+TICKS_A = [
+    [{"op": "move", "node": i, "position": [0.5 + 0.1 * i, 1.0]} for i in range(8)],
+    [{"op": "insert", "position": [5.5, 5.5]}, {"op": "delete", "node": 3}],
+    [{"op": "move", "node": 0, "position": [2.0, 2.0]}, {"op": "move", "node": 0, "position": [2.5, 2.5]}],
+]
+TICKS_B = [
+    [{"op": "move", "node": 30, "position": [4.0, 4.0]}],  # the tick-2 insert's id
+    [{"op": "delete", "node": 5}, {"op": "insert", "position": [9.0, 9.0]}],
+    [{"op": "move", "node": 1, "position": [7.0, 7.0]}],
+]
+PENDING_AT_KILL = [{"op": "move", "node": 2, "position": [8.0, 8.0]}]
+
+
+class Daemon:
+    """A ``python -m repro.serve`` subprocess plus a line-based client."""
+
+    def __init__(self, *extra_args: str):
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = REPO_SRC + (os.pathsep + existing if existing else "")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.serve",
+                "--n", "30", "--seed", "7", "--port", "0",
+                # Long timer: only explicit tick ops apply batches, so the
+                # test controls exactly what is applied at kill time.
+                "--tick-interval", "30",
+                *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        startup = self.proc.stdout.readline().strip()
+        assert startup.startswith("serve: listening on "), startup
+        port = int(startup.rsplit(":", 1)[1])
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+
+    def send(self, payload: dict) -> None:
+        self.sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+
+    def read(self) -> dict:
+        line = self.reader.readline()
+        assert line, "daemon closed the connection unexpectedly"
+        return json.loads(line)
+
+    def play(self, ticks: List[List[dict]]) -> List[dict]:
+        """Stream ticks (events + explicit tick op), collecting event replies."""
+        replies = []
+        for tick in ticks:
+            for event in tick:
+                self.send(event)
+            self.send({"op": "tick"})
+            got = []
+            while True:
+                reply = self.read()
+                if reply.get("ticked"):
+                    break
+                got.append(reply)
+            assert len(got) == len(tick), (tick, got)
+            replies.extend(got)
+        return replies
+
+    def digest(self) -> Tuple[str, int]:
+        self.send({"op": "query", "kind": "digest"})
+        reply = self.read()
+        assert reply["ok"], reply
+        return reply["digest"], reply["applied_seq"]
+
+    def snapshot(self) -> int:
+        self.send({"op": "snapshot"})
+        reply = self.read()
+        assert reply["ok"], reply
+        return reply["snapshot_seq"]
+
+    def kill(self) -> None:
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def shutdown(self) -> None:
+        try:
+            self.send({"op": "shutdown"})
+            self.proc.wait(timeout=30)
+        finally:
+            if self.proc.poll() is None:
+                self.proc.kill()
+                self.proc.wait(timeout=30)
+        self.sock.close()
+
+
+def test_sigkill_restore_replay_matches_uninterrupted(tmp_path):
+    store = str(tmp_path / "snaps")
+
+    # -- first life: play A, snapshot, play B, die mid-stream ----------------
+    first = Daemon("--snapshot-store", store)
+    try:
+        first.play(TICKS_A)
+        snapshot_seq = first.snapshot()
+        assert snapshot_seq == sum(len(t) for t in TICKS_A)
+        first.play(TICKS_B)
+        for event in PENDING_AT_KILL:
+            first.send(event)  # buffered, never ticked: lost at the kill
+    finally:
+        first.kill()
+
+    # -- second life: restore, replay the tail -------------------------------
+    restored = Daemon("--snapshot-store", store, "--restore")
+    try:
+        replies = restored.play(TICKS_B + [PENDING_AT_KILL])
+        # Replayed inserts re-allocate the ids the first life reported.
+        inserted = [r["node"] for r in replies if "node" in r]
+        assert inserted == [31]
+        restored_digest = restored.digest()
+    finally:
+        restored.shutdown()
+
+    # -- reference: the same trace, never interrupted -------------------------
+    uninterrupted = Daemon()
+    try:
+        uninterrupted.play(TICKS_A + TICKS_B + [PENDING_AT_KILL])
+        reference_digest = uninterrupted.digest()
+    finally:
+        uninterrupted.shutdown()
+
+    assert restored_digest == reference_digest

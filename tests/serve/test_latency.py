@@ -1,0 +1,62 @@
+"""Latency recorder tests — driven entirely by an injected ManualClock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.clock import ManualClock
+from repro.serve.metrics import LatencyRecorder
+
+
+def test_exact_percentiles_with_manual_clock():
+    clock = ManualClock()
+    recorder = LatencyRecorder(clock=clock)
+    recorder.ingest(1)
+    clock.advance(0.010)
+    recorder.ingest(2)
+    clock.advance(0.020)  # spans: 30 ms and 20 ms
+    assert recorder.applied([1, 2]) == 2
+    report = recorder.report()
+    assert report["events_applied"] == 2
+    assert report["p50_ms"] == pytest.approx(25.0)
+    assert report["max_ms"] == pytest.approx(30.0)
+    assert report["ticks"] == 1
+
+
+def test_sustained_throughput_counts_idle_time():
+    clock = ManualClock()
+    recorder = LatencyRecorder(clock=clock)
+    recorder.ingest(1)
+    clock.advance(1.0)
+    recorder.applied([1])
+    clock.advance(8.0)  # idle gap between bursts
+    recorder.ingest(2)
+    clock.advance(1.0)
+    recorder.applied([2])
+    # 2 events over the 10 s first-ingest -> last-applied span.
+    assert recorder.report()["events_per_s"] == pytest.approx(0.2)
+
+
+def test_unknown_seqs_ignored_and_pending_tracked():
+    recorder = LatencyRecorder(clock=ManualClock())
+    recorder.ingest(5)
+    assert recorder.n_pending == 1
+    assert recorder.applied([5, 6, 7]) == 1
+    assert recorder.n_pending == 0
+
+
+def test_empty_report_shape():
+    report = LatencyRecorder(clock=ManualClock()).report()
+    assert report["events_applied"] == 0
+    assert report["p50_ms"] is None
+    assert report["p99_ms"] is None
+    assert report["events_per_s"] is None
+
+
+def test_manual_clock_advances():
+    clock = ManualClock()
+    start = clock()
+    clock.advance(2.5)
+    assert clock() == pytest.approx(start + 2.5)
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)

@@ -1,0 +1,75 @@
+"""Wire-format tests: parsing, validation, canonical replies."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ProtocolError,
+    error_response,
+    ok_response,
+    parse_line,
+)
+
+
+class TestParseLine:
+    def test_move(self):
+        req = parse_line('{"op": "move", "node": 3, "position": [1.5, 2.5], "id": "c1"}')
+        assert req.op == "move"
+        assert req.node == 3
+        assert req.position == (1.5, 2.5)
+        assert req.client_id == "c1"
+        assert req.is_update
+
+    def test_insert_and_delete(self):
+        ins = parse_line('{"op": "insert", "position": [0, 0]}')
+        assert ins.position == (0.0, 0.0) and ins.node is None
+        dele = parse_line('{"op": "delete", "node": 7}')
+        assert dele.node == 7 and not dele.position
+
+    def test_query_collects_args(self):
+        req = parse_line('{"op": "query", "kind": "route", "source": 1, "target": 2, "id": 9}')
+        assert req.op == "query" and req.kind == "route"
+        assert req.args == {"source": 1, "target": 2}
+        assert req.client_id == 9
+        assert not req.is_update
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "   ",
+            "not json",
+            "[1, 2]",
+            '{"op": "warp"}',
+            '{"op": "move", "node": -1, "position": [0, 0]}',
+            '{"op": "move", "node": true, "position": [0, 0]}',
+            '{"op": "move", "node": 1}',
+            '{"op": "move", "node": 1, "position": [0]}',
+            '{"op": "move", "node": 1, "position": [0, "a"]}',
+            '{"op": "move", "node": 1, "position": [NaN, 0]}',
+            '{"op": "move", "node": 1, "position": [Infinity, 0]}',
+            '{"op": "insert"}',
+            '{"op": "delete"}',
+            '{"op": "query", "kind": "teleport"}',
+        ],
+    )
+    def test_defects_raise(self, line):
+        with pytest.raises(ProtocolError):
+            parse_line(line)
+
+
+class TestResponses:
+    def test_responses_are_canonical_json_lines(self):
+        reply = ok_response("c1", b=2, a=1)
+        assert reply == '{"a":1,"b":2,"id":"c1","ok":true}'
+        assert "\n" not in reply
+
+    def test_error_response(self):
+        reply = json.loads(error_response("nope", retry_after=0.25))
+        assert reply == {"ok": False, "error": "nope", "retry_after": 0.25}
+
+    def test_client_id_omitted_when_absent(self):
+        assert "id" not in json.loads(ok_response())

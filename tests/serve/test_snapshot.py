@@ -1,0 +1,96 @@
+"""Snapshot records through the ResultStore: latest-wins, digest-verified."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.store import ResultStore
+from repro.serve.snapshot import (
+    SNAPSHOT_EXPERIMENT_ID,
+    latest_snapshot,
+    restore_world,
+    save_snapshot,
+)
+from repro.serve.world import LiveWorld, WorldConfig
+
+
+@pytest.fixture
+def world(rng):
+    return LiveWorld(rng.uniform(0.0, 15.0, size=(30, 2)), WorldConfig())
+
+
+def test_save_and_restore_round_trip(world, tmp_path):
+    store = tmp_path / "snaps"
+    record = save_snapshot(store, world)
+    assert record["experiment_id"] == SNAPSHOT_EXPERIMENT_ID
+    restored = restore_world(store)
+    assert restored.digest() == world.digest()
+
+
+def test_latest_snapshot_picks_highest_seq(world, tmp_path):
+    store = tmp_path / "snaps"
+    save_snapshot(store, world)
+    world.applied_seq = 7
+    save_snapshot(store, world)
+    assert latest_snapshot(store)["params"]["seq"] == 7
+    assert restore_world(store).applied_seq == 7
+
+
+def test_same_seq_overwrites_latest_wins(world, tmp_path):
+    store = tmp_path / "snaps"
+    save_snapshot(store, world)
+    save_snapshot(store, world)
+    opened = ResultStore(store)
+    try:
+        opened.refresh()
+        assert len(opened.records(experiment_id=SNAPSHOT_EXPERIMENT_ID)) == 1
+    finally:
+        opened.close()
+
+
+def test_empty_store_raises(tmp_path):
+    with pytest.raises(ValueError, match="no snapshot"):
+        restore_world(tmp_path / "empty")
+
+
+def test_corrupted_digest_refused(world, tmp_path):
+    store_dir = tmp_path / "snaps"
+    save_snapshot(store_dir, world)
+    # Tamper with the stored digest: restore must fail loudly.
+    opened = ResultStore(store_dir)
+    try:
+        opened.refresh()
+        record = opened.records(experiment_id=SNAPSHOT_EXPERIMENT_ID)[0]
+        record["result"]["digest"] = "0" * 64
+        opened.put(record)
+    finally:
+        opened.close()
+    with pytest.raises(ValueError, match="does not match"):
+        restore_world(store_dir)
+
+
+def test_sqlite_store_backend(world, tmp_path):
+    store = tmp_path / "snaps.sqlite"
+    save_snapshot(store, world)
+    assert restore_world(store).digest() == world.digest()
+
+
+def test_accepts_open_store_without_closing_it(world, tmp_path):
+    opened = ResultStore(tmp_path / "snaps")
+    try:
+        save_snapshot(opened, world)
+        assert restore_world(opened).digest() == world.digest()
+        # Still usable: the helpers must not have closed a store they borrowed.
+        opened.refresh()
+        assert latest_snapshot(opened) is not None
+    finally:
+        opened.close()
+
+
+def test_snapshot_state_is_canonical_json_safe(world, tmp_path):
+    record = save_snapshot(tmp_path / "snaps", world)
+    # The stored state round-trips through plain JSON byte-identically.
+    state = record["result"]["state"]
+    assert json.loads(json.dumps(state)) == state
