@@ -1,0 +1,57 @@
+"""REPRO7xx — fault tolerance (retry discipline).
+
+Every retry loop in the repo must be *bounded* and must back off through an
+*injected* sleeper, so chaos tests can drive thousands of fault storms
+without wall time and a misbehaving dependency can never wedge a run.  The
+sanctioned helper is :func:`repro.faults.retry.call_with_retry` (bounded
+attempts, injected ``sleep``); hand-rolled loops that call ``time.sleep``
+directly hide an unbounded, untestable wait inside what looks like error
+handling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.devtools.engine import FileContext, Finding, Rule
+
+
+class BareSleepRetryRule(Rule):
+    code = "REPRO701"
+    name = "bare-sleep-retry"
+    summary = (
+        "No bare time.sleep inside retry/poll loops; use "
+        "repro.faults.retry.call_with_retry or take an injected sleep callable."
+    )
+    rationale = (
+        "A loop that sleeps with time.sleep retries on the wall clock: tests "
+        "must sleep-and-pray, backoff is untunable, and nothing bounds the "
+        "attempts.  The faults subsystem (PR 9) provides the sanctioned "
+        "shape — call_with_retry(policy=RetryPolicy(max_attempts=...), "
+        "sleep=<injected>) — and run_worker shows the injectable-sleeper "
+        "pattern for poll loops (`sleep: Callable[[float], None] = "
+        "time.sleep` as a parameter, never called by its dotted name)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        seen: Set[Tuple[int, int]] = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.While, ast.For, ast.AsyncFor)):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call):
+                    continue
+                if ctx.qualified_name(node.func) != "time.sleep":
+                    continue
+                key = (node.lineno, node.col_offset)
+                if key in seen:  # nested loops revisit the same call
+                    continue
+                seen.add(key)
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare `time.sleep` inside a loop is an unbounded wall-clock "
+                    "retry; use repro.faults.retry.call_with_retry or accept an "
+                    "injected `sleep` callable",
+                )

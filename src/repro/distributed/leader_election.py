@@ -32,17 +32,31 @@ def elect_leader_distributed(
     members: Sequence[int],
     anchor: np.ndarray,
     kind: str = "candidate",
+    retransmissions: int = 0,
 ) -> int:
-    """Run a one-round complete-graph leader election among ``members``.
+    """Run a complete-graph leader election among ``members``.
 
     Every member broadcasts its key to every other member; after delivery each
-    member computes the minimum key.  The function returns the elected node id
-    and leaves the message/round accounting in ``network.stats``.
+    member computes the minimum key over everything it has heard (its own key
+    included).  The function returns the elected node id and leaves the
+    message/round accounting in ``network.stats``.
+
+    ``retransmissions`` bounds the fault tolerance: when the members' local
+    decisions diverge (messages were dropped or are still delayed), every
+    member re-broadcasts its key and the check repeats — up to that many
+    extra rounds.  Heard keys accumulate across rounds, so duplicates are
+    harmless (the minimum of a multiset) and a delayed message heals the
+    divergence when it finally lands.  A fault-free election always
+    converges in the first round, so the default accounting is unchanged.
 
     Raises
     ------
     ValueError
         If ``members`` is empty.
+    RuntimeError
+        If the members still disagree after the retransmission budget — the
+        explicit beyond-the-envelope outcome (never a silently wrong
+        leader).
     """
     member_list = [int(m) for m in members]
     if not member_list:
@@ -54,25 +68,26 @@ def elect_leader_distributed(
     keys: Dict[int, Tuple[float, int]] = {
         m: election_key(network.points, m, anchor) for m in member_list
     }
-    # Broadcast keys.
-    for m in member_list:
-        network.broadcast(
-            m,
-            member_list,
-            kind,
-            {"distance": keys[m][0], "node": keys[m][1]},
-        )
-    inboxes = network.deliver_round()
-
-    # Each member picks the minimum of the keys it heard plus its own; all
-    # members must agree, which we assert (it is a completeness check on the
-    # message plumbing, not a probabilistic property).
-    decisions: List[int] = []
-    for m in member_list:
-        heard = [(msg.payload["distance"], msg.payload["node"]) for msg in inboxes.get(m, [])]
-        heard.append(keys[m])
-        decisions.append(min(heard)[1])
-    winner = decisions[0]
-    if any(d != winner for d in decisions):
-        raise RuntimeError("leader election diverged — message delivery is broken")
-    return int(winner)
+    # Every member always counts its own key among the heard ones.
+    heard: Dict[int, set] = {m: {keys[m]} for m in member_list}
+    for _ in range(max(0, retransmissions) + 1):
+        # (Re-)broadcast keys.
+        for m in member_list:
+            network.broadcast(
+                m,
+                member_list,
+                kind,
+                {"distance": keys[m][0], "node": keys[m][1]},
+            )
+        inboxes = network.deliver_round()
+        for m in member_list:
+            for msg in inboxes.get(m, []):
+                heard[m].add((msg.payload["distance"], msg.payload["node"]))
+        # Each member picks the minimum of the keys it heard plus its own;
+        # all members must agree (a completeness check on the message
+        # plumbing, not a probabilistic property).
+        decisions: List[int] = [min(heard[m])[1] for m in member_list]
+        winner = decisions[0]
+        if all(d == winner for d in decisions):
+            return int(winner)
+    raise RuntimeError("leader election diverged — message delivery is broken")

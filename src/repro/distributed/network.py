@@ -10,7 +10,12 @@ the paper's locality requirement P4.
 
 The simulator is deliberately simple — no losses, no collisions — because the
 paper's algorithm is analysed under the same assumptions; the energy model of
-:mod:`repro.simulation` handles the cost side separately.
+:mod:`repro.simulation` handles the cost side separately.  Losses *can* be
+injected deliberately: a seeded :class:`~repro.faults.plan.FaultInjector`
+passed at construction fires scheduled drop/duplicate/delay faults at the
+``network.deliver`` point (one occurrence per delivered message), which is
+how the chaos tests certify that the protocols above either tolerate the
+storm (duplicates, bounded delays healed by retransmission) or fail loudly.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import weakref
 import numpy as np
 
 from repro.distributed.messages import Message
+from repro.faults.plan import DELAY, DROP, DUPLICATE, FaultInjector
 from repro.geometry.index import build_index
 from repro.geometry.primitives import as_points
 
@@ -87,11 +93,16 @@ class NetworkStats:
     rounds: number of synchronous rounds executed.
     messages_sent: total messages sent (a broadcast to m neighbours counts m).
     messages_by_kind: per-kind message counts.
+    dropped/duplicated/delayed: injected-fault accounting (all zero on a
+    fault-free network, so fault-free stats stay byte-identical).
     """
 
     rounds: int = 0
     messages_sent: int = 0
     messages_by_kind: Dict[str, int] = field(default_factory=dict)
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
 
     def record(self, message: Message) -> None:
         self.messages_sent += 1
@@ -134,12 +145,15 @@ class MessageNetwork:
         radio_range: float | None = None,
         index_backend: str = "grid",
         use_cache: bool = True,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.points = as_points(points)
         self.radio_range = radio_range
         self.index_backend = index_backend
         self.stats = NetworkStats()
+        self.injector = injector
         self._outbox: List[Message] = []
+        self._delayed: List[Message] = []
         self._inboxes: Dict[int, List[Message]] = defaultdict(list)
         self._neighbours: Optional[List[np.ndarray]] = None
         if radio_range is not None and len(self.points):
@@ -211,11 +225,30 @@ class MessageNetwork:
         """Deliver all queued messages and advance the round counter.
 
         Returns the per-recipient inboxes for the round that just started.
+        With a fault injector attached, each message to deliver is one
+        occurrence of the ``network.deliver`` point: a *drop* fault loses
+        the message, a *duplicate* delivers it twice, a *delay* holds it
+        back for the start of the next round (messages delayed in an
+        earlier round deliver first, preserving per-sender order).
         """
         inboxes: Dict[int, List[Message]] = defaultdict(list)
-        for message in self._outbox:
-            inboxes[message.recipient].append(message)
+        queue = self._delayed + self._outbox
+        self._delayed = []
         self._outbox = []
+        for message in queue:
+            fault = self.injector.fire("network.deliver") if self.injector else None
+            if fault is not None:
+                if fault.kind == DROP:
+                    self.stats.dropped += 1
+                    continue
+                if fault.kind == DELAY:
+                    self.stats.delayed += 1
+                    self._delayed.append(message)
+                    continue
+                if fault.kind == DUPLICATE:
+                    self.stats.duplicated += 1
+                    inboxes[message.recipient].append(message)
+            inboxes[message.recipient].append(message)
         self.stats.rounds += 1
         self._inboxes = inboxes
         return inboxes

@@ -38,10 +38,11 @@ does not re-verify radio-range locality.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import weakref
 
 import numpy as np
@@ -51,6 +52,15 @@ from repro.core.tiling import TileIndex, Tiling
 from repro.distributed.construct import DistributedBuildResult, distributed_build
 from repro.distributed.network import NetworkStats
 from repro.distributed.repair import _PROTOCOL_ROUNDS
+from repro.faults.plan import (
+    CRASH,
+    STALL,
+    Fault,
+    FaultInjector,
+    FaultToleranceExceeded,
+    InjectedWorkerCrash,
+)
+from repro.faults.retry import RetryError, RetryPolicy, call_with_retry
 from repro.geometry.primitives import Rect, as_points
 from repro.shard.shm import create_block
 from repro.shard.worker import ShardResult, ShardTask, build_shard, run_shard_task
@@ -195,6 +205,22 @@ class ShardedBuilder:
     max_workers:
         Pool size for ``executor="process"``; defaults to
         ``min(n_shards, os.cpu_count())``.
+    injector:
+        Optional seeded :class:`~repro.faults.plan.FaultInjector`.  Each
+        shard-build *attempt* is one occurrence of the ``shard.build``
+        point: a ``crash`` fault kills that attempt (an in-worker exception,
+        or — ``arg >= 1`` — a hard worker death that breaks the pool), a
+        ``stall`` fault delays it.  Crashed attempts are resubmitted with
+        the retry policy's backoff; a shard that exhausts the budget raises
+        :class:`~repro.faults.plan.FaultToleranceExceeded` (explicitly —
+        never a partial stitch).
+    retry:
+        Bounded resubmission budget per shard (default:
+        :class:`~repro.faults.retry.RetryPolicy`'s three attempts).
+    sleep:
+        Injected sleeper for the resubmission backoff (``None`` — the
+        default — retries immediately; tests pass a recording stub,
+        production boundaries may pass ``time.sleep``).
 
     Use as a context manager (or call :meth:`close`): the process mode owns a
     shared-memory segment and a worker pool.
@@ -209,6 +235,9 @@ class ShardedBuilder:
         n_shards: int = 4,
         executor: str = "process",
         max_workers: int | None = None,
+        injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
         if executor not in ("process", "serial"):
             raise ValueError("executor must be 'process' or 'serial'")
@@ -228,6 +257,13 @@ class ShardedBuilder:
             else min(self.n_shards, os.cpu_count() or 1)
         )
         self._pool: ProcessPoolExecutor | None = None
+        self._injector = injector
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        #: Fault-recovery accounting: shard attempts retried after a crash.
+        self.fault_resubmissions = 0
+        #: Fault-recovery accounting: broken pools recreated after a hard crash.
+        self.pool_restarts = 0
 
         self._n = len(pts)
         self._capacity = max(self._n, 1)
@@ -408,49 +444,147 @@ class ShardedBuilder:
             rows_per_shard = {shard: self._shard_rows(shard) for shard in live}
             if self._executor == "serial":
                 for shard in live:
-                    start, stop = self.col_ranges[shard]
-                    result = build_shard(
-                        self._buf, rows_per_shard[shard], self.spec, self.tiling, start, stop, self.k
-                    )
-                    result.shard_id = shard
-                    self._results[shard] = result
+                    self._results[shard] = self._build_serial_shard(shard, rows_per_shard[shard])
             else:
                 self._run_process_tasks(live, rows_per_shard)
         self._dirty.clear()
         self._last = self._stitch()
         return self._last
 
+    def _fire_shard_fault(self) -> Optional[Fault]:
+        """One ``shard.build`` occurrence (per build *attempt*, so a retried
+        shard advances the plan and typically succeeds on resubmission)."""
+        if self._injector is None:
+            return None
+        return self._injector.fire("shard.build")
+
+    def _note_resubmission(self, failures: int, shard: int) -> None:
+        self.fault_resubmissions += 1
+        if self._sleep is not None:
+            self._sleep(self._retry.delay(failures))
+
+    def _build_serial_shard(self, shard: int, rows: np.ndarray) -> ShardResult:
+        """One shard's build, inline, with crash faults retried in place."""
+        start, stop = self.col_ranges[shard]
+
+        def attempt() -> ShardResult:
+            fault = self._fire_shard_fault()
+            if fault is not None and fault.kind == CRASH:
+                raise InjectedWorkerCrash(f"injected crash in shard {shard}")
+            # A serial stall is a no-op beyond the occurrence bookkeeping:
+            # there is no concurrent progress for a straggler to hold back.
+            result = build_shard(self._buf, rows, self.spec, self.tiling, start, stop, self.k)
+            result.shard_id = shard
+            return result
+
+        try:
+            # _note_resubmission sleeps the backoff itself, so no `sleep` here
+            # (it would back off twice per retry).
+            return call_with_retry(
+                attempt,
+                policy=self._retry,
+                retry_on=(InjectedWorkerCrash,),
+                on_retry=lambda failures, _delay, _err: self._note_resubmission(failures, shard),
+            )
+        except RetryError as err:
+            raise FaultToleranceExceeded(
+                f"shard {shard} crashed {self._retry.max_attempts} time(s); "
+                "raising instead of stitching a partial build"
+            ) from err
+
+    def _make_task(
+        self, shard: int, rows_shm_name: str, total: int, offset: int, count: int
+    ) -> ShardTask:
+        start, stop = self.col_ranges[shard]
+        fault = self._fire_shard_fault()
+        crash = fault is not None and fault.kind == CRASH and fault.arg < 1.0
+        hard = fault is not None and fault.kind == CRASH and fault.arg >= 1.0
+        stall = fault.arg if (fault is not None and fault.kind == STALL) else 0.0
+        return ShardTask(
+            shard_id=shard,
+            col_start=start,
+            col_stop=stop,
+            spec=self.spec,
+            tiling=self.tiling,
+            k=self.k,
+            positions_shm=self._shm.name,
+            capacity=self._capacity,
+            rows_shm=rows_shm_name,
+            rows_total=total,
+            rows_offset=offset,
+            rows_count=count,
+            crash=crash,
+            hard_crash=hard,
+            stall_s=float(stall),
+        )
+
+    def _reset_pool(self) -> None:
+        """Replace a broken pool (a worker died hard, taking the pool down)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        self.pool_restarts += 1
+
     def _run_process_tasks(self, shards: Sequence[int], rows_per_shard: Dict[int, np.ndarray]) -> None:
+        """Submit one task per shard; resubmit crashed attempts with backoff.
+
+        Unlike a bare ``pool.map``, each shard is an independent future: an
+        :class:`~repro.faults.plan.InjectedWorkerCrash` fails only its own
+        shard (resubmitted up to the retry budget), and a hard worker death
+        (``BrokenProcessPool``) fails the in-flight shards, after which the
+        pool is recreated and those shards are resubmitted.  A shard whose
+        attempts run out raises
+        :class:`~repro.faults.plan.FaultToleranceExceeded` — the stitched
+        result is all-or-nothing.
+        """
         total = int(sum(len(rows_per_shard[shard]) for shard in shards))
         rows_shm = create_block(max(total, 1) * 8)
         try:
             rows_block = np.ndarray((total,), dtype=np.int64, buffer=rows_shm.buf)
-            tasks = []
+            offsets: Dict[int, Tuple[int, int]] = {}
             offset = 0
             for shard in shards:
                 rows = rows_per_shard[shard]
                 rows_block[offset : offset + len(rows)] = rows
-                start, stop = self.col_ranges[shard]
-                tasks.append(
-                    ShardTask(
-                        shard_id=shard,
-                        col_start=start,
-                        col_stop=stop,
-                        spec=self.spec,
-                        tiling=self.tiling,
-                        k=self.k,
-                        positions_shm=self._shm.name,
-                        capacity=self._capacity,
-                        rows_shm=rows_shm.name,
-                        rows_total=total,
-                        rows_offset=offset,
-                        rows_count=len(rows),
-                    )
-                )
+                offsets[shard] = (offset, len(rows))
                 offset += len(rows)
-            pool = self._ensure_pool()
-            for result in pool.map(run_shard_task, tasks):
-                self._results[result.shard_id] = result
+
+            attempts = {shard: 1 for shard in shards}
+            remaining = list(shards)
+            while remaining:
+                pool = self._ensure_pool()
+                futures = {}
+                for shard in remaining:
+                    shard_offset, count = offsets[shard]
+                    task = self._make_task(shard, rows_shm.name, total, shard_offset, count)
+                    futures[pool.submit(run_shard_task, task)] = shard
+                failed: List[int] = []
+                broken = False
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        shard = futures[future]
+                        try:
+                            result = future.result()
+                        except InjectedWorkerCrash:
+                            failed.append(shard)
+                        except BrokenProcessPool:
+                            failed.append(shard)
+                            broken = True
+                        else:
+                            self._results[result.shard_id] = result
+                if broken:
+                    self._reset_pool()
+                for shard in failed:
+                    if attempts[shard] >= self._retry.max_attempts:
+                        raise FaultToleranceExceeded(
+                            f"shard {shard} crashed {attempts[shard]} time(s); "
+                            "raising instead of stitching a partial build"
+                        )
+                    self._note_resubmission(attempts[shard], shard)
+                    attempts[shard] += 1
+                remaining = sorted(failed)
         finally:
             rows_shm.close()
             rows_shm.unlink()
@@ -545,10 +679,22 @@ def sharded_build(
     n_shards: int = 4,
     executor: str = "process",
     max_workers: int | None = None,
+    injector: Optional[FaultInjector] = None,
+    retry: Optional[RetryPolicy] = None,
+    sleep: Optional[Callable[[float], None]] = None,
 ) -> Tuple[DistributedBuildResult, ShardedBuildInfo]:
     """One-shot sharded build; returns the stitched result and its accounting."""
     with ShardedBuilder(
-        points, spec, window, k=k, n_shards=n_shards, executor=executor, max_workers=max_workers
+        points,
+        spec,
+        window,
+        k=k,
+        n_shards=n_shards,
+        executor=executor,
+        max_workers=max_workers,
+        injector=injector,
+        retry=retry,
+        sleep=sleep,
     ) as builder:
         result = builder.build()
         return result, builder.info()

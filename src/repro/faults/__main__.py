@@ -1,0 +1,118 @@
+"""Seeded chaos smoke: ``python -m repro.faults --suite all --seed 7``.
+
+Runs the chaos storms of :mod:`repro.faults.chaos` — a handful of sampled
+fault storms per layer plus hand-built plans pinning both edges of the
+envelope (a hard worker crash that breaks and recreates the process pool; a
+storm guaranteed to exceed the budget, which must surface as an explicit
+:class:`~repro.faults.plan.FaultToleranceExceeded`, never a hang or a wrong
+answer).  Exit status 0 means every storm either recovered byte-identically
+or degraded explicitly; this is what the CI ``chaos-smoke`` job runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List
+
+from repro.faults.chaos import (
+    ChaosReport,
+    ChaosViolation,
+    chaos_queue_storm,
+    chaos_serve_storm,
+    chaos_shard_storm,
+)
+from repro.faults.plan import CRASH, KILL, STALL, Fault, FaultPlan
+
+SUITES = ("shard", "queue", "serve")
+
+
+def _run_shard(seed: int, n_storms: int) -> List[ChaosReport]:
+    reports = [chaos_shard_storm(seed + i) for i in range(n_storms)]
+    # One process-pool storm with a hard crash (arg >= 1 kills the worker
+    # process outright; the parent must recreate the broken pool) and a
+    # straggler stall.
+    hard_plan = FaultPlan(
+        [
+            Fault("shard.build", 0, CRASH, arg=1.0),
+            Fault("shard.build", 3, STALL, arg=0.01),
+        ]
+    )
+    reports.append(
+        chaos_shard_storm(seed, executor="process", n_shards=2, n_points=120, plan=hard_plan)
+    )
+    # Beyond the envelope: every attempt of every shard crashes — the builder
+    # must say so explicitly.
+    storm_plan = FaultPlan([Fault("shard.build", i, CRASH) for i in range(64)])
+    report = chaos_shard_storm(seed, plan=storm_plan)
+    if report.outcome != "exceeded":
+        raise ChaosViolation("an unbounded crash storm failed to trip FaultToleranceExceeded")
+    reports.append(report)
+    return reports
+
+
+def _run_queue(seed: int, n_storms: int, workdir: str) -> List[ChaosReport]:
+    reports = [chaos_queue_storm(seed + i, workdir) for i in range(n_storms)]
+    # A poison storm: the first max_attempts executions all die, forcing the
+    # claim-side quarantine, then the requeue path drains with a fresh budget.
+    poison_plan = FaultPlan([Fault("queue.execute", i, CRASH) for i in range(4)])
+    report = chaos_queue_storm(
+        seed + 1000, workdir, n_jobs=3, max_attempts=2, plan=poison_plan
+    )
+    if report.detail.get("quarantined", 0) < 1:
+        raise ChaosViolation("the poison-job storm never exercised quarantine")
+    reports.append(report)
+    return reports
+
+
+def _run_serve(seed: int, n_storms: int, workdir: str) -> List[ChaosReport]:
+    reports = [chaos_serve_storm(seed + i, workdir) for i in range(n_storms)]
+    # Beyond the envelope: the daemon dies on every flush; the client's
+    # bounded reconnect budget must give up explicitly.
+    kill_plan = FaultPlan([Fault("serve.tick", i, KILL) for i in range(256)])
+    report = chaos_serve_storm(seed + 2000, workdir, n_ticks=2, max_attempts=3, plan=kill_plan)
+    if report.outcome != "exceeded":
+        raise ChaosViolation("a kill-every-tick storm failed to exhaust the reconnect budget")
+    reports.append(report)
+    return reports
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.faults", description="Seeded chaos storms with byte-identity certificates."
+    )
+    parser.add_argument("--suite", choices=SUITES + ("all",), default="all")
+    parser.add_argument("--seed", type=int, default=7, help="base seed of the storm batch")
+    parser.add_argument(
+        "--storms", type=int, default=3, help="sampled storms per suite (default: 3)"
+    )
+    parser.add_argument(
+        "--workdir", default=None, help="scratch directory (default: a fresh temp dir)"
+    )
+    args = parser.parse_args(argv)
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    suites = SUITES if args.suite == "all" else (args.suite,)
+    reports: List[ChaosReport] = []
+    try:
+        for suite in suites:
+            if suite == "shard":
+                reports.extend(_run_shard(args.seed, args.storms))
+            elif suite == "queue":
+                reports.extend(_run_queue(args.seed, args.storms, workdir))
+            else:
+                reports.extend(_run_serve(args.seed, args.storms, workdir))
+    except ChaosViolation as err:
+        for report in reports:
+            print(report.line())
+        print(f"CHAOS VIOLATION: {err}", file=sys.stderr)
+        return 1
+    for report in reports:
+        print(report.line())
+    recovered = sum(1 for r in reports if r.outcome == "recovered")
+    print(f"chaos: {len(reports)} storm(s), {recovered} recovered, all within contract")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Bounded retry with injected-clock exponential backoff.
+
+:func:`call_with_retry` is the one sanctioned retry helper: every retry loop
+in the repo must have a *bounded* attempt count and an *injected* sleeper
+(the REPRO701 lint rule rejects bare ``time.sleep`` retry loops).  The
+helper never reads a clock itself — the ``sleep`` callable is whatever the
+caller injects (``time.sleep`` at a production boundary, a recording stub in
+tests, ``None`` for synchronous-round protocols where backoff is
+meaningless), so retry behaviour is a pure function of its inputs and the
+chaos property tests can drive thousands of storms without wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.faults.plan import FaultError
+
+__all__ = ["RetryPolicy", "RetryError", "call_with_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff: ``base_delay * multiplier**k``, capped.
+
+    ``max_attempts`` counts *total* tries (first attempt included), so
+    ``max_attempts=1`` means no retries at all.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay(self, failures: int) -> float:
+        """Backoff before the retry following the ``failures``-th failure (1-based)."""
+        if failures < 1:
+            raise ValueError("failures is 1-based")
+        return min(self.base_delay * self.multiplier ** (failures - 1), self.max_delay)
+
+    def delays(self) -> Tuple[float, ...]:
+        """Every backoff the policy can sleep, in order (one per retry)."""
+        return tuple(self.delay(k) for k in range(1, self.max_attempts))
+
+
+class RetryError(FaultError):
+    """All attempts failed; ``__cause__`` carries the last exception."""
+
+    def __init__(self, message: str, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    *,
+    policy: Optional[RetryPolicy] = None,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    sleep: Optional[Callable[[float], None]] = None,
+    on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+) -> T:
+    """Call ``fn`` up to ``policy.max_attempts`` times, backing off in between.
+
+    Only ``retry_on`` exceptions are retried; anything else propagates on
+    the spot.  Between attempts the policy's backoff is passed to the
+    injected ``sleep`` (skipped entirely when ``sleep is None``) and to
+    ``on_retry(attempt, delay, error)`` for accounting.  When the budget is
+    exhausted, :class:`RetryError` is raised from the last failure — the
+    explicit out-of-envelope signal, never a hang.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except retry_on as err:
+            last = err
+            if attempt == policy.max_attempts:
+                break
+            delay = policy.delay(attempt)
+            if on_retry is not None:
+                on_retry(attempt, delay, err)
+            if sleep is not None:
+                sleep(delay)
+    assert last is not None
+    raise RetryError(
+        f"gave up after {policy.max_attempts} attempt(s): {last}", policy.max_attempts
+    ) from last

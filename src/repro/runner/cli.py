@@ -202,6 +202,28 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="keep polling after the queue drains (a standing worker)",
     )
+    p_worker.add_argument(
+        "--max-attempts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="poison-job budget: quarantine a job after N attempts (default: 5; 0 disables)",
+    )
+
+    p_requeue = sub.add_parser(
+        "requeue", help="re-open failed/quarantined jobs for another worker drain"
+    )
+    p_requeue.add_argument(
+        "--store", required=True, help="SQLite store file carrying the job queue"
+    )
+    p_requeue.add_argument(
+        "keys", nargs="*", metavar="KEY", help="restrict to these job keys (default: all)"
+    )
+    p_requeue.add_argument(
+        "--keep-attempts",
+        action="store_true",
+        help="keep the attempt counters (default: reset to a fresh budget)",
+    )
     return parser
 
 
@@ -423,12 +445,35 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         max_jobs=args.max_jobs,
         wait=args.wait,
         progress=_progress,
+        max_attempts=args.max_attempts if args.max_attempts > 0 else None,
     )
     print(
         f"worker {report.worker}: {report.n_ok} ran, {report.n_cached} cached, "
-        f"{report.n_failed} failed → {store.path}"
+        f"{report.n_failed} failed, {report.n_quarantined} quarantined → {store.path}"
     )
-    return 0 if report.n_failed == 0 else 1
+    return 0 if report.n_failed == 0 and report.n_quarantined == 0 else 1
+
+
+def _cmd_requeue(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if not isinstance(store, SqliteStore):
+        print(
+            f"error: the job queue lives in the SQLite backend; {args.store!r} is a "
+            "JSON-lines directory (use the *.sqlite file the sweep was enqueued into)"
+        )
+        return 2
+    with JobQueue(store.path) as queue:
+        reopened = queue.requeue(
+            args.keys or None, reset_attempts=not args.keep_attempts
+        )
+        counts = queue.counts()
+    print(
+        f"re-opened {reopened} job(s) → {store.path}; "
+        f"queue: {counts['open']} open, {counts['claimed']} claimed, {counts['done']} done, "
+        f"{counts['failed']} failed, {counts['quarantined']} quarantined"
+    )
+    print(f"drain with: python -m repro.runner worker --store {store.path}")
+    return 0
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -442,4 +487,6 @@ def main(argv: List[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "requeue":
+        return _cmd_requeue(args)
     return _cmd_run(args)

@@ -17,6 +17,12 @@ from it:
   touching the job's queue row.
 * :meth:`JobQueue.complete` closes the job (``done`` / ``failed``), guarded
   by the worker id so a stale claimant cannot clobber the reclaimer's state.
+* A job that keeps killing its claimants (a *poison job*) is **quarantined**
+  once its attempt count reaches the worker's ``max_attempts`` budget —
+  parked out of the claimable set with an explicit status instead of cycling
+  through workers forever.  :meth:`JobQueue.requeue` (surfaced as
+  ``python -m repro.runner requeue``) re-opens quarantined/failed rows after
+  the operator fixes the cause.
 
 Seeds are resolved at *enqueue* time (:func:`repro.runner.executor.make_jobs`
 runs before the queue ever sees a job), so the records produced by any number
@@ -36,17 +42,24 @@ import pathlib
 import socket
 import threading
 import time
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.runner.executor import Job, _execute
 from repro.runner.serialize import canonical_json
 from repro.runner.sqlite_store import SqliteStore, connect
 from repro.runner.store import ResultStore
 
+if TYPE_CHECKING:  # runtime import stays lazy: repro.faults.plan imports runner.serialize
+    from repro.faults.plan import FaultInjector
+
 __all__ = ["JobQueue", "QueuedJob", "WorkerReport", "run_worker", "default_worker_id"]
 
 #: Queue-row lifecycle states.
 OPEN, CLAIMED, DONE, FAILED = "open", "claimed", "done", "failed"
+#: Poison jobs: over their attempt budget, parked until an explicit requeue.
+QUARANTINED = "quarantined"
+
+_ALL_STATES = (OPEN, CLAIMED, DONE, FAILED, QUARANTINED)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -135,18 +148,36 @@ class JobQueue:
 
     # -- claiming ------------------------------------------------------------
     def claim(
-        self, worker: str, *, lease_seconds: float = 60.0, now: Optional[float] = None
+        self,
+        worker: str,
+        *,
+        lease_seconds: float = 60.0,
+        now: Optional[float] = None,
+        max_attempts: Optional[int] = None,
     ) -> Optional[QueuedJob]:
         """Atomically claim the oldest claimable job, or return ``None``.
 
         Claimable: ``open``, or ``claimed`` with an expired lease (the
         previous claimant stopped heartbeating — crashed, killed, or
         partitioned — so the job is taken over).
+
+        With ``max_attempts``, claimable rows already at the attempt budget
+        are quarantined *inside the claim transaction* instead of handed
+        out — the poison-job guard: a job that repeatedly kills its
+        claimants (so no ``failed`` record is ever written) still leaves
+        the claimable set after ``max_attempts`` leases.
         """
         now = time.time() if now is None else now
         with self._lock:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
+                if max_attempts is not None:
+                    self._conn.execute(
+                        "UPDATE jobs SET status = ?, worker = NULL, lease_expires = NULL "
+                        "WHERE attempts >= ? "
+                        "AND (status = ? OR (status = ? AND lease_expires < ?))",
+                        (QUARANTINED, max_attempts, OPEN, CLAIMED, now),
+                    )
                 row = self._conn.execute(
                     "SELECT job_order, key, experiment_id, params, attempts FROM jobs "
                     "WHERE status = ? OR (status = ? AND lease_expires < ?) "
@@ -187,9 +218,12 @@ class JobQueue:
         return cursor.rowcount == 1
 
     def complete(self, key: str, worker: str, *, status: str = DONE) -> bool:
-        """Close ``key`` as ``done``/``failed`` if ``worker`` still holds it."""
-        if status not in (DONE, FAILED):
-            raise ValueError(f"complete() status must be {DONE!r} or {FAILED!r}, got {status!r}")
+        """Close ``key`` as ``done``/``failed``/``quarantined`` if ``worker`` holds it."""
+        if status not in (DONE, FAILED, QUARANTINED):
+            raise ValueError(
+                f"complete() status must be {DONE!r}, {FAILED!r} or {QUARANTINED!r}, "
+                f"got {status!r}"
+            )
         with self._lock:
             cursor = self._conn.execute(
                 "UPDATE jobs SET status = ?, lease_expires = NULL WHERE key = ? "
@@ -224,10 +258,47 @@ class JobQueue:
             )
         return cursor.rowcount
 
+    def requeue(
+        self,
+        keys: Optional[Iterable[str]] = None,
+        *,
+        statuses: Tuple[str, ...] = (FAILED, QUARANTINED),
+        reset_attempts: bool = True,
+    ) -> int:
+        """Re-open failed/quarantined jobs for another drain; returns count.
+
+        The operator-facing recovery path behind ``python -m repro.runner
+        requeue``: after the cause of a poison job is fixed, its rows go
+        back to ``open`` (attempt counters reset by default, so the fresh
+        budget is a full one) and any worker drains them normally.  ``keys``
+        restricts the requeue to specific jobs; the default touches every
+        row in ``statuses``.
+        """
+        for status in statuses:
+            if status not in (FAILED, QUARANTINED):
+                raise ValueError(
+                    f"requeue only reopens failed/quarantined jobs, got status {status!r}"
+                )
+        set_clause = "status = ?, worker = NULL, lease_expires = NULL"
+        if reset_attempts:
+            set_clause += ", attempts = 0"
+        marks = ",".join("?" for _ in statuses)
+        sql = f"UPDATE jobs SET {set_clause} WHERE status IN ({marks})"
+        params: List[Any] = [OPEN, *statuses]
+        if keys is not None:
+            key_list = list(keys)
+            if not key_list:
+                return 0
+            sql += f" AND key IN ({','.join('?' for _ in key_list)})"
+            params.extend(key_list)
+        with self._lock:
+            cursor = self._conn.execute(sql, params)
+        return cursor.rowcount
+
     # -- introspection --------------------------------------------------------
     def counts(self) -> Dict[str, int]:
-        """Row count per status (always has all four states as keys)."""
-        out = {status: 0 for status in (OPEN, CLAIMED, DONE, FAILED)}
+        """Row count per status (always has all five states as keys)."""
+        out = {status: 0 for status in _ALL_STATES}
         with self._lock:
             rows = self._conn.execute(
                 "SELECT status, COUNT(*) FROM jobs GROUP BY status"
@@ -288,11 +359,12 @@ class WorkerReport:
     n_ok: int = 0
     n_cached: int = 0
     n_failed: int = 0
+    n_quarantined: int = 0
     keys: List[str] = field(default_factory=list)
 
     @property
     def n_jobs(self) -> int:
-        return self.n_ok + self.n_cached + self.n_failed
+        return self.n_ok + self.n_cached + self.n_failed + self.n_quarantined
 
 
 def run_worker(
@@ -304,6 +376,9 @@ def run_worker(
     max_jobs: Optional[int] = None,
     wait: bool = False,
     progress: Optional[Any] = None,
+    max_attempts: Optional[int] = 5,
+    sleep: Callable[[float], None] = time.sleep,
+    injector: Optional["FaultInjector"] = None,
 ) -> WorkerReport:
     """Pull-worker drain loop: claim → execute → store → complete, repeat.
 
@@ -320,6 +395,20 @@ def run_worker(
     queue row closes.  Crash ordering is safe: the record is stored *before*
     ``complete``, so a worker dying in between re-runs one job (same bytes)
     rather than losing one.
+
+    ``max_attempts`` is the poison-job budget: a job at the cap is
+    quarantined (at claim time for jobs that killed their claimants, at
+    completion time for jobs that failed this attempt) instead of retried
+    forever; ``None`` disables the guard.  ``sleep`` is the injected idle
+    sleeper (tests pass a stub so polling costs no wall time) and
+    ``injector`` an optional seeded fault injector whose ``queue.execute``
+    point fires once per executed claim — a *crash* fault raises
+    :class:`~repro.faults.plan.InjectedWorkerCrash` out of the loop with the
+    claim still held (a simulated worker death: recovery is the next
+    claimant's lease takeover, exactly as for SIGKILL), a *stall* sleeps
+    ``arg`` seconds before executing.  Any *other* unexpected error releases
+    the claim back to ``open`` on the way out, so a crashing worker process
+    never parks a job for a full lease period it isn't using.
     """
     if not isinstance(store, SqliteStore):
         resolved = ResultStore(store)
@@ -329,16 +418,18 @@ def run_worker(
                 "resolves to a JSON-lines directory store (use a *.sqlite path)"
             )
         store = resolved
+    from repro.faults.plan import CRASH, STALL, InjectedWorkerCrash
+
     worker = worker_id or default_worker_id()
     report = WorkerReport(worker=worker)
     queue = JobQueue(store.path)
     try:
         while max_jobs is None or report.n_jobs < max_jobs:
-            claim = queue.claim(worker, lease_seconds=lease_seconds)
+            claim = queue.claim(worker, lease_seconds=lease_seconds, max_attempts=max_attempts)
             if claim is None:
                 if not wait and queue.unfinished() == 0:
                     break
-                time.sleep(poll_seconds)
+                sleep(poll_seconds)
                 continue
             job = claim.job
             store.refresh()
@@ -353,20 +444,42 @@ def run_worker(
             heartbeat = _LeaseHeartbeat(store.path, job.key, worker, lease_seconds)
             heartbeat.start()
             try:
+                fault = injector.fire("queue.execute") if injector is not None else None
+                if fault is not None:
+                    if fault.kind == CRASH:
+                        raise InjectedWorkerCrash(f"injected worker death on {job.key[:10]}")
+                    if fault.kind == STALL:
+                        sleep(float(fault.arg))
                 record = _execute((job.experiment_id, dict(job.params)))
+                store.put(record)
+            except InjectedWorkerCrash:
+                # A simulated SIGKILL: the dead worker cannot release its
+                # claim, so leave it held — recovery is lease expiry.
+                raise
+            except BaseException:
+                # A live worker dying of an unexpected error hands its claim
+                # straight back instead of parking it for a lease period.
+                if not heartbeat.lost:
+                    queue.release(job.key, worker)
+                raise
             finally:
+                # One join for every exit path — success, crash, Ctrl-C —
+                # so no heartbeat thread ever outlives its claim.
                 heartbeat.stop()
-            store.put(record)
             status = DONE if record["status"] == "ok" else FAILED
+            if status == FAILED and max_attempts is not None and claim.attempts >= max_attempts:
+                status = QUARANTINED
             if not heartbeat.lost:
                 queue.complete(job.key, worker, status=status)
-            if record["status"] == "ok":
+            if status == DONE:
                 report.n_ok += 1
+            elif status == QUARANTINED:
+                report.n_quarantined += 1
             else:
                 report.n_failed += 1
             report.keys.append(job.key)
             if progress is not None:
-                progress(job, record["status"])
+                progress(job, "quarantined" if status == QUARANTINED else record["status"])
     finally:
         queue.close()
     return report

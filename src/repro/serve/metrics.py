@@ -34,6 +34,19 @@ class LatencyRecorder:
         self._first_ingest: Optional[float] = None
         self._last_applied: Optional[float] = None
         self._ticks = 0
+        self._rejected = 0
+        self._last_retry_after: Optional[float] = None
+
+    def rejected(self, retry_after: Optional[float] = None) -> None:
+        """Count one refused (backpressured) event and its ``retry_after`` hint.
+
+        Refusals previously lived only in the refusal replies themselves, so
+        an operator polling ``stats`` could not tell a healthy daemon from
+        one bouncing every update; the counter makes backpressure visible.
+        """
+        self._rejected += 1
+        if retry_after is not None:
+            self._last_retry_after = float(retry_after)
 
     def ingest(self, seq: int, now: Optional[float] = None) -> float:
         """Stamp event ``seq`` as ingested; returns the stamp."""
@@ -81,6 +94,8 @@ class LatencyRecorder:
             return {
                 "events_applied": 0,
                 "events_pending": self.n_pending,
+                "events_rejected": self._rejected,
+                "last_retry_after": self._last_retry_after,
                 "ticks": self._ticks,
                 "p50_ms": None,
                 "p99_ms": None,
@@ -94,6 +109,8 @@ class LatencyRecorder:
         return {
             "events_applied": int(len(spans)),
             "events_pending": self.n_pending,
+            "events_rejected": self._rejected,
+            "last_retry_after": self._last_retry_after,
             "ticks": self._ticks,
             "p50_ms": round(float(np.percentile(spans, 50)) * 1e3, 4),
             "p99_ms": round(float(np.percentile(spans, 99)) * 1e3, 4),

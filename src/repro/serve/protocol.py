@@ -26,6 +26,10 @@ Control and query operations (answered immediately):
 * ``{"op": "tick"}`` — force the pending batch to apply now (the stdio
   transport's deterministic scheduler).
 * ``{"op": "stats"}`` / ``{"op": "ping"}`` / ``{"op": "shutdown"}``
+* ``{"op": "resume"}`` — reconnect handshake: reports ``applied_seq`` and
+  the next seq the batcher will assign, *without* flushing the pending
+  tick, so a client that lost replies (or the daemon that died and was
+  restored from a snapshot) can work out exactly which events to resend.
 
 Every request may carry a client-chosen ``"id"`` echoed verbatim in the
 response.  Malformed requests raise :class:`ProtocolError`, which transports
@@ -57,7 +61,7 @@ __all__ = [
 #: Operations that mutate the world (batched and coalesced per tick).
 UPDATE_OPS = ("move", "insert", "delete")
 #: Operations answered outside the batching path.
-CONTROL_OPS = ("query", "snapshot", "tick", "stats", "ping", "shutdown")
+CONTROL_OPS = ("query", "snapshot", "tick", "stats", "ping", "shutdown", "resume")
 #: Recognised query kinds.
 QUERY_KINDS = ("neighbours", "route", "coverage", "digest")
 

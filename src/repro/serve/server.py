@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Tuple, Uni
 
 import numpy as np
 
+from repro.faults.plan import KILL, FaultInjector, ServeKilled
 from repro.runner.store import ResultStore
 from repro.serve.batching import PendingEvent, TickBatcher, coalesce_events
 from repro.serve.clock import monotonic_now
@@ -89,6 +90,13 @@ class ServeSession:
         op; ``None`` rejects snapshot requests.
     clock:
         Injected monotonic clock for the latency recorder.
+    injector:
+        Optional seeded fault injector; its ``serve.tick`` point fires once
+        per :meth:`flush`, and a *kill* fault raises
+        :class:`~repro.faults.plan.ServeKilled` *before* anything applies —
+        a simulated daemon death mid-tick.  Recovery is the operator's
+        restore-from-snapshot path; clients learn where to resume from the
+        ``resume`` op.
     """
 
     def __init__(
@@ -98,6 +106,7 @@ class ServeSession:
         high_water: int = 50_000,
         snapshot_store: Union[str, pathlib.Path, ResultStore, None] = None,
         clock: Callable[[], float] = monotonic_now,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.world = world
         # Seqs resume past what the world already applied, so a restored
@@ -109,6 +118,7 @@ class ServeSession:
         )
         self.metrics = LatencyRecorder(clock=clock)
         self.snapshot_store = snapshot_store
+        self.injector = injector
         self.running = True
         #: The most recent tick's ApplyResult (coalescing/repair accounting).
         self.last_apply: Optional[ApplyResult] = None
@@ -126,11 +136,13 @@ class ServeSession:
         if request.is_update:
             event, accepted = self.batcher.offer(request)
             if not accepted:
+                retry_after = self.batcher.retry_after()
+                self.metrics.rejected(retry_after)
                 return HandleResult(
                     immediate=error_response(
                         "overloaded",
                         request.client_id,
-                        retry_after=self.batcher.retry_after(),
+                        retry_after=retry_after,
                         pending=len(self.batcher),
                     )
                 )
@@ -146,6 +158,20 @@ class ServeSession:
                     request.client_id,
                     pong=True,
                     applied_seq=self.world.applied_seq,
+                    n_alive=self.world.n_alive,
+                )
+            )
+        if request.op == "resume":
+            # The reconnect handshake: report where the world and the seq
+            # counter stand *without* flushing, so a client can compute which
+            # of its unacknowledged events to resend (they get the same seqs
+            # the lost originals would have carried).
+            return HandleResult(
+                immediate=ok_response(
+                    request.client_id,
+                    applied_seq=self.world.applied_seq,
+                    next_seq=self.batcher.next_seq,
+                    pending=len(self.batcher),
                     n_alive=self.world.n_alive,
                 )
             )
@@ -178,7 +204,17 @@ class ServeSession:
         allocated node id), events invalidated within the tick (moves or
         deletes of dead nodes) report the rejection a sequential
         application would have produced.
+
+        With a fault injector attached, each flush is one occurrence of the
+        ``serve.tick`` point; a *kill* fault raises
+        :class:`~repro.faults.plan.ServeKilled` before the batch drains —
+        the tick never applied, exactly like a daemon SIGKILL between
+        accepting events and committing them.
         """
+        if self.injector is not None:
+            fault = self.injector.fire("serve.tick")
+            if fault is not None and fault.kind == KILL:
+                raise ServeKilled("injected daemon death mid-tick")
         events = self.batcher.drain()
         batch = coalesce_events(events, self.world.is_alive)
         result = self.world.apply(batch)

@@ -40,6 +40,7 @@ locality (a property of the construction's geometry, not of who computes it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+import os
 import resource
 import time
 from typing import Dict, List, Tuple
@@ -49,6 +50,7 @@ import numpy as np
 from repro.core.tiles_base import TileSpec
 from repro.core.tiling import TileIndex, Tiling
 from repro.distributed.construct import cross_tile_edges, elect_tile_leaders, tile_goodness
+from repro.faults.plan import InjectedWorkerCrash
 from repro.shard.shm import attach_block
 
 __all__ = ["ShardTask", "ShardResult", "build_shard", "run_shard_task"]
@@ -67,6 +69,14 @@ class ShardTask:
     Positions and member rows travel through named shared-memory segments
     (:mod:`repro.shard.shm`), so the per-task pickle is a few hundred bytes
     regardless of deployment size.
+
+    The three fault flags are set by the parent from its seeded
+    :class:`~repro.faults.plan.FaultInjector` at submit time (the pool
+    worker stays deterministic and RNG-free): ``crash`` raises
+    :class:`~repro.faults.plan.InjectedWorkerCrash` before any work,
+    ``hard_crash`` kills the worker *process* outright (breaking the pool —
+    the parent must recreate it), ``stall_s`` sleeps that long first to
+    simulate a straggler.
     """
 
     shard_id: int
@@ -81,6 +91,9 @@ class ShardTask:
     rows_total: int
     rows_offset: int
     rows_count: int
+    crash: bool = False
+    hard_crash: bool = False
+    stall_s: float = 0.0
 
 
 @dataclass
@@ -244,7 +257,18 @@ def build_shard(
 
 
 def run_shard_task(task: ShardTask) -> ShardResult:
-    """Pool entry point: attach the shared segments, build, detach."""
+    """Pool entry point: attach the shared segments, build, detach.
+
+    Injected faults fire *before* any shared segment is attached, so a
+    crashing task can never leak an attachment; the stall is capped at one
+    second so a mis-specified plan cannot wedge a CI run.
+    """
+    if task.hard_crash:
+        os._exit(17)  # a real worker death: no cleanup, the pool breaks
+    if task.crash:
+        raise InjectedWorkerCrash(f"injected crash in shard {task.shard_id}")
+    if task.stall_s > 0.0:
+        time.sleep(min(float(task.stall_s), 1.0))
     positions_shm = attach_block(task.positions_shm)
     try:
         points = np.ndarray(

@@ -777,6 +777,86 @@ def test_sanctioned_shm_helper_module_is_exempt(lint_snippet):
 
 
 # ---------------------------------------------------------------------------
+# REPRO701 — bounded, injectable retries
+# ---------------------------------------------------------------------------
+
+
+def test_bare_sleep_in_while_retry_loop_fires(lint_snippet):
+    src = dedent(
+        """
+        import time
+
+        def fetch(conn):
+            while True:
+                try:
+                    return conn.read()
+                except OSError:
+                    time.sleep(1.0)
+        """
+    )
+    assert "REPRO701" in codes(lint_snippet(src, select={"REPRO701"}))
+
+
+def test_from_import_sleep_alias_in_for_loop_fires(lint_snippet):
+    src = dedent(
+        """
+        from time import sleep
+
+        def poll(check):
+            for _ in range(100):
+                if check():
+                    return True
+                sleep(0.1)
+            return False
+        """
+    )
+    assert "REPRO701" in codes(lint_snippet(src, select={"REPRO701"}))
+
+
+def test_sleep_outside_any_loop_is_clean(lint_snippet):
+    # A single delay is not a retry loop; the rule only polices loops.
+    src = dedent(
+        """
+        import time
+
+        def settle():
+            time.sleep(0.01)
+        """
+    )
+    assert lint_snippet(src, select={"REPRO701"}) == []
+
+
+def test_injected_sleep_parameter_is_clean(lint_snippet):
+    # The sanctioned poll-loop shape: time.sleep enters as a default
+    # parameter value (an Attribute, not a Call) and the loop calls the
+    # injected name — tests swap it for a stub.
+    src = dedent(
+        """
+        import time
+
+        def poll(check, sleep=time.sleep):
+            while not check():
+                sleep(0.1)
+            return True
+        """
+    )
+    assert lint_snippet(src, select={"REPRO701"}) == []
+
+
+def test_call_with_retry_is_clean(lint_snippet):
+    src = dedent(
+        """
+        from repro.faults.retry import RetryPolicy, call_with_retry
+
+        def fetch(conn, sleep):
+            policy = RetryPolicy(max_attempts=5)
+            return call_with_retry(conn.read, policy=policy, retry_on=(OSError,), sleep=sleep)
+        """
+    )
+    assert lint_snippet(src, select={"REPRO701"}) == []
+
+
+# ---------------------------------------------------------------------------
 # Registry hygiene
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,61 @@
+"""Chaos property: queue worker-death storms drain to byte-identical stores."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.chaos import CHAOS_EXPERIMENT_ID, chaos_queue_storm, store_fingerprint
+from repro.faults.plan import CRASH, STALL, Fault, FaultPlan
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_seeded_worker_death_storms_never_corrupt(tmp_path_factory, seed):
+    """chaos_queue_storm raises ChaosViolation on any silent divergence from
+    the fault-free serial run; the property is that every storm returns."""
+    workdir = tmp_path_factory.mktemp("storm")
+    report = chaos_queue_storm(seed, workdir, n_jobs=4, rate=0.3)
+    assert report.outcome == "recovered"
+    assert report.detail["worker_deaths"] >= 0
+
+
+def test_crash_takeover_produces_byte_identical_store(tmp_path):
+    """One injected death mid-drain: the replacement worker takes over the
+    expired lease and the final store matches the fault-free run."""
+    plan = FaultPlan([Fault("queue.execute", 1, CRASH)])
+    report = chaos_queue_storm(3, tmp_path, n_jobs=4, plan=plan)
+    assert report.outcome == "recovered"
+    assert report.detail == {"worker_deaths": 1, "quarantined": 0}
+
+
+def test_stalls_only_slow_things_down(tmp_path):
+    plan = FaultPlan(
+        [Fault("queue.execute", 0, STALL, arg=0.0), Fault("queue.execute", 2, STALL, arg=0.0)]
+    )
+    report = chaos_queue_storm(4, tmp_path, n_jobs=3, plan=plan)
+    assert report.outcome == "recovered"
+    assert report.detail == {"worker_deaths": 0, "quarantined": 0}
+
+
+def test_poison_storm_quarantines_then_requeue_drains_same_bytes(tmp_path):
+    """Crashes on every claim of the first jobs exhaust the attempts budget:
+    the jobs land in quarantine (explicit degradation, not silence), and the
+    requeue path drains them to the same bytes as the unfaulted run."""
+    plan = FaultPlan([Fault("queue.execute", i, CRASH) for i in range(4)])
+    report = chaos_queue_storm(5, tmp_path, n_jobs=3, max_attempts=2, plan=plan)
+    assert report.outcome == "recovered"
+    assert report.detail["worker_deaths"] == 4
+    assert report.detail["quarantined"] >= 1
+    # chaos_queue_storm already byte-compared; cross-check the certificate
+    # machinery itself agrees with a direct fingerprint call.
+    ref = store_fingerprint(tmp_path / "queue-ref-5", CHAOS_EXPERIMENT_ID)
+    got = store_fingerprint(tmp_path / "queue-chaos-5.sqlite", CHAOS_EXPERIMENT_ID)
+    assert ref == got
+
+
+def test_fault_free_storm_is_a_plain_drain(tmp_path):
+    report = chaos_queue_storm(6, tmp_path, n_jobs=3, plan=FaultPlan([]))
+    assert report.outcome == "recovered"
+    assert report.n_fired == 0
+    assert report.detail == {"worker_deaths": 0, "quarantined": 0}

@@ -1,0 +1,146 @@
+"""Chaos property: shard crash storms recover byte-identically or fail loudly."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import numpy as np
+import pytest
+
+from repro.core.tiles_udg import UDGTileSpec
+from repro.distributed.construct import distributed_build
+from repro.distributed.sharding import ShardedBuilder, sharded_build
+from repro.faults.chaos import chaos_shard_storm
+from repro.faults.plan import (
+    CRASH,
+    STALL,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    FaultToleranceExceeded,
+)
+from repro.faults.retry import RetryPolicy
+from repro.geometry.primitives import Rect
+
+WINDOW = Rect(0.0, 0.0, 15.0, 15.0)
+
+
+def _points(seed, n=140):
+    return np.random.default_rng(seed).uniform(0.0, 15.0, size=(n, 2))
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_seeded_storms_never_corrupt_serial(seed):
+    """Any seeded storm either recovers byte-identically or raises explicitly.
+
+    chaos_shard_storm raises ChaosViolation on silent corruption — the
+    property is simply that it returns.
+    """
+    report = chaos_shard_storm(seed, executor="serial", n_points=120, rate=0.3)
+    assert report.outcome in ("recovered", "exceeded")
+
+
+def test_within_envelope_crashes_recover_exactly():
+    """max_attempts-1 crashes per shard: resubmission, then byte-identity."""
+    points = _points(0)
+    spec = UDGTileSpec.default()
+    reference = distributed_build(points, spec, WINDOW, radio_range=None)
+    # Two crashes in a row on the first shard's attempts: with max_attempts=3
+    # the third attempt succeeds.
+    plan = FaultPlan([Fault("shard.build", 0, CRASH), Fault("shard.build", 1, CRASH)])
+    injector = FaultInjector(plan)
+    backoffs = []
+    with ShardedBuilder(
+        points,
+        spec,
+        WINDOW,
+        n_shards=4,
+        executor="serial",
+        injector=injector,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.1),
+        sleep=backoffs.append,
+    ) as builder:
+        result = builder.build()
+        assert builder.fault_resubmissions == 2
+        assert builder.matches_unsharded(reference)
+    assert backoffs == [0.1, 0.2]  # exponential, injected — no wall time
+    assert result.stats.messages_by_kind == reference.stats.messages_by_kind
+
+
+def test_beyond_envelope_raises_never_stitches_partial():
+    points = _points(1)
+    spec = UDGTileSpec.default()
+    plan = FaultPlan([Fault("shard.build", i, CRASH) for i in range(3)])
+    with pytest.raises(FaultToleranceExceeded, match="crashed 3 time"):
+        sharded_build(
+            points,
+            spec,
+            WINDOW,
+            n_shards=4,
+            executor="serial",
+            injector=FaultInjector(plan),
+            retry=RetryPolicy(max_attempts=3),
+        )
+
+
+def test_process_pool_survives_hard_crash_and_stall():
+    """arg>=1 kills the worker process: the pool breaks, is recreated, and
+    the resubmitted build still matches the unsharded reference."""
+    points = _points(2, n=120)
+    spec = UDGTileSpec.default()
+    reference = distributed_build(points, spec, WINDOW, radio_range=None)
+    plan = FaultPlan(
+        [Fault("shard.build", 0, CRASH, arg=1.0), Fault("shard.build", 3, STALL, arg=0.01)]
+    )
+    injector = FaultInjector(plan)
+    with ShardedBuilder(
+        points,
+        spec,
+        WINDOW,
+        n_shards=2,
+        executor="process",
+        max_workers=2,
+        injector=injector,
+        retry=RetryPolicy(max_attempts=3),
+    ) as builder:
+        builder.build()
+        assert builder.pool_restarts == 1
+        assert builder.fault_resubmissions >= 1
+        assert builder.matches_unsharded(reference)
+
+
+def test_in_worker_crash_resubmits_without_breaking_pool():
+    """arg<1 crashes raise inside the worker: resubmission only, no restart."""
+    points = _points(3, n=120)
+    spec = UDGTileSpec.default()
+    reference = distributed_build(points, spec, WINDOW, radio_range=None)
+    plan = FaultPlan([Fault("shard.build", 1, CRASH, arg=0.0)])
+    injector = FaultInjector(plan)
+    with ShardedBuilder(
+        points,
+        spec,
+        WINDOW,
+        n_shards=2,
+        executor="process",
+        max_workers=2,
+        injector=injector,
+        retry=RetryPolicy(max_attempts=3),
+    ) as builder:
+        builder.build()
+        assert builder.pool_restarts == 0
+        assert builder.fault_resubmissions == 1
+        assert builder.matches_unsharded(reference)
+
+
+def test_fault_free_build_with_injector_is_byte_identical():
+    """The injector hook must not perturb a fault-free sharded build."""
+    points = _points(4, n=120)
+    spec = UDGTileSpec.default()
+    plain, _ = sharded_build(points, spec, WINDOW, n_shards=3, executor="serial")
+    hooked, _ = sharded_build(
+        points, spec, WINDOW, n_shards=3, executor="serial", injector=FaultInjector()
+    )
+    assert np.array_equal(plain.edges, hooked.edges)
+    assert plain.representatives == hooked.representatives
+    assert plain.stats.messages_by_kind == hooked.stats.messages_by_kind

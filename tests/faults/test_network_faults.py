@@ -1,0 +1,105 @@
+"""Injected message faults in MessageNetwork and election healing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.leader_election import elect_leader_distributed, election_key
+from repro.distributed.messages import Message
+from repro.distributed.network import MessageNetwork
+from repro.faults.plan import DELAY, DROP, DUPLICATE, Fault, FaultInjector, FaultPlan
+
+
+def _network(n=4, injector=None):
+    points = np.array([[float(i), 0.0] for i in range(n)])
+    return MessageNetwork(points, radio_range=None, injector=injector)
+
+
+def test_drop_loses_exactly_the_scheduled_message():
+    injector = FaultInjector(FaultPlan([Fault("network.deliver", 1, DROP)]))
+    net = _network(injector=injector)
+    for recipient in (1, 2, 3):
+        net.send(Message(0, recipient, "ping", {}))
+    inboxes = net.deliver_round()
+    # Occurrence 1 is the second queued message (recipient 2).
+    assert [m.recipient for msgs in inboxes.values() for m in msgs] == [1, 3]
+    assert net.stats.dropped == 1
+    assert net.stats.messages_sent == 3  # send-side accounting unchanged
+
+
+def test_duplicate_delivers_twice():
+    injector = FaultInjector(FaultPlan([Fault("network.deliver", 0, DUPLICATE)]))
+    net = _network(injector=injector)
+    net.send(Message(0, 1, "ping", {}))
+    inboxes = net.deliver_round()
+    assert len(inboxes[1]) == 2
+    assert net.stats.duplicated == 1
+
+
+def test_delay_holds_message_for_next_round():
+    injector = FaultInjector(FaultPlan([Fault("network.deliver", 0, DELAY)]))
+    net = _network(injector=injector)
+    net.send(Message(0, 1, "ping", {}))
+    assert net.deliver_round() == {}
+    assert net.stats.delayed == 1
+    # Next round: the held message delivers (injector fires a fresh occurrence).
+    inboxes = net.deliver_round()
+    assert len(inboxes[1]) == 1
+    assert net.stats.rounds == 2
+
+
+def test_fault_free_network_stats_unchanged():
+    net = _network()
+    net.send(Message(0, 1, "ping", {}))
+    net.deliver_round()
+    assert (net.stats.dropped, net.stats.duplicated, net.stats.delayed) == (0, 0, 0)
+
+
+def test_election_tolerates_duplicates_without_retransmission(rng):
+    points = rng.uniform(0.0, 1.0, size=(5, 2))
+    members = list(range(5))
+    anchor = np.array([0.5, 0.5])
+    expected = min(election_key(points, m, anchor) for m in members)[1]
+    # Duplicate a few deliveries: min-over-multiset is unaffected.
+    plan = FaultPlan([Fault("network.deliver", i, DUPLICATE) for i in (0, 7, 13)])
+    net = MessageNetwork(points, radio_range=None, injector=FaultInjector(plan))
+    assert elect_leader_distributed(net, members, anchor) == expected
+
+
+def test_election_heals_drops_with_retransmissions(rng):
+    points = rng.uniform(0.0, 1.0, size=(4, 2))
+    members = list(range(4))
+    anchor = np.array([0.5, 0.5])
+    expected = min(election_key(points, m, anchor) for m in members)[1]
+    # Drop a whole first-round inbox-worth of keys; the re-broadcast heals it.
+    plan = FaultPlan([Fault("network.deliver", i, DROP) for i in range(6)])
+    net = MessageNetwork(points, radio_range=None, injector=FaultInjector(plan))
+    assert elect_leader_distributed(net, members, anchor, retransmissions=2) == expected
+
+
+def test_election_beyond_envelope_raises_not_wrong(rng):
+    points = rng.uniform(0.0, 1.0, size=(4, 2))
+    members = list(range(4))
+    anchor = np.array([0.5, 0.5])
+    # Drop *everything*, forever: no retransmission budget can heal this, and
+    # the election must say so rather than return divergent leaders.
+    plan = FaultPlan([Fault("network.deliver", i, DROP) for i in range(500)])
+    net = MessageNetwork(points, radio_range=None, injector=FaultInjector(plan))
+    with pytest.raises(RuntimeError, match="diverged"):
+        elect_leader_distributed(net, members, anchor, retransmissions=3)
+
+
+def test_fault_free_election_accounting_is_byte_identical(rng):
+    """The injector hook must cost nothing when no faults are scheduled."""
+    points = rng.uniform(0.0, 1.0, size=(6, 2))
+    members = list(range(6))
+    anchor = np.array([0.5, 0.5])
+    plain = MessageNetwork(points, radio_range=None)
+    hooked = MessageNetwork(points, radio_range=None, injector=FaultInjector())
+    a = elect_leader_distributed(plain, members, anchor)
+    b = elect_leader_distributed(hooked, members, anchor, retransmissions=3)
+    assert a == b
+    assert plain.stats.rounds == hooked.stats.rounds
+    assert plain.stats.messages_sent == hooked.stats.messages_sent
+    assert plain.stats.messages_by_kind == hooked.stats.messages_by_kind

@@ -1,0 +1,125 @@
+"""FaultPlan: sampling determinism, canonical serialisation, injector replay."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import (
+    CRASH,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    FAULT_KINDS,
+    KILL,
+    STALL,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    PointSpec,
+    sample_plan,
+)
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        Fault("p", 0, "explode")
+    with pytest.raises(ValueError, match="non-negative"):
+        Fault("p", -1, DROP)
+
+
+def test_plan_rejects_duplicate_slots():
+    with pytest.raises(ValueError, match="duplicate fault slot"):
+        FaultPlan([Fault("p", 3, DROP), Fault("p", 3, DELAY)])
+
+
+def test_plan_is_order_independent():
+    a = FaultPlan([Fault("p", 1, DROP), Fault("q", 0, CRASH)])
+    b = FaultPlan([Fault("q", 0, CRASH), Fault("p", 1, DROP)])
+    assert a == b
+    assert a.canonical() == b.canonical()
+
+
+def test_canonical_round_trip():
+    plan = FaultPlan(
+        [Fault("network.deliver", 2, DELAY, arg=1.0), Fault("shard.build", 0, STALL, arg=0.5)]
+    )
+    payload = json.loads(plan.canonical())
+    assert FaultPlan.from_payload(payload) == plan
+
+
+def test_from_payload_rejects_unknown_version():
+    with pytest.raises(ValueError, match="version"):
+        FaultPlan.from_payload({"version": 99, "faults": []})
+
+
+def test_count_and_for_point_filters():
+    plan = FaultPlan(
+        [Fault("a", 0, DROP), Fault("a", 1, DUPLICATE), Fault("b", 0, KILL)]
+    )
+    assert plan.count() == 3
+    assert plan.count(point="a") == 2
+    assert plan.count(kind=KILL) == 1
+    assert set(plan.for_point("a")) == {0, 1}
+    assert plan.for_point("missing") == {}
+
+
+def test_sample_plan_is_seed_deterministic():
+    specs = {"network.deliver": PointSpec(kinds=(DROP, DELAY), horizon=50, rate=0.3)}
+    assert sample_plan(7, specs).canonical() == sample_plan(7, specs).canonical()
+    assert sample_plan(7, specs).canonical() != sample_plan(8, specs).canonical()
+
+
+def test_sample_plan_point_isolation():
+    """Adding an injection point must not perturb the others' faults."""
+    base = {"b.point": PointSpec(kinds=(DROP,), horizon=40, rate=0.4)}
+    extended = dict(base)
+    extended["a.point"] = PointSpec(kinds=(CRASH,), horizon=40, rate=0.4)
+    solo = sample_plan(3, base)
+    both = sample_plan(3, extended)
+    assert [f for f in both.faults if f.point == "b.point"] == list(solo.faults)
+
+
+def test_sample_plan_respects_max_faults_and_ranges():
+    spec = PointSpec(
+        kinds=FAULT_KINDS, horizon=200, rate=0.9, arg_range=(0.5, 1.5), max_faults=5
+    )
+    plan = sample_plan(11, {"p": spec})
+    assert len(plan) == 5
+    assert all(0.5 <= f.arg <= 1.5 for f in plan.faults)
+    occurrences = [f.occurrence for f in plan.faults]
+    assert occurrences == sorted(occurrences)
+
+
+def test_sample_plan_accepts_seed_sequence():
+    seq = np.random.SeedSequence(21)
+    specs = {"p": PointSpec(kinds=(DROP,), horizon=20, rate=0.5)}
+    assert sample_plan(seq, specs) == sample_plan(np.random.SeedSequence(21), specs)
+
+
+def test_point_spec_validation():
+    with pytest.raises(ValueError, match="non-empty"):
+        PointSpec(kinds=(), horizon=1, rate=0.5)
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        PointSpec(kinds=("nope",), horizon=1, rate=0.5)
+    with pytest.raises(ValueError, match="rate"):
+        PointSpec(kinds=(DROP,), horizon=1, rate=1.5)
+
+
+def test_injector_replays_plan_exactly():
+    plan = FaultPlan([Fault("p", 1, DROP), Fault("p", 3, DELAY, arg=2.0)])
+    injector = FaultInjector(plan)
+    fired = [injector.fire("p") for _ in range(5)]
+    assert [f.kind if f else None for f in fired] == [None, DROP, None, DELAY, None]
+    assert injector.visits("p") == 5
+    assert injector.n_fired("p") == 2
+    assert injector.n_fired("p", DELAY) == 1
+    assert injector.visits("unseen") == 0
+
+
+def test_injector_without_plan_never_fires():
+    injector = FaultInjector()
+    assert all(injector.fire("anything") is None for _ in range(10))
+    assert injector.fired == []

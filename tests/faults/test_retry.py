@@ -1,0 +1,91 @@
+"""RetryPolicy backoff arithmetic and call_with_retry semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FaultError
+from repro.faults.retry import RetryError, RetryPolicy, call_with_retry
+
+
+def test_policy_backoff_sequence_is_capped():
+    policy = RetryPolicy(max_attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.5)
+    assert policy.delays() == (0.1, 0.2, 0.4, 0.5, 0.5)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy().delay(0)
+
+
+def test_first_try_success_never_sleeps():
+    slept = []
+    assert call_with_retry(lambda: 42, sleep=slept.append) == 42
+    assert slept == []
+
+
+def test_retries_then_succeeds_with_injected_backoff():
+    calls = []
+    slept = []
+    notes = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise OSError("transient")
+        return "ok"
+
+    result = call_with_retry(
+        flaky,
+        policy=RetryPolicy(max_attempts=5, base_delay=0.1, multiplier=2.0),
+        retry_on=(OSError,),
+        sleep=slept.append,
+        on_retry=lambda attempt, delay, err: notes.append((attempt, delay)),
+    )
+    assert result == "ok"
+    assert len(calls) == 3
+    assert slept == [0.1, 0.2]
+    assert notes == [(1, 0.1), (2, 0.2)]
+
+
+def test_budget_exhaustion_raises_retry_error_from_last():
+    def always_fails():
+        raise OSError("down")
+
+    with pytest.raises(RetryError) as info:
+        call_with_retry(always_fails, policy=RetryPolicy(max_attempts=3, base_delay=0.0))
+    assert info.value.attempts == 3
+    assert isinstance(info.value.__cause__, OSError)
+    assert isinstance(info.value, FaultError)  # one catchable family
+
+
+def test_non_retryable_errors_propagate_immediately():
+    calls = []
+
+    def wrong_kind():
+        calls.append(1)
+        raise ValueError("not transient")
+
+    with pytest.raises(ValueError):
+        call_with_retry(wrong_kind, retry_on=(OSError,))
+    assert len(calls) == 1
+
+
+def test_none_sleep_skips_backoff_entirely():
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 2:
+            raise OSError("transient")
+        return "ok"
+
+    # sleep=None: retries happen back-to-back (synchronous-round protocols).
+    assert call_with_retry(flaky, retry_on=(OSError,), sleep=None) == "ok"
+    assert len(calls) == 2

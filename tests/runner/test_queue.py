@@ -8,6 +8,7 @@ import threading
 
 import pytest
 
+from repro.faults.plan import CRASH, Fault, FaultInjector, FaultPlan, InjectedWorkerCrash
 from repro.runner import (
     Job,
     JobQueue,
@@ -36,7 +37,13 @@ class TestEnqueue:
         rows = queue.rows()
         assert [r["key"] for r in rows] == ["k0", "k1", "k2"]
         assert all(r["status"] == "open" for r in rows)
-        assert queue.counts() == {"open": 3, "claimed": 0, "done": 0, "failed": 0}
+        assert queue.counts() == {
+            "open": 3,
+            "claimed": 0,
+            "done": 0,
+            "failed": 0,
+            "quarantined": 0,
+        }
 
     def test_reenqueue_is_idempotent_for_open_and_done_jobs(self, queue):
         queue.enqueue(_jobs(2))
@@ -52,7 +59,13 @@ class TestEnqueue:
         queue.complete(claim.job.key, "w1", status="failed")
         assert queue.counts()["failed"] == 1
         queue.enqueue(_jobs(1))
-        assert queue.counts() == {"open": 1, "claimed": 0, "done": 0, "failed": 0}
+        assert queue.counts() == {
+            "open": 1,
+            "claimed": 0,
+            "done": 0,
+            "failed": 0,
+            "quarantined": 0,
+        }
         queue.enqueue(_jobs(1), reopen_failed=False)  # opt-out leaves failures closed
         claim = queue.claim("w1", now=0.0)
         queue.complete(claim.job.key, "w1", status="failed")
@@ -140,7 +153,13 @@ class TestRunWorker:
         assert report.n_ok == 3 and report.n_failed == 0
         assert len(store.records(status="ok")) == 3
         with JobQueue(store.path) as queue:
-            assert queue.counts() == {"open": 0, "claimed": 0, "done": 3, "failed": 0}
+            assert queue.counts() == {
+                "open": 0,
+                "claimed": 0,
+                "done": 3,
+                "failed": 0,
+                "quarantined": 0,
+            }
 
     def test_worker_skips_jobs_already_ok_in_the_store(self, toy_experiment, tmp_path):
         store = SqliteStore(tmp_path / "campaign.sqlite")
@@ -228,3 +247,150 @@ class TestRunWorker:
         with JobQueue(queue_store.path) as queue:
             counts = queue.counts()
         assert counts["done"] == len(jobs) and counts["open"] == counts["claimed"] == 0
+
+
+def _heartbeat_threads():
+    return [t for t in threading.enumerate() if t.name.startswith("lease-heartbeat")]
+
+
+class TestWorkerFailurePaths:
+    def test_unexpected_error_releases_claim_and_joins_heartbeat(
+        self, toy_experiment, tmp_path, monkeypatch
+    ):
+        """A worker dying of an unexpected error must hand its claim back to
+        ``open`` and join the lease heartbeat — no orphan thread keeps
+        extending a lease nobody is working under."""
+        store = SqliteStore(tmp_path / "campaign.sqlite")
+        jobs = make_jobs(toy_experiment.experiment_id, [{"x": 1}])
+        with JobQueue(store.path) as queue:
+            queue.enqueue(jobs)
+
+        def boom(record):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(store, "put", boom)
+        with pytest.raises(RuntimeError, match="disk full"):
+            run_worker(store, worker_id="w1", lease_seconds=30.0, poll_seconds=0.05)
+        assert _heartbeat_threads() == []
+        with JobQueue(store.path) as queue:
+            (row,) = queue.rows()
+            assert row["status"] == "open" and row["worker"] is None
+
+    def test_injected_death_keeps_claim_held_but_joins_heartbeat(
+        self, toy_experiment, tmp_path
+    ):
+        """An injected SIGKILL leaves the claim held (recovery is lease
+        expiry, like a real dead worker) — but the in-process heartbeat
+        thread still joins, because *our* process is alive."""
+        store = SqliteStore(tmp_path / "campaign.sqlite")
+        jobs = make_jobs(toy_experiment.experiment_id, [{"x": 1}])
+        with JobQueue(store.path) as queue:
+            queue.enqueue(jobs)
+        plan = FaultPlan([Fault("queue.execute", 0, CRASH)])
+        with pytest.raises(InjectedWorkerCrash):
+            run_worker(
+                store, worker_id="w1", poll_seconds=0.05, injector=FaultInjector(plan)
+            )
+        assert _heartbeat_threads() == []
+        with JobQueue(store.path) as queue:
+            (row,) = queue.rows()
+            assert row["status"] == "claimed" and row["worker"] == "w1"
+
+
+class TestQuarantine:
+    def test_claim_quarantines_jobs_over_the_attempts_budget(self, queue):
+        queue.enqueue(_jobs(1))
+        queue.claim("w1", lease_seconds=1.0, now=0.0)
+        taken = queue.claim("w2", lease_seconds=1.0, now=10.0)  # takeover: attempts=2
+        assert taken is not None and taken.attempts == 2
+        # Third claimant finds the budget spent and the lease stale again:
+        # the job is quarantined inside the claim transaction, not retried.
+        assert queue.claim("w3", now=20.0, max_attempts=2) is None
+        counts = queue.counts()
+        assert counts["quarantined"] == 1 and counts["claimed"] == 0
+
+    def test_claim_without_budget_retries_forever(self, queue):
+        queue.enqueue(_jobs(1))
+        for attempt in range(1, 8):
+            taken = queue.claim("w", lease_seconds=1.0, now=attempt * 10.0)
+            assert taken is not None and taken.attempts == attempt
+
+    def test_worker_quarantines_a_persistently_failing_job(
+        self, toy_experiment, tmp_path
+    ):
+        store = SqliteStore(tmp_path / "campaign.sqlite")
+        jobs = make_jobs(toy_experiment.experiment_id, [{"fail": True}])
+        with JobQueue(store.path) as queue:
+            queue.enqueue(jobs)
+        report = run_worker(store, worker_id="w1", poll_seconds=0.05, max_attempts=1)
+        assert (report.n_failed, report.n_quarantined) == (0, 1)
+        with JobQueue(store.path) as queue:
+            assert queue.counts()["quarantined"] == 1
+
+    def test_requeue_resets_attempts_and_reopens(self, queue):
+        queue.enqueue(_jobs(2))
+        queue.claim("w1", lease_seconds=1.0, now=0.0)
+        queue.claim("w2", lease_seconds=1.0, now=10.0)
+        queue.claim("w3", now=20.0, max_attempts=2)  # quarantines k0
+        assert queue.requeue() == 1
+        taken = queue.claim("w4", now=30.0, max_attempts=2)
+        assert taken is not None and taken.attempts == 1  # fresh budget
+
+    def test_requeue_can_keep_the_attempt_count(self, queue):
+        queue.enqueue(_jobs(1))
+        queue.claim("w1", lease_seconds=1.0, now=0.0)
+        queue.claim("w2", lease_seconds=1.0, now=10.0)
+        queue.claim("w3", now=20.0, max_attempts=2)
+        assert queue.requeue(reset_attempts=False) == 1
+        # The stale budget quarantines the job again on the next claim scan.
+        assert queue.claim("w4", now=30.0, max_attempts=2) is None
+        assert queue.counts()["quarantined"] == 1
+
+    def test_requeue_filters_by_key_and_status(self, queue):
+        queue.enqueue(_jobs(3))
+        for key, status in (("k0", "failed"), ("k1", "failed")):
+            claim = queue.claim("w1", now=0.0)
+            queue.complete(claim.job.key, "w1", status=status)
+        assert queue.requeue(["k0"]) == 1
+        counts = queue.counts()
+        assert counts["open"] == 2 and counts["failed"] == 1
+        assert queue.requeue([]) == 0  # explicit empty selection is a no-op
+        with pytest.raises(ValueError, match="requeue only reopens"):
+            queue.requeue(statuses=("done",))
+
+
+class TestLeaseRace:
+    def test_three_workers_race_one_expired_lease(self, tmp_path):
+        """Exactly one claimant takes over an expired lease; the others see
+        nothing claimable.  Each racer gets its own connection, like real
+        worker processes."""
+        path = tmp_path / "q.sqlite"
+        with JobQueue(path) as queue:
+            queue.enqueue(_jobs(1))
+            queue.claim("dead", lease_seconds=1.0, now=0.0)  # lease expired long ago
+
+        barrier = threading.Barrier(3)
+        results = {}
+
+        def racer(name):
+            with JobQueue(path) as q:
+                barrier.wait()
+                results[name] = q.claim(name, lease_seconds=30.0, now=100.0)
+
+        threads = [threading.Thread(target=racer, args=(f"w{i}",)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+
+        winners = [name for name, claim in results.items() if claim is not None]
+        assert len(winners) == 1
+        (winner,) = winners
+        assert results[winner].attempts == 2
+        with JobQueue(path) as queue:
+            (row,) = queue.rows()
+            assert row["status"] == "claimed" and row["worker"] == winner
+            # The winner releases cleanly; the job is claimable again.
+            assert queue.release("k0", winner)
+            assert queue.counts()["open"] == 1

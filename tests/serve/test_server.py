@@ -53,6 +53,40 @@ class TestHandleRequest:
         assert payload["pending"] == 1
         assert session.batcher.rejected_overload == 1
 
+    def test_backpressure_refusals_are_visible_in_stats(self, rng):
+        """An operator reading ``stats`` must see refusals, not just the
+        refused clients: rejected count plus the last advertised backoff."""
+        positions = rng.uniform(0.0, 15.0, size=(10, 2))
+        session = ServeSession(
+            LiveWorld(positions, WorldConfig()), high_water=1, tick_interval=0.2
+        )
+        session.handle_line('{"op": "insert", "position": [1, 1]}')
+        session.handle_line('{"op": "insert", "position": [2, 2]}')  # refused
+        session.handle_line('{"op": "insert", "position": [3, 3]}')  # refused
+        payload = json.loads(session.handle_line('{"op": "stats"}').immediate)
+        assert payload["latency"]["events_rejected"] == 2
+        assert payload["latency"]["last_retry_after"] == pytest.approx(0.2)
+
+    def test_stats_report_no_rejections_by_default(self, session):
+        payload = json.loads(session.handle_line('{"op": "stats"}').immediate)
+        assert payload["latency"]["events_rejected"] == 0
+        assert payload["latency"]["last_retry_after"] is None
+
+    def test_resume_reports_applied_seq_without_flushing(self, session):
+        """The reconnect handshake: a client that lost replies asks where the
+        daemon got to.  It must NOT force a flush — pending events stay
+        pending until the next tick."""
+        session.handle_line('{"op": "move", "node": 0, "position": [1, 1]}')
+        payload = json.loads(session.handle_line('{"op": "resume"}').immediate)
+        assert payload["ok"] is True
+        assert payload["applied_seq"] == 0  # nothing flushed yet
+        assert payload["next_seq"] == 2
+        assert payload["pending"] == 1
+        assert len(session.batcher) == 1  # resume did not drain the batch
+        session.flush()
+        payload = json.loads(session.handle_line('{"op": "resume"}').immediate)
+        assert payload["applied_seq"] == 1 and payload["pending"] == 0
+
     def test_parse_error_is_a_reply_not_an_exception(self, session):
         payload = json.loads(session.handle_line("garbage").immediate)
         assert payload["ok"] is False and "JSON" in payload["error"]
