@@ -23,6 +23,7 @@ import pytest
 
 from repro.analysis.experiments import ExperimentResult
 from repro.analysis.tables import format_table
+from repro.kernels import POSITIONS, default_backend_name
 from repro.runner.serialize import canonical_json, params_key, result_to_payload
 from repro.runner.store import ResultStore
 
@@ -54,6 +55,11 @@ def _append_trajectory(result: ExperimentResult) -> None:
     up as history, not folklore.  Records whose revision and headline both
     match an existing entry are not re-appended, so reruns at one commit
     stay no-ops.
+
+    Every record carries the kernel backend that served the run and the
+    position dtype, so trajectory numbers measured under different compute
+    configurations are never compared as if they were the same machine
+    state.  (Records from before the kernel layer carry ``null`` for both.)
     """
     if not result.experiment_id.startswith("S"):
         return
@@ -61,7 +67,11 @@ def _append_trajectory(result: ExperimentResult) -> None:
     record = {
         "experiment_id": result.experiment_id,
         "title": result.title,
-        "n": result.params.get("n_points", result.params.get("n_nodes")),
+        "n": result.params.get(
+            "n_points", result.params.get("n_nodes", result.params.get("n"))
+        ),
+        "kernel_backend": default_backend_name(),
+        "dtype": str(POSITIONS.dtype),
         "headline": result.headline,
         "git_rev": _git_rev(),
         # Provenance stamp on a measurement record, not simulation state.

@@ -12,7 +12,27 @@ from __future__ import annotations
 import pathlib
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "to_markdown", "to_latex", "store_table"]
+__all__ = ["format_table", "to_markdown", "to_latex", "store_table", "bench_store_dir"]
+
+
+def bench_store_dir(start: str | pathlib.Path | None = None) -> pathlib.Path:
+    """Locate the local benchmark store (``benchmarks/results/store/``).
+
+    Walks up from ``start`` (default: this module's file, i.e. the source
+    checkout) until a ``benchmarks/results/store`` directory appears —
+    the store the benchmark suite's ``emit_result`` fixture writes, and the
+    one ``store_table(..., bench=True)`` and ``python -m repro.runner show
+    --bench`` read.
+    """
+    here = pathlib.Path(start).resolve() if start else pathlib.Path(__file__).resolve()
+    for parent in [here, *here.parents]:
+        candidate = parent / "benchmarks" / "results" / "store"
+        if candidate.is_dir():
+            return candidate
+    raise FileNotFoundError(
+        f"no benchmarks/results/store/ directory found above {here}; "
+        "run the benchmark suite once to create it"
+    )
 
 
 def _format_value(value, float_format: str) -> str:
@@ -65,7 +85,11 @@ def format_table(
 
 
 def store_table(
-    store, experiment_id: str, float_format: str = ".4g", fmt: str = "text"
+    store=None,
+    experiment_id: str = "",
+    float_format: str = ".4g",
+    fmt: str = "text",
+    bench: bool = False,
 ) -> str:
     """Render one experiment's stored result rows as a table.
 
@@ -73,13 +97,23 @@ def store_table(
     object with ``result_rows``), or a bare path — a string/``Path`` is
     opened through the ``ResultStore`` interface, which dispatches on the
     path (directory → JSON lines, ``*.sqlite`` → SQLite), so rendering never
-    cares which backend a campaign used.  Sweeps render as one flat table
-    with the parameters as ``param_*`` columns; an experiment with no stored
-    rows renders its headline columns instead.  ``fmt`` picks the renderer:
-    ``"text"`` (aligned plain text, the default), ``"markdown"`` or
-    ``"latex"`` (a self-contained ``tabular`` for EXPERIMENTS.md appendices
-    and papers).
+    cares which backend a campaign used.  With ``bench=True`` the ``store``
+    argument may be omitted: the local benchmark store
+    (``benchmarks/results/store/``, located via :func:`bench_store_dir`) is
+    read instead — ``store_table(experiment_id="S06", bench=True)`` renders
+    the S06 kernel rows straight from the working tree.  Sweeps render as one
+    flat table with the parameters as ``param_*`` columns; an experiment
+    with no stored rows renders its headline columns instead.  ``fmt`` picks
+    the renderer: ``"text"`` (aligned plain text, the default),
+    ``"markdown"`` or ``"latex"`` (a self-contained ``tabular`` for
+    EXPERIMENTS.md appendices and papers).
     """
+    if not experiment_id:
+        raise ValueError("experiment_id is required")
+    if bench and store is None:
+        store = bench_store_dir()
+    if store is None:
+        raise ValueError("store is required unless bench=True")
     if isinstance(store, (str, pathlib.Path)):
         from repro.runner.store import ResultStore
 

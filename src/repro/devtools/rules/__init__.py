@@ -9,6 +9,7 @@ Rules are grouped by contract family; stable codes:
 * ``REPRO5xx`` — concurrency (:mod:`repro.devtools.rules.concurrency_rules`)
 * ``REPRO6xx`` — shared-memory lifecycle (:mod:`repro.devtools.rules.shm_rules`)
 * ``REPRO7xx`` — fault tolerance / retry discipline (:mod:`repro.devtools.rules.retry_rules`)
+* ``REPRO8xx`` — kernel-layer discipline (:mod:`repro.devtools.rules.kernel_rules`)
 
 ``all_rules()`` returns one fresh instance of every registered rule; the
 registry is the single source the CLI, the tests and CONTRIBUTING.md verify
@@ -23,6 +24,7 @@ from repro.devtools.engine import Rule
 from repro.devtools.rules.clock_rules import WallClockRule
 from repro.devtools.rules.concurrency_rules import BeginImmediateRule, SqliteThreadRule
 from repro.devtools.rules.float_rules import FloatEqualityRule, RawSquaredDistanceRule
+from repro.devtools.rules.kernel_rules import InlineKernelIdiomRule
 from repro.devtools.rules.retry_rules import BareSleepRetryRule
 from repro.devtools.rules.rng_rules import (
     GlobalStateRngRule,
@@ -45,6 +47,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     BeginImmediateRule,
     SharedMemoryLifecycleRule,
     BareSleepRetryRule,
+    InlineKernelIdiomRule,
 ]
 
 __all__ = ["RULE_CLASSES", "all_rules", "rules_by_code"]

@@ -67,6 +67,7 @@ from repro.distributed.construct import (
 )
 from repro.distributed.network import NetworkStats
 from repro.geometry.primitives import Rect
+from repro.kernels import ops as kernel_ops
 
 if TYPE_CHECKING:  # no runtime dependency on the dynamics layer
     from repro.dynamics.incremental import DynamicSpatialIndex
@@ -342,12 +343,10 @@ class DistributedRepairEngine:
         is the engine's *cumulative* protocol accounting: the initial full
         pass plus every repair since.
         """
-        edges: Set[Tuple[int, int]] = set()
-        for part in self._pair_edges.values():
-            edges.update(part)
-        edge_array = (
-            np.asarray(sorted(edges), dtype=np.int64) if edges else np.zeros((0, 2), dtype=np.int64)
-        )
+        # Canonical sorted unique pairs from the per-(tile, direction) edge
+        # fragments — the splice_edges kernel replaces the scalar
+        # set-union + sorted() splice byte-identically.
+        edge_array = kernel_ops.splice_edges(list(self._pair_edges.values()))
         good_tiles = sorted(self._good)
         return DistributedBuildResult(
             edges=edge_array,

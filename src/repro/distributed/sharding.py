@@ -62,6 +62,7 @@ from repro.faults.plan import (
 )
 from repro.faults.retry import RetryError, RetryPolicy, call_with_retry
 from repro.geometry.primitives import Rect, as_points
+from repro.kernels.layout import POSITIONS, ROW_IDS
 from repro.shard.shm import create_block
 from repro.shard.worker import ShardResult, ShardTask, build_shard, run_shard_task
 
@@ -270,11 +271,13 @@ class ShardedBuilder:
         self._shm = None
         self._finalizer = None
         if executor == "process":
-            self._shm = create_block(self._capacity * 2 * 8)
+            # Sized and viewed through the shared SoA buffer description
+            # (layout.POSITIONS) the shard workers attach with.
+            self._shm = create_block(POSITIONS.nbytes(self._capacity))
             self._finalizer = weakref.finalize(self, _release_block, self._shm)
-            self._buf = np.ndarray((self._capacity, 2), dtype=np.float64, buffer=self._shm.buf)
+            self._buf = POSITIONS.view(self._shm.buf, self._capacity)
         else:
-            self._buf = np.empty((self._capacity, 2), dtype=np.float64)
+            self._buf = POSITIONS.empty(self._capacity)
         self._buf[: self._n] = pts
 
         self._alive = np.zeros(self._capacity, dtype=bool)
@@ -396,8 +399,8 @@ class ShardedBuilder:
     def _grow(self, capacity: int) -> None:
         """Reallocate the position buffer (values, ids and results unchanged)."""
         if self._executor == "process":
-            new_shm = create_block(capacity * 2 * 8)
-            new_buf = np.ndarray((capacity, 2), dtype=np.float64, buffer=new_shm.buf)
+            new_shm = create_block(POSITIONS.nbytes(capacity))
+            new_buf = POSITIONS.view(new_shm.buf, capacity)
             new_buf[: self._n] = self._buf[: self._n]
             old_finalizer = self._finalizer
             self._shm = new_shm
@@ -406,7 +409,7 @@ class ShardedBuilder:
             if old_finalizer is not None:
                 old_finalizer()
         else:
-            new_buf = np.empty((capacity, 2), dtype=np.float64)
+            new_buf = POSITIONS.empty(capacity)
             new_buf[: self._n] = self._buf[: self._n]
             self._buf = new_buf
         for name in ("_alive", "_in_grid", "_cols"):
@@ -538,9 +541,9 @@ class ShardedBuilder:
         result is all-or-nothing.
         """
         total = int(sum(len(rows_per_shard[shard]) for shard in shards))
-        rows_shm = create_block(max(total, 1) * 8)
+        rows_shm = create_block(ROW_IDS.nbytes(max(total, 1)))
         try:
-            rows_block = np.ndarray((total,), dtype=np.int64, buffer=rows_shm.buf)
+            rows_block = ROW_IDS.view(rows_shm.buf, total)
             offsets: Dict[int, Tuple[int, int]] = {}
             offset = 0
             for shard in shards:

@@ -59,6 +59,7 @@ from repro.geometry.index import (
     within_ball,
 )
 from repro.geometry.primitives import as_points
+from repro.kernels import ops as kernel_ops
 
 __all__ = ["DynamicIndexStats", "DynamicSpatialIndex"]
 
@@ -572,16 +573,11 @@ class DynamicSpatialIndex:
         if view is None:  # packed-key span overflow: scalar fallback
             return [self._grid_query_one(c, radius) for c in centers]
         cand_queries, cand_ids = view._matches(centers, radius)
-        q = len(centers)
-        # Same combined-key grouping as the static bulk path, with node ids
-        # (bounded by the id high-water mark) as the minor key.
-        if q * max(1, self._size) < 2**62:
-            order = np.argsort(cand_queries * max(1, self._size) + cand_ids, kind="stable")
-        else:
-            order = np.lexsort((cand_ids, cand_queries))
-        cand_ids = cand_ids[order]
-        per_query = np.bincount(cand_queries, minlength=q)
-        return np.split(cand_ids, np.cumsum(per_query)[:-1])
+        # Same combined-key grouping kernel as the static bulk path, with node
+        # ids (bounded by the id high-water mark) as the minor key.
+        return kernel_ops.pair_candidates(
+            cand_queries, cand_ids, len(centers), self._size
+        )
 
     def _kdtree_query_many(self, centers: np.ndarray, radius: float) -> List[np.ndarray]:
         """Bulk base-tree pass with the divergence buffer merged per center."""
@@ -635,7 +631,7 @@ class DynamicSpatialIndex:
                     count=len(centers),
                 )
             cand_queries, _ = view._matches(centers, radius)
-            return np.bincount(cand_queries, minlength=len(centers))
+            return kernel_ops.count_in_balls(cand_queries, len(centers))
         if self._exclude[: self._size].any():
             # Exclusion masking needs the materialised base hits anyway.
             return np.fromiter(

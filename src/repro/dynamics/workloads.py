@@ -224,8 +224,7 @@ def experiment_m01_mobility(
         )
 
     queue = EventQueue()
-    for step in range(1, n_steps + 1):
-        queue.schedule_at(step * dt, "step")
+    queue.schedule_at_many(np.arange(1, n_steps + 1, dtype=np.float64) * dt, "step")
     queue.run(handle)
 
     return ExperimentResult(
@@ -366,8 +365,7 @@ def experiment_m02_mobile_distributed_build(
         )
 
     queue = EventQueue()
-    for step in range(1, n_steps + 1):
-        queue.schedule_at(step * dt, "step")
+    queue.schedule_at_many(np.arange(1, n_steps + 1, dtype=np.float64) * dt, "step")
     queue.run(handle)
 
     # Deterministic consistency certificate: the spliced overlay equals a
@@ -529,8 +527,9 @@ def experiment_f01_failure(
         for t, center in zip(times, centers):
             queue.schedule_at(float(t), "outage", (float(center[0]), float(center[1])))
     n_obs = int(np.floor(horizon / observe_every))
-    for k in range(1, n_obs + 1):
-        queue.schedule_at(k * observe_every, "observe")
+    queue.schedule_at_many(
+        np.arange(1, n_obs + 1, dtype=np.float64) * observe_every, "observe"
+    )
     queue.run(handle)
 
     final = rows[-1] if rows else {}
@@ -659,8 +658,7 @@ def experiment_h01_heterogeneous(
         observe(queue.now, len(rows))
 
     queue = EventQueue()
-    for step in range(1, n_steps + 1):
-        queue.schedule_at(step * dt, "decay")
+    queue.schedule_at_many(np.arange(1, n_steps + 1, dtype=np.float64) * dt, "decay")
     queue.run(handle)
 
     return ExperimentResult(

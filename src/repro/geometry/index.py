@@ -33,6 +33,8 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.geometry.primitives import as_points
+from repro.kernels import ops as kernel_ops
+from repro.kernels.layout import CellTable, pack_bounds, pack_keys, spans_fit_packed
 
 #: ``cKDTree.query_ball_point(..., workers=-1)`` parallelises bulk queries
 #: across all cores (scipy >= 1.6); the guard keeps older scipy working.
@@ -77,9 +79,12 @@ def within_ball(points: np.ndarray, center: np.ndarray, radius: float) -> np.nda
 
     ``center`` broadcasts against ``points``, so it may be a single ``(2,)``
     center or one ``(n, 2)`` center per point.
+
+    The predicate itself lives in the kernel layer
+    (:func:`repro.kernels.ops.within_ball_mask`), where compiled backends
+    can replace it; this name remains the stable public entry point.
     """
-    diff = points - center
-    return np.hypot(diff[..., 0], diff[..., 1]) <= radius
+    return kernel_ops.within_ball_mask(points, center, radius)
 
 
 #: Below this radius ``r²`` is subnormal, where the relative ULP spacing of
@@ -273,28 +278,18 @@ class GridIndex(_IndexBase):
                     "use a larger cell_size or the 'kdtree' backend"
                 )
             keys = self._exact_keys(self.points, quot=quot)
-            self._key_min = keys.min(axis=0)
-            self._spans = keys.max(axis=0) - self._key_min + 1
-            if int(self._spans[0]) * int(self._spans[1]) >= 2**62:
+            key_min, spans = pack_bounds(keys)
+            if not spans_fit_packed(spans):
                 raise ValueError(
                     "point spread spans too many grid cells for this cell_size; "
                     "use a larger cell_size or the 'kdtree' backend"
                 )
-            packed = (keys[:, 0] - self._key_min[0]) * self._spans[1] + (
-                keys[:, 1] - self._key_min[1]
+            # Stable sort inside CellTable keeps original index order per cell.
+            self._table = CellTable.group_points(
+                pack_keys(keys, key_min, spans), key_min, spans
             )
-            # Stable sort keeps original index order inside each cell.
-            self._order = np.argsort(packed, kind="stable")
-            self._cell_ids, starts = np.unique(packed[self._order], return_index=True)
-            self._starts = starts.astype(np.int64)
-            self._counts = np.diff(np.append(self._starts, n)).astype(np.int64)
         else:
-            self._key_min = np.zeros(2, dtype=np.int64)
-            self._spans = np.ones(2, dtype=np.int64)
-            self._order = np.zeros(0, dtype=np.int64)
-            self._cell_ids = np.zeros(0, dtype=np.int64)
-            self._starts = np.zeros(0, dtype=np.int64)
-            self._counts = np.zeros(0, dtype=np.int64)
+            self._table = CellTable.empty()
 
     @classmethod
     def from_cell_table(
@@ -350,32 +345,47 @@ class GridIndex(_IndexBase):
         index.bulk_chunk_size = _check_chunk_size(chunk_size)
         keys = np.asarray(cell_keys, dtype=np.int64).reshape(-1, 2)
         if len(keys) == 0:
-            index._key_min = np.zeros(2, dtype=np.int64)
-            index._spans = np.ones(2, dtype=np.int64)
-            index._order = np.zeros(0, dtype=np.int64)
-            index._cell_ids = np.zeros(0, dtype=np.int64)
-            index._starts = np.zeros(0, dtype=np.int64)
-            index._counts = np.zeros(0, dtype=np.int64)
+            index._table = CellTable.empty()
             return index
-        index._key_min = keys.min(axis=0)
-        index._spans = keys.max(axis=0) - index._key_min + 1
-        if int(index._spans[0]) * int(index._spans[1]) >= 2**62:
+        key_min, spans = pack_bounds(keys)
+        if not spans_fit_packed(spans):
             raise ValueError(
                 "occupied cells span too large a bounding box for the packed "
                 "cell table; fall back to scalar queries"
             )
-        packed = (keys[:, 0] - index._key_min[0]) * index._spans[1] + (
-            keys[:, 1] - index._key_min[1]
+        index._table = CellTable.adopt_cells(
+            pack_keys(keys, key_min, spans), cell_members, key_min, spans
         )
-        order = np.argsort(packed, kind="stable")
-        counts = np.fromiter(
-            (len(cell_members[i]) for i in order.tolist()), dtype=np.int64, count=len(keys)
-        )
-        index._cell_ids = packed[order]
-        index._counts = counts
-        index._starts = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.int64)
-        index._order = np.concatenate([cell_members[i] for i in order.tolist()])
         return index
+
+    # -- cell-table views ---------------------------------------------------------
+    # The CSR arrays live in one kernel-layer CellTable (the SoA description
+    # shared with the dynamic layer's adopted views and the shard workers);
+    # these views keep the historical private names readable in the query
+    # code below.
+    @property
+    def _key_min(self) -> np.ndarray:
+        return self._table.key_min
+
+    @property
+    def _spans(self) -> np.ndarray:
+        return self._table.spans
+
+    @property
+    def _order(self) -> np.ndarray:
+        return self._table.order
+
+    @property
+    def _cell_ids(self) -> np.ndarray:
+        return self._table.cell_ids
+
+    @property
+    def _starts(self) -> np.ndarray:
+        return self._table.starts
+
+    @property
+    def _counts(self) -> np.ndarray:
+        return self._table.counts
 
     # -- cell accessors -----------------------------------------------------------
     #: On x86 ``np.longdouble`` carries a 64-bit mantissa, so a key below 2¹¹
@@ -551,7 +561,6 @@ class GridIndex(_IndexBase):
         qkeys = qkeys_abs - self._key_min
         qidx = np.arange(len(centers), dtype=np.int64)
         span_x, span_y = int(self._spans[0]), int(self._spans[1])
-        n_cells = len(self._cell_ids)
 
         cand_query_parts: List[np.ndarray] = []
         cand_point_parts: List[np.ndarray] = []
@@ -576,19 +585,12 @@ class GridIndex(_IndexBase):
                 if not inside.any():
                     continue
                 packed = rx[inside] * span_y + ry[inside]
-                pos = np.searchsorted(self._cell_ids, packed)
-                hit = (pos < n_cells) & (self._cell_ids[np.minimum(pos, n_cells - 1)] == packed)
-                if not hit.any():
-                    continue
-                pos = pos[hit]
-                starts = self._starts[pos]
-                counts = self._counts[pos]
-                total = int(counts.sum())
-                # Range gather: expand each (start, count) run into indices.
-                offsets = np.repeat(np.cumsum(counts) - counts, counts)
-                flat = np.repeat(starts, counts) + np.arange(total, dtype=np.int64) - offsets
-                cand_point_parts.append(self._order[flat])
-                cand_query_parts.append(np.repeat(qidx[inside][hit], counts))
+                owners, members = kernel_ops.cell_gather(
+                    self._table, packed, qidx[inside]
+                )
+                if len(members):
+                    cand_point_parts.append(members)
+                    cand_query_parts.append(owners)
 
         if not cand_point_parts:
             return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
@@ -623,18 +625,11 @@ class GridIndex(_IndexBase):
         return self._query_radius_block(centers, radius)
 
     def _query_radius_block(self, centers: np.ndarray, radius: float) -> List[np.ndarray]:
-        q = len(centers)
         cand_queries, cand_points = self._matches(centers, radius)
-        # Group by query, ascending point index inside each group.  A single
-        # combined-key argsort is ~10x faster than the equivalent two-key
-        # lexsort; fall back when the combined key could overflow int64.
-        if q * len(self) < 2**62:
-            order = np.argsort(cand_queries * len(self) + cand_points, kind="stable")
-        else:
-            order = np.lexsort((cand_points, cand_queries))
-        cand_points = cand_points[order]
-        per_query = np.bincount(cand_queries, minlength=q)
-        return np.split(cand_points, np.cumsum(per_query)[:-1])
+        # Group by query, ascending point index inside each group.
+        return kernel_ops.pair_candidates(
+            cand_queries, cand_points, len(centers), len(self)
+        )
 
     def count_radius_many(self, centers: np.ndarray, radius: float) -> np.ndarray:
         """Per-center neighbour counts — skips the sort/split of the full query.
@@ -659,7 +654,7 @@ class GridIndex(_IndexBase):
 
     def _count_radius_block(self, centers: np.ndarray, radius: float) -> np.ndarray:
         cand_queries, _ = self._matches(centers, radius)
-        return np.bincount(cand_queries, minlength=len(centers))
+        return kernel_ops.count_in_balls(cand_queries, len(centers))
 
     def query_pairs(self, radius: float) -> np.ndarray:
         """All pairs within ``radius`` (``i < j``, lexicographically ordered)."""

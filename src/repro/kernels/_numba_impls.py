@@ -1,0 +1,161 @@
+"""Loop-style kernel sources that numba JIT-compiles into the ``numba`` backend.
+
+The functions here are written in nopython-compatible style (flat loops,
+no closures, no optional arguments) and are importable — and unit-tested —
+*without* numba: the cross-backend equality suite runs them un-jitted on
+every machine, so the loop logic is exercised even where numba is absent,
+and :func:`make_backend` (only called when the ``numba`` backend is
+actually selected) wraps them with ``numba.njit``.
+
+Exactness note for :func:`hypot_mask`: jitted, ``math.hypot`` lowers to the
+platform libm ``hypot`` — the same primitive ``np.hypot`` wraps — so the
+compiled kernel classifies every boundary pair byte-identically to the
+numpy backend.  Run *un-jitted* (the local test path), ``math.hypot`` is
+CPython's correctly-rounded implementation, which can differ from libm by
+1 ULP in the distance; the source-level tests therefore tolerate membership
+flips only on pairs whose distance is within 2 ULP of the radius, and the
+exact certificate is asserted on the jitted kernel (the CI numba leg).
+
+The backend only overrides the kernels a fused loop actually accelerates
+(``within_ball_mask``, ``cell_gather``, ``count_in_balls``); the rest
+fall back to numpy via the dispatch merge.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.layout import CellTable
+
+__all__ = [
+    "hypot_mask",
+    "hypot_mask_paired",
+    "cell_gather_expand",
+    "count_owners",
+    "make_backend",
+]
+
+
+def hypot_mask(points: np.ndarray, cx: float, cy: float, radius: float) -> np.ndarray:
+    """Closed-ball mask of ``(n, 2)`` points against one center."""
+    n = points.shape[0]
+    out = np.empty(n, dtype=np.bool_)
+    for i in range(n):
+        out[i] = math.hypot(points[i, 0] - cx, points[i, 1] - cy) <= radius
+    return out
+
+
+def hypot_mask_paired(
+    points: np.ndarray, centers: np.ndarray, radius: float
+) -> np.ndarray:
+    """Closed-ball mask of ``(n, 2)`` points against one center per point."""
+    n = points.shape[0]
+    out = np.empty(n, dtype=np.bool_)
+    for i in range(n):
+        out[i] = (
+            math.hypot(points[i, 0] - centers[i, 0], points[i, 1] - centers[i, 1])
+            <= radius
+        )
+    return out
+
+
+def cell_gather_expand(
+    cell_ids: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    order: np.ndarray,
+    packed: np.ndarray,
+    owners: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused single-pass form of the numpy searchsorted + range gather."""
+    n_cells = cell_ids.shape[0]
+    m = packed.shape[0]
+    pos = np.searchsorted(cell_ids, packed)
+    total = 0
+    for i in range(m):
+        p = pos[i]
+        if p < n_cells and cell_ids[p] == packed[i]:
+            total += counts[p]
+    out_owners = np.empty(total, dtype=np.int64)
+    out_members = np.empty(total, dtype=np.int64)
+    k = 0
+    for i in range(m):
+        p = pos[i]
+        if p < n_cells and cell_ids[p] == packed[i]:
+            start = starts[p]
+            count = counts[p]
+            owner = owners[i]
+            for j in range(count):
+                out_owners[k] = owner
+                out_members[k] = order[start + j]
+                k += 1
+    return out_owners, out_members
+
+
+def count_owners(owners: np.ndarray, n_owners: int) -> np.ndarray:
+    """Scalar bincount over the matched owner column."""
+    out = np.zeros(n_owners, dtype=np.intp)
+    for i in range(owners.shape[0]):
+        out[owners[i]] += 1
+    return out
+
+
+def _as_flat_points(points: np.ndarray) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    pts = np.asarray(points, dtype=np.float64)
+    return np.ascontiguousarray(pts.reshape(-1, 2)), pts.shape[:-1]
+
+
+def make_backend() -> "KernelBackend":  # noqa: F821 - resolved below
+    """Build the ``numba`` backend (imports numba; call only when selected)."""
+    import numba
+
+    from repro.kernels.dispatch import KernelBackend
+
+    jit = numba.njit(cache=False, nogil=True)
+    jit_single = jit(hypot_mask)
+    jit_paired = jit(hypot_mask_paired)
+    jit_gather = jit(cell_gather_expand)
+    jit_count = jit(count_owners)
+
+    def within_ball_mask(
+        points: np.ndarray, center: np.ndarray, radius: float
+    ) -> np.ndarray:
+        flat, shape = _as_flat_points(points)
+        ctr = np.asarray(center, dtype=np.float64)
+        if ctr.ndim == 1:
+            out = jit_single(flat, float(ctr[0]), float(ctr[1]), float(radius))
+        else:
+            paired = np.ascontiguousarray(
+                np.broadcast_to(ctr, (*shape, 2)).reshape(-1, 2)
+            )
+            out = jit_paired(flat, paired, float(radius))
+        return out.reshape(shape)
+
+    def cell_gather(
+        table: CellTable, packed: np.ndarray, owners: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return jit_gather(
+            table.cell_ids,
+            table.starts,
+            table.counts,
+            np.ascontiguousarray(table.order, dtype=np.int64),
+            np.ascontiguousarray(packed, dtype=np.int64),
+            np.ascontiguousarray(owners, dtype=np.int64),
+        )
+
+    def count_in_balls(owners: np.ndarray, n_owners: int) -> np.ndarray:
+        return jit_count(
+            np.ascontiguousarray(owners, dtype=np.int64), int(n_owners)
+        )
+
+    return KernelBackend(
+        "numba",
+        {
+            "within_ball_mask": within_ball_mask,
+            "cell_gather": cell_gather,
+            "count_in_balls": count_in_balls,
+        },
+    )

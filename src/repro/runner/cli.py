@@ -139,6 +139,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_show.add_argument(
         "--store", default=DEFAULT_STORE_DIR, help="result store (directory or *.sqlite file)"
     )
+    p_show.add_argument(
+        "--bench",
+        action="store_true",
+        help="read the benchmark store (benchmarks/results/store/) instead of --store",
+    )
 
     p_sweep = sub.add_parser(
         "sweep", help="run (or enqueue) a campaign described by a TOML sweep file"
@@ -254,10 +259,19 @@ def _cmd_list() -> int:
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    store = ResultStore(args.store)
+    store_path = args.store
+    if getattr(args, "bench", False):
+        from repro.analysis.tables import bench_store_dir
+
+        try:
+            store_path = bench_store_dir()
+        except FileNotFoundError as exc:
+            print(exc)
+            return 1
+    store = ResultStore(store_path)
     ids = args.experiments or sorted({r["experiment_id"] for r in store.records()})
     if not ids:
-        print(f"store {args.store!r} is empty")
+        print(f"store {str(store_path)!r} is empty")
         return 0
     rows = []
     for eid in ids:

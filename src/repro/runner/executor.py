@@ -102,6 +102,7 @@ def load_builtin_experiments() -> None:
     import repro.dynamics.bench  # noqa: F401  (registers S02/S03)
     import repro.distributed.bench  # noqa: F401  (registers S04)
     import repro.serve.bench  # noqa: F401  (registers S05)
+    import repro.kernels.bench  # noqa: F401  (registers S06)
 
 
 def make_jobs(

@@ -51,6 +51,8 @@ from repro.core.tiles_base import TileSpec
 from repro.core.tiling import TileIndex, Tiling
 from repro.distributed.construct import cross_tile_edges, elect_tile_leaders, tile_goodness
 from repro.faults.plan import InjectedWorkerCrash
+from repro.kernels import ops as kernel_ops
+from repro.kernels.layout import POSITIONS, ROW_IDS, sort_groups
 from repro.shard.shm import attach_block
 
 __all__ = ["ShardTask", "ShardResult", "build_shard", "run_shard_task"]
@@ -164,12 +166,7 @@ def build_shard(
     # Dense per-tile key over the shard's column span (halo column offset so
     # keys stay non-negative even when col_start == 0 has no left halo).
     packed = (cols - (col_start - 1)) * grid_rows + tile_rows
-    order = np.argsort(packed, kind="stable")
-    sorted_packed = packed[order]
-    firsts = np.nonzero(np.diff(sorted_packed))[0] + 1
-    starts = np.concatenate([[0], firsts])
-    tile_keys = sorted_packed[starts]
-    tile_counts = np.diff(np.concatenate([starts, [sorted_packed.size]]))
+    _, tile_keys, _, tile_counts = sort_groups(packed)
 
     # One vectorised classification pass over every shard member.  The
     # per-member tile centre uses the same expression as Tiling.tile_center,
@@ -186,14 +183,9 @@ def build_shard(
     for name, mask in masks.items():
         per_tile: Dict[int, List[int]] = {}
         if mask.any():
-            masked_keys = packed[mask]
-            masked_rows = rows[mask]
-            sub_order = np.argsort(masked_keys, kind="stable")
-            keys_sorted = masked_keys[sub_order]
-            rows_sorted = masked_rows[sub_order]
-            cuts = np.nonzero(np.diff(keys_sorted))[0] + 1
-            key_firsts = keys_sorted[np.concatenate([[0], cuts])]
-            parts = np.split(rows_sorted, cuts)
+            sub_order, key_firsts, group_starts, _ = sort_groups(packed[mask])
+            rows_sorted = rows[mask][sub_order]
+            parts = np.split(rows_sorted, group_starts[1:])
             per_tile = {int(key): part.tolist() for key, part in zip(key_firsts.tolist(), parts)}
         region_map[name] = per_tile
 
@@ -232,7 +224,7 @@ def build_shard(
             if owned:
                 good_owned.append((tile, record[0], record[1]))
 
-    edges: set[Tuple[int, int]] = set()
+    edge_parts: List[List[Tuple[int, int]]] = []
     for tile, rep, relays in good_owned:
         neighbours = tiling.neighbours(tile)
         for direction in _PAIR_DIRECTIONS:
@@ -246,10 +238,10 @@ def build_shard(
             if a != b:
                 count("border-request", 1)
                 count("border-ack", 1)
-            edges.update(pair_edges)
+            edge_parts.append(pair_edges)
 
     result.good = good_owned
-    result.edges = np.asarray(sorted(edges), dtype=np.int64) if edges else _EMPTY_EDGES
+    result.edges = kernel_ops.splice_edges(edge_parts)
     result.counts = counts
     result.wall_s = time.perf_counter() - start
     result.max_rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
@@ -271,12 +263,13 @@ def run_shard_task(task: ShardTask) -> ShardResult:
         time.sleep(min(float(task.stall_s), 1.0))
     positions_shm = attach_block(task.positions_shm)
     try:
-        points = np.ndarray(
-            (task.capacity, 2), dtype=np.float64, buffer=positions_shm.buf
-        )
+        # Views come off the shared SoA buffer descriptions (layout.POSITIONS
+        # / layout.ROW_IDS) — the same specs the owner sized the blocks with,
+        # so the two sides cannot disagree on dtype or stride.
+        points = POSITIONS.view(positions_shm.buf, task.capacity)
         rows_shm = attach_block(task.rows_shm)
         try:
-            all_rows = np.ndarray((task.rows_total,), dtype=np.int64, buffer=rows_shm.buf)
+            all_rows = ROW_IDS.view(rows_shm.buf, task.rows_total)
             # Copy the slice out of the segment so nothing in the result can
             # alias a buffer the owner is about to unlink.
             rows = np.array(all_rows[task.rows_offset : task.rows_offset + task.rows_count])

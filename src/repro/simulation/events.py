@@ -3,6 +3,16 @@
 The workloads in this package are round/event driven; the engine is a plain
 priority queue of timestamped events with deterministic tie-breaking (FIFO
 within equal timestamps), which is all they need.
+
+Stepping goes through the kernel layer: :meth:`EventQueue.run` and
+:meth:`EventQueue.drain` sort the pending batch once with
+:func:`repro.kernels.ops.step_events` (one vectorised ``(time, sequence)``
+lexsort) instead of paying a ``heappop`` — ``O(log n)`` dataclass
+comparisons each — per event.  Because ``(time, sequence)`` is a *total*
+order (sequence numbers are unique), the batch order is byte-identical to
+the heap's pop order; events scheduled mid-run land in the side heap and
+are merged back by a head-to-head comparison per pop, so handlers that
+schedule follow-up events see exactly the reference semantics.
 """
 
 from __future__ import annotations
@@ -10,7 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 import heapq
 import itertools
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.kernels import ops as kernel_ops
 
 __all__ = ["SimulationEvent", "EventQueue"]
 
@@ -29,17 +43,27 @@ class SimulationEvent:
     payload: Any = field(compare=False, default=None)
 
 
+#: Re-sort threshold: when a handler has pushed this many events into the
+#: side heap during a batch run, fold them into the sorted batch in one
+#: kernel call instead of paying a merge comparison per pop.
+_RESORT_THRESHOLD = 64
+
+
 class EventQueue:
     """Priority queue of :class:`SimulationEvent` with a simulation clock."""
 
     def __init__(self) -> None:
         self._heap: list[SimulationEvent] = []
+        # Kernel-sorted batch consumed front-to-first via _batch_pos; always
+        # ascending (time, sequence).  pop() merges it with the side heap.
+        self._batch: list[SimulationEvent] = []
+        self._batch_pos: int = 0
         self._counter = itertools.count()
         self.now: float = 0.0
         self.processed: int = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._batch) - self._batch_pos
 
     def schedule(self, delay: float, kind: str, payload: Any = None) -> SimulationEvent:
         """Schedule an event ``delay`` time units from the current clock."""
@@ -57,14 +81,73 @@ class EventQueue:
         heapq.heappush(self._heap, event)
         return event
 
+    def schedule_at_many(
+        self, times: Sequence[float], kind: str, payload: Any = None
+    ) -> None:
+        """Bulk :meth:`schedule_at`: one validation pass, one heapify.
+
+        Sequence numbers are assigned in ``times`` order, so the call is
+        byte-equivalent to a ``schedule_at`` loop (workloads pre-scheduling
+        their whole horizon use this to skip per-event heap pushes).
+        """
+        times_arr = np.asarray(times, dtype=np.float64)
+        if times_arr.size == 0:
+            return
+        if bool((times_arr < self.now).any()):
+            raise ValueError("cannot schedule into the past")
+        self._heap.extend(
+            SimulationEvent(float(t), next(self._counter), kind, payload)
+            for t in times_arr.tolist()
+        )
+        heapq.heapify(self._heap)
+
+    def _batch_head(self) -> SimulationEvent | None:
+        if self._batch_pos < len(self._batch):
+            return self._batch[self._batch_pos]
+        return None
+
+    def _peek(self) -> SimulationEvent | None:
+        """The next event under the (time, sequence) order, or ``None``."""
+        head = self._batch_head()
+        if self._heap and (head is None or self._heap[0] < head):
+            return self._heap[0]
+        return head
+
     def pop(self) -> SimulationEvent:
         """Remove and return the next event, advancing the clock."""
-        if not self._heap:
+        head = self._batch_head()
+        if head is not None and (not self._heap or head <= self._heap[0]):
+            self._batch_pos += 1
+            if self._batch_pos == len(self._batch):
+                self._batch = []
+                self._batch_pos = 0
+            event = head
+        elif self._heap:
+            event = heapq.heappop(self._heap)
+        else:
             raise IndexError("event queue is empty")
-        event = heapq.heappop(self._heap)
         self.now = event.time
         self.processed += 1
         return event
+
+    def _materialise(self) -> None:
+        """Fold all pending events into one kernel-sorted batch.
+
+        ``step_events`` orders the pooled (time, sequence) pairs exactly as
+        successive ``heappop`` calls would — the order is total — so this is
+        a pure representation change.
+        """
+        pending = self._batch[self._batch_pos :] + self._heap
+        self._heap = []
+        self._batch_pos = 0
+        if len(pending) <= 1:
+            self._batch = pending
+            return
+        n = len(pending)
+        times = np.fromiter((e.time for e in pending), dtype=np.float64, count=n)
+        seqs = np.fromiter((e.sequence for e in pending), dtype=np.int64, count=n)
+        order = kernel_ops.step_events(times, seqs)
+        self._batch = [pending[i] for i in order.tolist()]
 
     def run(
         self,
@@ -78,17 +161,24 @@ class EventQueue:
         caps the number of processed events (safety valve for tests).
         """
         processed = 0
-        while self._heap:
-            if until is not None and self._heap[0].time > until:
+        self._materialise()
+        while True:
+            nxt = self._peek()
+            if nxt is None:
+                break
+            if until is not None and nxt.time > until:
                 break
             if max_events is not None and processed >= max_events:
                 break
             event = self.pop()
             handler(event, self)
             processed += 1
+            if len(self._heap) >= _RESORT_THRESHOLD:
+                self._materialise()
         return processed
 
     def drain(self) -> Iterator[SimulationEvent]:
         """Iterate over remaining events in time order (advances the clock)."""
-        while self._heap:
+        self._materialise()
+        while len(self):
             yield self.pop()

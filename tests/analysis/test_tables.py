@@ -151,3 +151,68 @@ class TestStoreTable:
         assert r"\caption{E01}" in tex
         with pytest.raises(ValueError, match="unknown table format"):
             store_table(store, "E01", fmt="html")
+
+
+def _fake_bench_tree(root):
+    """A benchmarks/results/store/ tree with one stored S06 record."""
+    from repro.runner.store import ResultStore
+
+    store_dir = root / "benchmarks" / "results" / "store"
+    store_dir.mkdir(parents=True)
+    ResultStore(store_dir).put(
+        {
+            "key": "k-s06",
+            "experiment_id": "S06",
+            "status": "ok",
+            "params": {"n": 100},
+            "result": {
+                "rows": [{"kernel": "cell_gather", "backend": "numpy"}],
+                "headline": {"certificates_ok": True},
+            },
+        }
+    )
+    return store_dir
+
+
+class TestBenchReader:
+    def test_bench_store_dir_walks_up_to_the_store(self, tmp_path):
+        from repro.analysis.tables import bench_store_dir
+
+        store_dir = _fake_bench_tree(tmp_path)
+        nested = tmp_path / "src" / "repro" / "analysis"
+        nested.mkdir(parents=True)
+        assert bench_store_dir(nested) == store_dir
+        assert bench_store_dir(tmp_path) == store_dir
+
+    def test_bench_store_dir_default_finds_a_store_when_present(self):
+        # The default start is the source checkout; the store exists once
+        # the benchmark suite has run (it is not itself checked in).
+        from repro.analysis.tables import bench_store_dir
+
+        try:
+            path = bench_store_dir()
+        except FileNotFoundError:
+            pytest.skip("benchmark store not generated in this checkout")
+        assert path.name == "store" and path.parent.name == "results"
+
+    def test_bench_store_dir_missing_raises(self, tmp_path):
+        from repro.analysis.tables import bench_store_dir
+
+        with pytest.raises(FileNotFoundError, match="benchmarks/results/store"):
+            bench_store_dir(tmp_path)
+
+    def test_store_table_bench_reads_the_bench_store(self, tmp_path, monkeypatch):
+        from repro.analysis import tables
+
+        store_dir = _fake_bench_tree(tmp_path)
+        monkeypatch.setattr(tables, "bench_store_dir", lambda start=None: store_dir)
+        text = tables.store_table(experiment_id="S06", bench=True)
+        assert "S06" in text and "cell_gather" in text
+
+    def test_store_table_requires_store_or_bench(self):
+        from repro.analysis.tables import store_table
+
+        with pytest.raises(ValueError, match="store is required"):
+            store_table(experiment_id="S06")
+        with pytest.raises(ValueError, match="experiment_id"):
+            store_table(bench=True)

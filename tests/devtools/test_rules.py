@@ -857,6 +857,107 @@ def test_call_with_retry_is_clean(lint_snippet):
 
 
 # ---------------------------------------------------------------------------
+# REPRO801 — inline kernel idioms
+# ---------------------------------------------------------------------------
+
+
+_INLINE_GATHER = """
+    import numpy as np
+
+    def expand(cell_ids, starts, counts, queries):
+        pos = np.searchsorted(cell_ids, queries)
+        offsets = np.cumsum(counts) - counts
+        return np.repeat(starts, counts) + np.arange(counts.sum()) - np.repeat(offsets, counts)
+    """
+
+
+def test_searchsorted_plus_repeat_gather_fires(lint_snippet):
+    findings = lint_snippet(dedent(_INLINE_GATHER), select={"REPRO801"})
+    assert "REPRO801" in codes(findings)
+    assert "cell_gather" in findings[0].message
+
+
+def test_argsort_plus_split_regroup_fires(lint_snippet):
+    src = dedent(
+        """
+        import numpy as np
+
+        def regroup(owners, members):
+            order = np.argsort(owners, kind="stable")
+            counts = np.bincount(owners[order])
+            return np.split(members[order], np.cumsum(counts)[:-1])
+        """
+    )
+    findings = lint_snippet(src, select={"REPRO801"})
+    assert "REPRO801" in codes(findings)
+    assert "sort_groups" in findings[0].message
+
+
+def test_lexsort_plus_split_fires(lint_snippet):
+    src = dedent(
+        """
+        import numpy as np
+
+        def regroup(a, b, members):
+            order = np.lexsort((b, a))
+            return np.split(members[order], [3, 7])
+        """
+    )
+    assert "REPRO801" in codes(lint_snippet(src, select={"REPRO801"}))
+
+
+def test_single_idiom_uses_are_clean(lint_snippet):
+    # Each function uses only one half of an idiom pair: never flagged.
+    src = dedent(
+        """
+        import numpy as np
+
+        def locate(cell_ids, queries):
+            return np.searchsorted(cell_ids, queries)
+
+        def tile(starts, counts):
+            return np.repeat(starts, counts)
+
+        def rank(keys):
+            return np.argsort(keys, kind="stable")
+
+        def chop(values):
+            return np.split(values, [2, 5])
+        """
+    )
+    assert lint_snippet(src, select={"REPRO801"}) == []
+
+
+def test_idioms_split_across_functions_are_clean(lint_snippet):
+    # Co-occurrence is per function, not per file.
+    src = dedent(
+        """
+        import numpy as np
+
+        def locate(cell_ids, queries):
+            return np.searchsorted(cell_ids, queries)
+
+        def expand(starts, counts):
+            return np.repeat(starts, counts)
+        """
+    )
+    assert lint_snippet(src, select={"REPRO801"}) == []
+
+
+def test_kernel_layer_homes_are_allowlisted(lint_snippet):
+    for relpath in (
+        "src/repro/kernels/ops.py",
+        "src/repro/kernels/layout.py",
+        "src/repro/geometry/index.py",
+        "src/repro/dynamics/incremental.py",
+    ):
+        assert (
+            lint_snippet(dedent(_INLINE_GATHER), select={"REPRO801"}, relpath=relpath)
+            == []
+        )
+
+
+# ---------------------------------------------------------------------------
 # Registry hygiene
 # ---------------------------------------------------------------------------
 

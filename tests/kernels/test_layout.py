@@ -1,0 +1,108 @@
+"""Layout: buffer specs, stable grouping, and the shared cell table."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.layout import (
+    CELL_KEYS,
+    POSITIONS,
+    ROW_IDS,
+    BufferSpec,
+    CellTable,
+    pack_bounds,
+    pack_keys,
+    sort_groups,
+    spans_fit_packed,
+)
+
+
+class TestBufferSpec:
+    def test_nbytes_matches_view_size(self):
+        for spec, count in ((POSITIONS, 7), (ROW_IDS, 12), (CELL_KEYS, 3)):
+            buf = bytearray(spec.nbytes(count))
+            view = spec.view(buf, count)
+            assert view.nbytes == spec.nbytes(count)
+            assert view.dtype == spec.dtype
+            assert view.shape == spec.shape(count)
+
+    def test_view_is_zero_copy(self):
+        buf = bytearray(POSITIONS.nbytes(3))
+        view = POSITIONS.view(buf, 3)
+        view[1] = (2.5, -1.0)
+        again = POSITIONS.view(buf, 3)
+        assert again[1, 0] == 2.5 and again[1, 1] == -1.0
+
+    def test_positions_spec_is_the_shard_layout(self):
+        # The historical hand-rolled arithmetic the spec replaced.
+        assert POSITIONS.nbytes(100) == 100 * 2 * 8
+        assert ROW_IDS.nbytes(100) == 100 * 8
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            POSITIONS.nbytes(-1)
+
+    def test_empty_allocates_requested_shape(self):
+        assert BufferSpec("x", np.dtype(np.int32), (3,)).empty(4).shape == (4, 3)
+
+
+class TestSortGroups:
+    def test_matches_manual_grouping(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 20, size=500)
+        order, group_keys, starts, counts = sort_groups(keys)
+        sorted_keys = keys[order]
+        assert (np.diff(sorted_keys) >= 0).all()
+        assert group_keys.tolist() == sorted(set(keys.tolist()))
+        for g, key in enumerate(group_keys.tolist()):
+            members = order[starts[g] : starts[g] + counts[g]]
+            expected = np.nonzero(keys == key)[0]
+            # Stable: original order preserved within each group.
+            assert members.tolist() == expected.tolist()
+
+    def test_empty(self):
+        order, group_keys, starts, counts = sort_groups(np.zeros(0, dtype=np.int64))
+        assert len(order) == len(group_keys) == len(starts) == len(counts) == 0
+
+
+class TestCellTable:
+    def test_group_points_matches_adopt_cells(self):
+        # The two construction paths (fresh bucketing vs adopting an external
+        # cell map) must yield identical tables for identical membership.
+        rng = np.random.default_rng(11)
+        keys = rng.integers(-3, 4, size=(200, 2))
+        key_min, spans = pack_bounds(keys)
+        assert spans_fit_packed(spans)
+        packed = pack_keys(keys, key_min, spans)
+        grouped = CellTable.group_points(packed, key_min, spans)
+
+        cells = {}
+        for i, key in enumerate(packed.tolist()):
+            cells.setdefault(key, []).append(i)
+        cell_ids = np.array(list(cells.keys()), dtype=np.int64)
+        members = [np.array(cells[k], dtype=np.int64) for k in cell_ids.tolist()]
+        adopted = CellTable.adopt_cells(cell_ids, members, key_min, spans)
+
+        assert np.array_equal(grouped.cell_ids, adopted.cell_ids)
+        assert np.array_equal(grouped.starts, adopted.starts)
+        assert np.array_equal(grouped.counts, adopted.counts)
+        assert np.array_equal(grouped.order, adopted.order)
+
+    def test_member_lists_roundtrip(self):
+        packed = np.array([5, 2, 5, 2, 9], dtype=np.int64)
+        table = CellTable.group_points(
+            packed, np.zeros(2, dtype=np.int64), np.array([10, 1], dtype=np.int64)
+        )
+        lists = {
+            int(c): m.tolist() for c, m in zip(table.cell_ids, table.member_lists())
+        }
+        assert lists == {2: [1, 3], 5: [0, 2], 9: [4]}
+        assert table.n_cells == 3 and table.n_members == 5
+
+    def test_empty_table(self):
+        table = CellTable.empty()
+        assert table.n_cells == 0 and table.n_members == 0
+        assert table.spans.tolist() == [1, 1]
+
+    def test_spans_overflow_detected(self):
+        assert not spans_fit_packed(np.array([2**31, 2**31], dtype=np.int64))
+        assert spans_fit_packed(np.array([2**30, 2**30], dtype=np.int64))

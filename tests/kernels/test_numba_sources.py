@@ -1,0 +1,120 @@
+"""Un-jitted numba kernel sources vs the numpy backend.
+
+These run everywhere — they import the loop sources from
+``repro.kernels._numba_impls`` as plain Python, no numba required — so the
+compiled backend's logic is covered even on machines without the compiler.
+
+Tolerance note (documented in the module under test): un-jitted
+``math.hypot`` is CPython's correctly-rounded implementation while the
+numpy backend (and the *jitted* kernel, which lowers to libm) uses the
+platform ``hypot``.  The two can disagree by 1 ULP, so membership may flip
+only on pairs whose distance sits within 2 ULP of the radius; everything
+farther from the boundary must classify identically.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import CellTable, cell_gather, count_in_balls, within_ball_mask
+from repro.kernels._numba_impls import (
+    cell_gather_expand,
+    count_owners,
+    hypot_mask,
+    hypot_mask_paired,
+)
+from repro.kernels.layout import pack_bounds, pack_keys
+
+
+def _near_boundary(points, center, radius):
+    """Pairs whose distance is within 2 ULP of the radius (tolerance zone)."""
+    diff = np.asarray(points, dtype=np.float64) - center
+    dist = np.hypot(diff[..., 0], diff[..., 1])
+    lo = np.nextafter(np.nextafter(radius, -np.inf), -np.inf)
+    hi = np.nextafter(np.nextafter(radius, np.inf), np.inf)
+    return (dist >= lo) & (dist <= hi)
+
+
+class TestHypotMask:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-1e6, 1e6, allow_nan=False),
+                st.floats(-1e6, 1e6, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(0, 1e6, allow_nan=False),
+    )
+    def test_matches_numpy_outside_boundary_zone(self, coords, radius):
+        pts = np.asarray(coords, dtype=np.float64)
+        center = np.zeros(2)
+        source = hypot_mask(pts, 0.0, 0.0, radius)
+        backend = within_ball_mask(pts, center, radius, backend="numpy")
+        clear = ~_near_boundary(pts, center, radius)
+        assert np.array_equal(source[clear], backend[clear])
+
+    def test_subnormal_and_radius_zero_exact(self):
+        # No libm/CPython divergence possible here: distances are exact.
+        sub = 2.2e-313
+        pts = np.array([[0.0, 0.0], [0.0, -sub], [sub, 0.0]])
+        assert hypot_mask(pts, 0.0, 0.0, 0.0).tolist() == [True, False, False]
+        assert hypot_mask(pts, 0.0, 0.0, sub).tolist() == [True, True, True]
+
+    def test_paired_variant_matches_single(self):
+        rng = np.random.default_rng(12)
+        pts = rng.normal(size=(100, 2))
+        center = np.array([0.25, -0.5])
+        paired = np.broadcast_to(center, pts.shape).copy()
+        assert np.array_equal(
+            hypot_mask(pts, 0.25, -0.5, 0.9),
+            hypot_mask_paired(pts, paired, 0.9),
+        )
+
+
+class TestCellGatherExpand:
+    def test_matches_numpy_backend(self):
+        rng = np.random.default_rng(13)
+        keys = rng.integers(-4, 5, size=(250, 2))
+        key_min, spans = pack_bounds(keys)
+        table = CellTable.group_points(pack_keys(keys, key_min, spans), key_min, spans)
+        queries = rng.integers(-3, int(table.cell_ids.max()) + 3, size=300)
+        owners = rng.integers(0, 40, size=300)
+        expected = cell_gather(table, queries, owners, backend="numpy")
+        got = cell_gather_expand(
+            table.cell_ids,
+            table.starts,
+            table.counts,
+            table.order.astype(np.int64),
+            queries.astype(np.int64),
+            owners.astype(np.int64),
+        )
+        assert np.array_equal(got[0], expected[0])
+        assert np.array_equal(got[1], expected[1])
+
+    def test_all_misses(self):
+        table = CellTable.empty()
+        got = cell_gather_expand(
+            table.cell_ids,
+            table.starts,
+            table.counts,
+            table.order.astype(np.int64),
+            np.array([1, 2], dtype=np.int64),
+            np.array([0, 1], dtype=np.int64),
+        )
+        assert len(got[0]) == 0 and len(got[1]) == 0
+
+
+class TestCountOwners:
+    def test_matches_numpy_backend(self):
+        rng = np.random.default_rng(14)
+        owners = rng.integers(0, 30, size=500).astype(np.int64)
+        assert np.array_equal(
+            count_owners(owners, 30),
+            count_in_balls(owners, 30, backend="numpy"),
+        )
+
+    def test_empty(self):
+        assert count_owners(np.zeros(0, dtype=np.int64), 4).tolist() == [0, 0, 0, 0]

@@ -1,0 +1,102 @@
+"""Profiler counters: injected-clock arithmetic, nesting, and opt-in cost."""
+
+import numpy as np
+
+from repro.kernels import (
+    KernelProfiler,
+    KernelStats,
+    active_profiler,
+    count_in_balls,
+    profiled,
+    within_ball_mask,
+)
+
+
+class ManualClock:
+    """A tick source returning pre-programmed nanosecond stamps."""
+
+    def __init__(self, step_ns=100):
+        self.step_ns = step_ns
+        self.t = 0
+
+    def __call__(self):
+        self.t += self.step_ns
+        return self.t
+
+
+class TestKernelStats:
+    def test_add_accumulates(self):
+        s = KernelStats()
+        s.add(10, 64)
+        s.add(5, 16)
+        assert (s.calls, s.ns, s.nbytes) == (2, 15, 80)
+
+
+class TestProfiler:
+    def test_no_profiler_by_default(self):
+        assert active_profiler() is None
+
+    def test_injected_clock_exact_arithmetic(self):
+        # Each timed call reads the clock twice: elapsed is exactly step_ns.
+        prof = KernelProfiler(clock=ManualClock(step_ns=100))
+        pts = np.array([[0.5, 0.0], [3.0, 0.0]])
+        with profiled(prof) as active:
+            assert active is prof
+            assert active_profiler() is prof
+            within_ball_mask(pts, np.zeros(2), 1.0)
+            within_ball_mask(pts, np.zeros(2), 1.0)
+            count_in_balls(np.array([0, 0, 1], dtype=np.int64), 2)
+        assert active_profiler() is None
+        snap = prof.snapshot()
+        assert snap["within_ball_mask"]["calls"] == 2
+        assert snap["within_ball_mask"]["ns"] == 200
+        assert snap["count_in_balls"]["calls"] == 1
+        assert snap["count_in_balls"]["ns"] == 100
+        # Bytes account the point operand plus the bool output mask,
+        # per call: 2 points × 2 coords × 8 bytes + 2 mask bytes.
+        assert snap["within_ball_mask"]["nbytes"] == 2 * (pts.nbytes + 2)
+
+    def test_nesting_restores_previous(self):
+        outer = KernelProfiler(clock=ManualClock())
+        inner = KernelProfiler(clock=ManualClock())
+        pts = np.zeros((1, 2))
+        with profiled(outer):
+            within_ball_mask(pts, np.zeros(2), 1.0)
+            with profiled(inner):
+                assert active_profiler() is inner
+                within_ball_mask(pts, np.zeros(2), 1.0)
+                within_ball_mask(pts, np.zeros(2), 1.0)
+            assert active_profiler() is outer
+        # Inner calls are attributed to the inner profiler only.
+        assert outer.stats["within_ball_mask"].calls == 1
+        assert inner.stats["within_ball_mask"].calls == 2
+
+    def test_profiled_makes_fresh_profiler_when_omitted(self):
+        with profiled() as prof:
+            within_ball_mask(np.zeros((1, 2)), np.zeros(2), 1.0)
+        assert prof.stats["within_ball_mask"].calls == 1
+
+    def test_reset_clears(self):
+        prof = KernelProfiler(clock=ManualClock())
+        with profiled(prof):
+            within_ball_mask(np.zeros((1, 2)), np.zeros(2), 1.0)
+        prof.reset()
+        assert prof.snapshot() == {}
+
+    def test_snapshot_sorted_and_plain(self):
+        prof = KernelProfiler(clock=ManualClock())
+        with profiled(prof):
+            count_in_balls(np.zeros(0, dtype=np.int64), 1)
+            within_ball_mask(np.zeros((1, 2)), np.zeros(2), 1.0)
+        snap = prof.snapshot()
+        assert list(snap) == sorted(snap)
+        assert all(
+            isinstance(v, int) for rec in snap.values() for v in rec.values()
+        )
+
+    def test_profiled_results_match_unprofiled(self):
+        pts = np.array([[0.5, 0.0], [3.0, 0.0], [0.0, 1.0]])
+        plain = within_ball_mask(pts, np.zeros(2), 1.0)
+        with profiled():
+            timed = within_ball_mask(pts, np.zeros(2), 1.0)
+        assert np.array_equal(plain, timed)

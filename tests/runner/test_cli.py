@@ -78,3 +78,33 @@ class TestCli:
     def test_show_on_empty_store(self, tmp_path, capsys):
         assert main(["show", "--store", str(tmp_path / "nothing")]) == 0
         assert "empty" in capsys.readouterr().out
+
+    def test_show_bench_routes_to_the_bench_store(self, tmp_path, capsys, monkeypatch):
+        # --bench resolves benchmarks/results/store/ regardless of --store.
+        from repro.analysis import tables
+
+        store_dir = tmp_path / "benchmarks" / "results" / "store"
+        store_dir.mkdir(parents=True)
+        ResultStore(store_dir).put(
+            {
+                "key": "k-s06",
+                "experiment_id": "S06",
+                "status": "ok",
+                "params": {"n": 100},
+                "result": {"rows": [{"kernel": "cell_gather"}], "headline": {}},
+            }
+        )
+        monkeypatch.setattr(tables, "bench_store_dir", lambda start=None: store_dir)
+        assert main(["show", "--bench", "S06"]) == 0
+        out = capsys.readouterr().out
+        assert "S06" in out and "ok" in out
+
+    def test_show_bench_missing_store_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        from repro.analysis import tables
+
+        def _raise(start=None):
+            raise FileNotFoundError("no benchmarks/results/store below here")
+
+        monkeypatch.setattr(tables, "bench_store_dir", _raise)
+        assert main(["show", "--bench", "S06"]) == 1
+        assert "benchmarks/results/store" in capsys.readouterr().out

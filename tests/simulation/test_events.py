@@ -1,8 +1,13 @@
 """Tests for the discrete-event engine."""
 
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import numpy as np
 import pytest
 
-from repro.simulation.events import EventQueue
+from repro.simulation.events import EventQueue, SimulationEvent, _RESORT_THRESHOLD
 
 
 class TestEventQueue:
@@ -71,3 +76,132 @@ class TestEventQueue:
         events = list(q.drain())
         assert [e.kind for e in events] == ["b", "a"]
         assert len(q) == 0
+
+
+class TestScheduleAtMany:
+    def test_equivalent_to_schedule_at_loop(self):
+        times = [3.0, 1.0, 2.0, 1.0, 5.0]
+        bulk, loop = EventQueue(), EventQueue()
+        bulk.schedule_at_many(times, "tick", payload="p")
+        for t in times:
+            loop.schedule_at(t, "tick", payload="p")
+        assert list(bulk.drain()) == list(loop.drain())
+
+    def test_rejects_past_times_atomically(self):
+        q = EventQueue()
+        q.schedule_at(1.0, "x")
+        q.pop()
+        with pytest.raises(ValueError, match="past"):
+            q.schedule_at_many([2.0, 0.5], "y")
+        assert len(q) == 0  # nothing partially scheduled
+
+    def test_empty_is_noop(self):
+        q = EventQueue()
+        q.schedule_at_many([], "x")
+        q.schedule_at_many(np.zeros(0), "x")
+        assert len(q) == 0
+
+    def test_interleaves_with_scalar_schedules(self):
+        q = EventQueue()
+        q.schedule_at(2.0, "scalar")
+        q.schedule_at_many([2.0, 1.0], "bulk")
+        q.schedule_at(1.0, "late-scalar")
+        kinds = [(e.time, e.kind) for e in q.drain()]
+        # FIFO within equal times follows scheduling order across both APIs.
+        assert kinds == [
+            (1.0, "bulk"),
+            (1.0, "late-scalar"),
+            (2.0, "scalar"),
+            (2.0, "bulk"),
+        ]
+
+
+class _HeapReference:
+    """The pre-kernel engine: a bare heapq, the batch path's oracle."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = 0
+        self.now = 0.0
+
+    def schedule_at(self, time, kind):
+        event = SimulationEvent(time, self._counter, kind)
+        self._counter += 1
+        heapq.heappush(self._heap, event)
+
+    def run(self, handler, until=None, max_events=None):
+        processed = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            event = heapq.heappop(self._heap)
+            self.now = event.time
+            handler(event, self)
+            processed += 1
+        return processed
+
+
+class TestBatchMatchesHeapReference:
+    """The kernel-sorted batch must be observationally identical to heapq."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        times=st.lists(st.floats(0, 20, allow_nan=False), max_size=60),
+        until=st.one_of(st.none(), st.floats(0, 20, allow_nan=False)),
+        max_events=st.one_of(st.none(), st.integers(0, 80)),
+        echo_every=st.integers(2, 9),
+    )
+    def test_run_with_midrun_scheduling(self, times, until, max_events, echo_every):
+        def drive(queue):
+            trace = []
+
+            def handler(event, q):
+                trace.append((event.time, event.sequence, event.kind))
+                # Mid-run schedules land in the side heap (batch engine) or
+                # the main heap (reference); order must not differ.
+                if event.kind == "tick" and event.sequence % echo_every == 0:
+                    q.schedule_at(event.time + 0.5, "echo")
+
+            processed = queue.run(handler, until=until, max_events=max_events)
+            return processed, trace, queue.now
+
+        queue = EventQueue()
+        queue.schedule_at_many(times, "tick")
+        reference = _HeapReference()
+        for t in times:
+            reference.schedule_at(t, "tick")
+        assert drive(queue) == drive(reference)
+
+    def test_resort_threshold_fold_preserves_order(self):
+        # A handler storm larger than the re-sort threshold forces the
+        # mid-run _materialise() fold; order must stay the heap order.
+        def drive(queue):
+            trace = []
+
+            def handler(event, q):
+                trace.append((event.time, event.sequence))
+                if event.kind == "seed":
+                    for i in range(_RESORT_THRESHOLD + 5):
+                        q.schedule_at(event.time + 1.0 + (i % 3) * 0.25, "burst")
+
+            queue.run(handler)
+            return trace
+
+        queue = EventQueue()
+        queue.schedule_at_many([1.0, 2.0], "tick")
+        queue.schedule_at(0.5, "seed")
+        reference = _HeapReference()
+        reference.schedule_at(1.0, "tick")
+        reference.schedule_at(2.0, "tick")
+        reference.schedule_at(0.5, "seed")
+        assert drive(queue) == drive(reference)
+
+    def test_len_counts_batch_and_heap(self):
+        q = EventQueue()
+        q.schedule_at_many([1.0, 2.0, 3.0], "tick")
+        q.run(lambda e, qq: qq.schedule_at(10.0, "later"), max_events=2)
+        # one un-popped batch event + two side-heap events (one per handler call)
+        assert len(q) == 3
+        assert [e.kind for e in q.drain()] == ["tick", "later", "later"]
